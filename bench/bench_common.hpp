@@ -1,0 +1,35 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table/figure of the paper. Because the
+// simulated cluster runs on one host core, default problem sizes are
+// scaled down from the paper's (the scale is printed with each table);
+// pass --full for paper-scale parameters when you have the patience.
+// Shapes — who wins, by what factor, where crossovers fall — are the
+// reproduction target, not absolute GFLOP/s (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/machine.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace ttg::bench {
+
+inline sim::MachineModel machine_by_name(const std::string& name) {
+  if (name == "seawulf") return sim::seawulf();
+  return sim::hawk();
+}
+
+/// Print the standard preamble: which figure, which machine, which scale.
+inline void preamble(const char* figure, const char* paper_setup,
+                     const std::string& this_setup) {
+  std::printf("# %s\n# paper setup: %s\n# this run:    %s\n\n", figure, paper_setup,
+              this_setup.c_str());
+}
+
+/// "n/a" helper for series that cannot run at a configuration.
+inline std::string na() { return "n/a"; }
+
+}  // namespace ttg::bench

@@ -1,0 +1,85 @@
+// Shared driver for Figs. 13a/13b: MRA strong scaling on one machine.
+// Paper: order-10 multiwavelet representation of 3-D Gaussians (exponent
+// 30,000, eps 1e-8, centers random in a cube), series TTG/PaRSEC,
+// TTG/MADNESS, native MADNESS.
+// Expected shape: TTG/PaRSEC clearly fastest; TTG/MADNESS pays POD-copy
+// and AM-server overheads; native MADNESS slowest and stops scaling (a
+// barrier after every computational step).
+#pragma once
+
+#include <vector>
+
+#include "apps/mra/mra_ttg.hpp"
+#include "baselines/madness_native_mra.hpp"
+#include "bench_common.hpp"
+#include "ttg/ttg.hpp"
+
+namespace ttg::bench {
+
+inline int run_fig13(const char* figure, const sim::MachineModel& machine,
+                     const std::vector<int>& nodes_list, int argc, char** argv) {
+  support::Cli cli(figure, "MRA strong scaling");
+  cli.option("k", "10", "multiwavelet order (paper: 10)");
+  cli.option("funcs", "64", "number of Gaussians");
+  cli.option("tol", "1e-8", "truncation threshold (paper: 1e-8)");
+  cli.flag("full", "larger run: 128 functions (slow)");
+  cli.flag("verify", "full per-run arithmetic incl. norm verification (slow)");
+  if (!cli.parse(argc, argv)) return 0;
+  const bool full = cli.get_flag("full");
+  const int k = static_cast<int>(cli.get_int("k"));
+  const int nfuncs = full ? 128 : static_cast<int>(cli.get_int("funcs"));
+  const double tol = cli.get_double("tol");
+  const bool light = !cli.get_flag("verify");
+
+  auto fns = ttg::mra::random_gaussians(nfuncs, 3.0e4, 2022);
+  ttg::mra::MraContext ctx(k, fns);
+  // The sweep re-projects identical functions at every node count; memoize
+  // the quadrature so the real math runs once.
+  ctx.enable_projection_cache();
+
+  preamble(figure,
+           "order-10 multiwavelets, exponent 30000, eps 1e-8, random centers",
+           "order " + std::to_string(k) + ", " + std::to_string(nfuncs) +
+               " functions, tol " + support::fmt(tol, 9) + " (scaled)");
+
+  support::Table t(std::string(figure) + " (time [s] vs nodes)",
+                   {"nodes", "TTG/PaRSEC", "TTG/MADNESS", "native MADNESS"});
+  for (int nodes : nodes_list) {
+    auto run_ttg = [&](rt::BackendKind b) {
+      rt::WorldConfig cfg;
+      cfg.machine = machine;
+      cfg.nranks = nodes;
+      cfg.backend = b;
+      rt::World world(cfg);
+      apps::mra::Options opt;
+      opt.tol = tol;
+      opt.rand_level = 3;  // finer overdecomposition for the bigger runs
+      opt.light_math = light;
+      return apps::mra::run(world, ctx, opt).makespan;
+    };
+    double native;
+    {
+      rt::WorldConfig cfg;
+      cfg.machine = machine;
+      cfg.nranks = nodes;
+      cfg.backend = rt::BackendKind::Madness;
+      rt::World world(cfg);
+      baselines::NativeMraOptions opt;
+      opt.tol = tol;
+      opt.rand_level = 3;
+      opt.light_math = light;
+      native = baselines::run_native_mra(world, ctx, opt).makespan;
+    }
+    t.add_row({std::to_string(nodes),
+               support::fmt(run_ttg(rt::BackendKind::Parsec), 4),
+               support::fmt(run_ttg(rt::BackendKind::Madness), 4),
+               support::fmt(native, 4)});
+  }
+  t.print();
+  std::printf(
+      "expected shape: TTG/PaRSEC < TTG/MADNESS < native MADNESS, with native\n"
+      "MADNESS flattening first (per-step barriers + tree re-allocation).\n");
+  return 0;
+}
+
+}  // namespace ttg::bench

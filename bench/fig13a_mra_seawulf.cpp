@@ -1,0 +1,7 @@
+// Fig. 13a: MRA strong scaling on Seawulf (up to 32 nodes).
+#include "fig13_common.hpp"
+
+int main(int argc, char** argv) {
+  return ttg::bench::run_fig13("Fig. 13a: MRA strong scaling, Seawulf",
+                               ttg::sim::seawulf(), {1, 2, 4, 8, 16, 32}, argc, argv);
+}

@@ -1,0 +1,7 @@
+// Fig. 13b: MRA strong scaling on Hawk (up to 64 nodes).
+#include "fig13_common.hpp"
+
+int main(int argc, char** argv) {
+  return ttg::bench::run_fig13("Fig. 13b: MRA strong scaling, Hawk", ttg::sim::hawk(),
+                               {1, 2, 4, 8, 16, 32, 64}, argc, argv);
+}

@@ -1,0 +1,80 @@
+// Fig. 5: weak scaling of tiled Cholesky (POTRF) on Hawk.
+// Paper: each node holds a 30k^2 submatrix, tile 512^2, nodes 1..64+;
+// series TTG/PaRSEC, TTG/MADNESS, DPLASMA, Chameleon, SLATE, ScaLAPACK.
+// Expected shape: the task-based group (TTG x2, DPLASMA, Chameleon) grows
+// strongly and nearly overlaps (Chameleon slightly trailing); ScaLAPACK
+// and SLATE form a clearly separated slow-growing group.
+#include <cmath>
+#include <vector>
+
+#include "apps/cholesky/cholesky_ttg.hpp"
+#include "baselines/bsp_cholesky.hpp"
+#include "baselines/chameleon_like.hpp"
+#include "baselines/dplasma_like.hpp"
+#include "bench_common.hpp"
+#include "ttg/ttg.hpp"
+
+using namespace ttg;
+
+namespace {
+
+double ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
+               rt::BackendKind backend) {
+  auto ghost = linalg::ghost_matrix(n, bs);
+  rt::WorldConfig cfg;
+  cfg.machine = m;
+  cfg.nranks = nodes;
+  cfg.backend = backend;
+  rt::World world(cfg);
+  apps::cholesky::Options opt;
+  opt.collect = false;
+  return apps::cholesky::run(world, ghost, opt).gflops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Cli cli("fig5_potrf_weak", "POTRF weak scaling on Hawk (Fig. 5)");
+  cli.option("per-node", "8192", "submatrix dimension per node (paper: 30000)");
+  cli.option("bs", "512", "tile size");
+  cli.flag("full", "paper-scale submatrix (30k per node; slow)");
+  if (!cli.parse(argc, argv)) return 0;
+  const int per_node = cli.get_flag("full") ? 30000
+                                            : static_cast<int>(cli.get_int("per-node"));
+  const int bs = static_cast<int>(cli.get_int("bs"));
+  const auto m = sim::hawk();
+
+  bench::preamble("Fig. 5: POTRF weak scaling (GFLOP/s), Hawk",
+                  "30k^2 per node, 512^2 tiles, 60 threads/node",
+                  std::to_string(per_node) + "^2 per node, " + std::to_string(bs) +
+                      "^2 tiles (scaled; shapes preserved)");
+
+  support::Table t("Fig. 5 (GFLOP/s vs nodes)",
+                   {"nodes", "matrix", "TTG/PaRSEC", "TTG/MADNESS", "DPLASMA",
+                    "Chameleon", "SLATE", "ScaLAPACK"});
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
+    const int n =
+        static_cast<int>(std::lround(per_node * std::sqrt(static_cast<double>(nodes)) /
+                                     bs)) * bs;  // round to whole tiles
+    auto ghost = linalg::ghost_matrix(n, bs);
+    const double g_parsec = ttg_run(m, nodes, n, bs, rt::BackendKind::Parsec);
+    const double g_mad = ttg_run(m, nodes, n, bs, rt::BackendKind::Madness);
+    const double g_dpl = baselines::run_dplasma_cholesky(m, nodes, ghost).gflops;
+    const double g_cha =
+        baselines::run_chameleon_cholesky(m, nodes, ghost).gflops;
+    const double g_sla =
+        baselines::run_bsp_cholesky(m, nodes, n, bs, baselines::BspVariant::Slate)
+            .gflops;
+    const double g_sca =
+        baselines::run_bsp_cholesky(m, nodes, n, bs, baselines::BspVariant::ScaLapack)
+            .gflops;
+    t.add_row({std::to_string(nodes), std::to_string(n), support::fmt(g_parsec, 0),
+               support::fmt(g_mad, 0), support::fmt(g_dpl, 0), support::fmt(g_cha, 0),
+               support::fmt(g_sla, 0), support::fmt(g_sca, 0)});
+  }
+  t.print();
+  std::printf(
+      "expected shape: task-based group (TTG/PaRSEC ~ DPLASMA >= Chameleon, with\n"
+      "TTG/MADNESS close) well above the BSP group (SLATE ~ ScaLAPACK).\n");
+  return 0;
+}

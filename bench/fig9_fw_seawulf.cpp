@@ -1,0 +1,65 @@
+// Fig. 9: strong scaling of FW-APSP on Seawulf (paper: 32k matrix, blocks
+// 128/256, up to 32 nodes).
+// Expected shape: TTG outperforms MPI+OpenMP by up to ~4x on <=32 nodes;
+// TTG/MADNESS with block 256 tracks TTG/PaRSEC more closely than with
+// smaller blocks (fewer messages through its AM server).
+#include <vector>
+
+#include "apps/fw_apsp/fw_ttg.hpp"
+#include "baselines/fw_mpi_omp.hpp"
+#include "bench_common.hpp"
+#include "ttg/ttg.hpp"
+
+using namespace ttg;
+
+int main(int argc, char** argv) {
+  support::Cli cli("fig9_fw_seawulf", "FW-APSP strong scaling on Seawulf (Fig. 9)");
+  cli.option("n", "12288", "matrix dimension (paper: 32768)");
+  cli.flag("full", "paper-scale 32k matrix (slow)");
+  if (!cli.parse(argc, argv)) return 0;
+  const int n = cli.get_flag("full") ? 32768 : static_cast<int>(cli.get_int("n"));
+  const auto m = sim::seawulf();
+
+  bench::preamble("Fig. 9: FW-APSP strong scaling (seconds), Seawulf",
+                  "32k matrix, blocks 128/256, up to 32 nodes (40 threads/node)",
+                  std::to_string(n) + " matrix, blocks {128,256} (scaled)");
+
+  const std::vector<int> nodes_list = {1, 4, 16, 32};
+  support::Table t("Fig. 9 (time [s] vs nodes)",
+                   {"impl", "block", "1", "4", "16", "32"});
+  for (int bs : {128, 256}) {
+    for (auto backend : {rt::BackendKind::Parsec, rt::BackendKind::Madness}) {
+      std::vector<std::string> row{
+          backend == rt::BackendKind::Parsec ? "TTG/PaRSEC" : "TTG/MADNESS",
+          std::to_string(bs)};
+      for (int nodes : nodes_list) {
+        auto ghost = linalg::ghost_matrix(n, bs);
+        rt::WorldConfig cfg;
+        cfg.machine = m;
+        cfg.nranks = nodes;
+        cfg.backend = backend;
+        rt::World world(cfg);
+        apps::fw::Options opt;
+        opt.collect = false;
+        row.push_back(support::fmt(apps::fw::run(world, ghost, opt).makespan, 3));
+      }
+      t.add_row(row);
+    }
+  }
+  for (int bs : {128, 256}) {
+    std::vector<std::string> row{"MPI+OpenMP", std::to_string(bs)};
+    for (int nodes : nodes_list) {
+      if (!baselines::fw_mpi_omp_supports(nodes)) {
+        row.push_back(bench::na());
+        continue;
+      }
+      row.push_back(support::fmt(baselines::run_fw_mpi_omp(m, nodes, n, bs).makespan, 3));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  std::printf(
+      "expected shape: TTG up to ~4x faster than MPI+OpenMP; TTG/MADNESS at\n"
+      "block 256 close to TTG/PaRSEC, worse at 128 (more messages).\n");
+  return 0;
+}

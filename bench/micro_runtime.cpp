@@ -1,0 +1,88 @@
+// Micro-benchmarks (google-benchmark) of the substrate hot paths: archive
+// serialization, event-engine throughput, scheduler throughput, and a
+// small end-to-end TTG pipeline.
+#include <benchmark/benchmark.h>
+
+#include "linalg/tile.hpp"
+#include "serialization/traits.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+using namespace ttg;
+
+void BM_SerializeTile(benchmark::State& state) {
+  linalg::Tile t(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  for (auto& v : t.data()) v = 1.5;
+  for (auto _ : state) {
+    auto buf = ser::to_bytes(t);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.wire_bytes()));
+}
+BENCHMARK(BM_SerializeTile)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_DeserializeTile(benchmark::State& state) {
+  linalg::Tile t(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  const auto buf = ser::to_bytes(t);
+  for (auto _ : state) {
+    auto out = ser::from_bytes<linalg::Tile>(buf);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.wire_bytes()));
+}
+BENCHMARK(BM_DeserializeTile)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_EngineEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) e.at(static_cast<double>(i), [] {});
+    e.run();
+    benchmark::DoNotOptimize(e.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EngineEvents)->Arg(1024)->Arg(16384);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    rt::WorldConfig cfg;
+    cfg.nranks = 1;
+    cfg.machine.cores_per_node = 8;
+    rt::World w(cfg);
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) w.scheduler(0).submit(i % 3, 1e-6, [] {});
+    w.fence();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SchedulerThroughput)->Arg(1024)->Arg(8192);
+
+void BM_TtgPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    rt::WorldConfig cfg;
+    cfg.nranks = 4;
+    rt::World w(cfg);
+    Edge<Int1, int> a("a"), b("b");
+    auto tt = make_tt(w,
+                      [](const Int1& k, int& v, std::tuple<Out<Int1, int>>& out) {
+                        ttg::send<0>(k, v + 1, out);
+                      },
+                      edges(a), edges(b), "inc");
+    long sum = 0;
+    auto sink = make_sink(w, b, [&](const Int1&, int& v) { sum += v; });
+    make_graph_executable(*tt);
+    make_graph_executable(*sink);
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) tt->invoke(Int1{i}, i);
+    w.fence();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_TtgPipeline)->Arg(256)->Arg(2048);
+
+}  // namespace

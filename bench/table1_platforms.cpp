@@ -1,0 +1,38 @@
+// Table I: software/hardware configurations of the evaluation platforms,
+// realized as the simulator's machine-model presets.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ttg;
+  support::Table sw("Table I: software configurations (as modeled)",
+                    {"Software", "Hawk", "Seawulf"});
+  sw.add_row({"MPI", "Open MPI 4.1.1, UCX 1.10.0 (simulated)",
+              "Intel MPI 20.0.2 (simulated)"});
+  sw.add_row({"Compiler", "GCC 10.2.0 (paper)", "GCC 10.2.0 (paper)"});
+  sw.add_row({"HWLOC", "1.11.9 (paper)", "1.11.12 (paper)"});
+  sw.add_row({"MKL", "19.1.0 (paper)", "20.0.2 (paper)"});
+  sw.print();
+
+  support::Table hw("Machine-model calibration constants",
+                    {"Parameter", "Hawk", "Seawulf"});
+  const auto h = sim::hawk();
+  const auto s = sim::seawulf();
+  hw.add_row({"worker threads / node", std::to_string(h.cores_per_node),
+              std::to_string(s.cores_per_node)});
+  hw.add_row({"per-core DGEMM GF/s", support::fmt(h.core_gflops, 1),
+              support::fmt(s.core_gflops, 1)});
+  hw.add_row({"node DGEMM GF/s", support::fmt(h.node_gflops(), 0),
+              support::fmt(s.node_gflops(), 0)});
+  hw.add_row({"NIC bandwidth GB/s", support::fmt(h.nic_bw / 1e9, 1),
+              support::fmt(s.nic_bw / 1e9, 1)});
+  hw.add_row({"latency us", support::fmt(h.net_latency * 1e6, 2),
+              support::fmt(s.net_latency * 1e6, 2)});
+  hw.add_row({"bisection factor", support::fmt(h.bisection_factor, 2),
+              support::fmt(s.bisection_factor, 2)});
+  hw.add_row({"eager threshold B", std::to_string(h.eager_threshold),
+              std::to_string(s.eager_threshold)});
+  hw.add_row({"copy bandwidth GB/s", support::fmt(h.copy_bw / 1e9, 1),
+              support::fmt(s.copy_bw / 1e9, 1)});
+  hw.print();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Block-sparse matrix squaring (the paper's Section III-D application) on a
+// synthetic screened-operator matrix: builds the protease-like block
+// structure, runs the Fig. 10 flowgraph with both feedback loops, verifies
+// against a reference multiply, and prints the structure report (Fig. 11).
+//
+//   $ ./examples/bspmm_demo [--natoms 80] [--nranks 4]
+#include <cstdio>
+
+#include "apps/bspmm/bspmm_ttg.hpp"
+#include "sparse/yukawa_gen.hpp"
+#include "support/cli.hpp"
+#include "ttg/ttg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ttg;
+  support::Cli cli("bspmm_demo", "TTG block-sparse GEMM on a screened operator");
+  cli.option("natoms", "80", "atoms in the synthetic cluster");
+  cli.option("max-tile", "64", "tile size cap");
+  cli.option("nranks", "4", "simulated cluster size");
+  cli.option("read-window", "32", "in-flight remote broadcasts (feedback loop 1)");
+  cli.option("k-window", "4", "k-steps per Coordinator phase (feedback loop 2)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  sparse::YukawaParams p;
+  p.natoms = static_cast<int>(cli.get_int("natoms"));
+  p.max_tile = static_cast<int>(cli.get_int("max-tile"));
+  p.box = 120.0;
+  p.threshold = 1e-5;
+  auto a = sparse::yukawa_matrix(p);
+  std::printf("%s", sparse::structure_report(a).c_str());
+
+  auto ref = sparse::multiply_reference(a, a);
+
+  WorldConfig cfg;
+  cfg.machine = sim::hawk();
+  cfg.nranks = static_cast<int>(cli.get_int("nranks"));
+  World world(cfg);
+  apps::bspmm::Options opt;
+  opt.read_window = static_cast<int>(cli.get_int("read-window"));
+  opt.k_window = static_cast<int>(cli.get_int("k-window"));
+  auto res = apps::bspmm::run(world, a, a, opt);
+
+  double err = 0.0;
+  for (auto [i, j] : ref.nonzeros()) {
+    if (!res.c.has(i, j)) {
+      std::fprintf(stderr, "missing block C(%d,%d)\n", i, j);
+      return 1;
+    }
+    err = std::max(err, ref.at(i, j).max_abs_diff(res.c.at(i, j)));
+  }
+  std::printf(
+      "C = A*A: %llu MultiplyAdd tasks, makespan %.3f ms, %.1f GFLOP/s, "
+      "max |err| %.2e\n",
+      static_cast<unsigned long long>(res.tasks), res.makespan * 1e3, res.gflops,
+      err);
+  if (err > 1e-10) {
+    std::fprintf(stderr, "VERIFICATION FAILED\n");
+    return 1;
+  }
+  std::printf("verified against the reference block-sparse multiply\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Adaptive multiresolution analysis of 3-D Gaussians (Section III-E,
+// Listing 3): project each function into the order-k multiwavelet basis on
+// an adaptive dyadic tree, compress (fast wavelet transform, streaming
+// 8-way reduction), reconstruct, and verify the norms against the analytic
+// Gaussian norm — all streaming through one flowgraph with no barriers.
+//
+//   $ ./examples/mra_demo [--k 8] [--funcs 8] [--exponent 3e4] [--nranks 4]
+#include <cmath>
+#include <cstdio>
+
+#include "apps/mra/mra_ttg.hpp"
+#include "support/cli.hpp"
+#include "ttg/ttg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ttg;
+  support::Cli cli("mra_demo", "adaptive multiwavelet representation of Gaussians");
+  cli.option("k", "8", "multiwavelet order");
+  cli.option("funcs", "8", "number of Gaussian functions");
+  cli.option("exponent", "3e4", "Gaussian exponent (unit-cube coordinates)");
+  cli.option("tol", "1e-7", "truncation threshold");
+  cli.option("nranks", "4", "simulated cluster size");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int nfuncs = static_cast<int>(cli.get_int("funcs"));
+  auto fns = mra::random_gaussians(nfuncs, cli.get_double("exponent"), 2022);
+  mra::MraContext ctx(static_cast<int>(cli.get_int("k")), fns);
+
+  WorldConfig cfg;
+  cfg.machine = sim::hawk();
+  cfg.nranks = static_cast<int>(cli.get_int("nranks"));
+  World world(cfg);
+  apps::mra::Options opt;
+  opt.tol = cli.get_double("tol");
+  auto res = apps::mra::run(world, ctx, opt);
+
+  std::printf("%d functions, %llu tree nodes, %llu tasks, makespan %.3f ms\n",
+              nfuncs, static_cast<unsigned long long>(res.tree_nodes),
+              static_cast<unsigned long long>(res.tasks), res.makespan * 1e3);
+  std::printf("%4s %14s %14s %14s %10s\n", "fid", "analytic", "compressed",
+              "reconstructed", "rel.err");
+  double worst = 0.0;
+  for (int f = 0; f < nfuncs; ++f) {
+    const double analytic = fns[static_cast<std::size_t>(f)].norm2();
+    const double nc = res.norm2_compressed.at(f);
+    const double nr = res.norm2_reconstructed.at(f);
+    const double rel = std::fabs(nc - analytic) / analytic;
+    worst = std::max(worst, rel);
+    std::printf("%4d %14.6e %14.6e %14.6e %10.2e\n", f, analytic, nc, nr, rel);
+  }
+  if (worst > 1e-3) {
+    std::fprintf(stderr, "VERIFICATION FAILED (worst rel.err %.2e)\n", worst);
+    return 1;
+  }
+  std::printf("verified: norms match the analytic Gaussian norm\n");
+  return 0;
+}

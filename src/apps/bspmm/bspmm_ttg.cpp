@@ -1,0 +1,312 @@
+#include "apps/bspmm/bspmm_ttg.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "linalg/dist.hpp"
+#include "linalg/kernels.hpp"
+#include "ttg/ttg.hpp"
+
+namespace ttg::apps::bspmm {
+
+using linalg::Tile;
+using sparse::BlockSparseMatrix;
+using sparse::pack_ij;
+
+Result run(rt::World& world, const BlockSparseMatrix& a, const BlockSparseMatrix& b,
+           const Options& opt) {
+  TTG_REQUIRE(a.panels() == b.panels(), "bspmm: operand panel structures differ");
+  const auto& machine = world.machine();
+  const auto dist = linalg::BlockCyclic2D::make(world.nranks());
+  const int nranks = world.nranks();
+
+  /* ---- host-side iteration space (the "parameterized" part the paper's
+     ReadSp tasks derive from the sparse structure) ---- */
+  const auto areads = a.nonzeros();  // (i,k)
+  const auto breads = b.nonzeros();  // (k,j)
+  const int na = static_cast<int>(areads.size());
+  const int nb = static_cast<int>(breads.size());
+  const int kw = opt.k_window;
+  const int nwin = (a.ntiles() + kw - 1) / kw;
+  auto window = [kw](int k) { return k / kw; };
+
+  // Destination ranks of each read (deduplicated per rank).
+  auto dests_of_a = [&](int idx) {
+    const auto [i, k] = areads[static_cast<std::size_t>(idx)];
+    std::vector<int> d;
+    for (int j : b.row_nonzeros(k)) {
+      const int r = dist.owner(i, j);
+      if (std::find(d.begin(), d.end(), r) == d.end()) d.push_back(r);
+    }
+    return d;
+  };
+  auto dests_of_b = [&](int idx) {
+    const auto [k, j] = breads[static_cast<std::size_t>(idx)];
+    std::vector<int> d;
+    for (int i : a.col_nonzeros(k)) {
+      const int r = dist.owner(i, j);
+      if (std::find(d.begin(), d.end(), r) == d.end()) d.push_back(r);
+    }
+    return d;
+  };
+
+  // Per (rank, window): MultiplyAdd count + local-broadcast keys released.
+  std::vector<std::vector<std::int64_t>> mm_count(
+      static_cast<std::size_t>(nranks), std::vector<std::int64_t>(nwin, 0));
+  std::vector<std::vector<std::vector<Int3>>> lb_a_keys(
+      static_cast<std::size_t>(nranks), std::vector<std::vector<Int3>>(nwin));
+  std::vector<std::vector<std::vector<Int3>>> lb_b_keys(
+      static_cast<std::size_t>(nranks), std::vector<std::vector<Int3>>(nwin));
+  std::unordered_map<std::uint64_t, std::int64_t> nnzk;  // C(i,j) contributions
+  for (const auto& [i, k] : areads) {
+    for (int j : b.row_nonzeros(k)) {
+      const int r = dist.owner(i, j);
+      mm_count[static_cast<std::size_t>(r)][static_cast<std::size_t>(window(k))]++;
+      nnzk[pack_ij(i, j)]++;
+    }
+  }
+  for (int idx = 0; idx < na; ++idx) {
+    const auto [i, k] = areads[static_cast<std::size_t>(idx)];
+    for (int r : dests_of_a(idx))
+      lb_a_keys[static_cast<std::size_t>(r)][static_cast<std::size_t>(window(k))]
+          .push_back(Int3{i, k, r});
+  }
+  for (int idx = 0; idx < nb; ++idx) {
+    const auto [k, j] = breads[static_cast<std::size_t>(idx)];
+    for (int r : dests_of_b(idx))
+      lb_b_keys[static_cast<std::size_t>(r)][static_cast<std::size_t>(window(k))]
+          .push_back(Int3{k, j, r});
+  }
+
+  /* ---- per-rank local tile stores written by LStore, read by LBcast ---- */
+  std::vector<std::unordered_map<std::uint64_t, Tile>> astore(
+      static_cast<std::size_t>(nranks)),
+      bstore(static_cast<std::size_t>(nranks));
+
+  /* ---- edges ---- */
+  Edge<Int1, Void> read_a_ctl("read_a_ctl"), read_b_ctl("read_b_ctl");
+  Edge<Int1, Tile> a_read_bcast("a_read_bcast"), b_read_bcast("b_read_bcast");
+  Edge<Int2, Tile> a_bcast_store("a_bcast_store"), b_bcast_store("b_bcast_store");
+  Edge<Int3, Void> a_arrive("a_arrive"), b_arrive("b_arrive");
+  Edge<Int3, Void> a_coord("a_coord"), b_coord("b_coord");
+  Edge<Int3, Tile> a_to_mm("a_to_mm"), b_to_mm("b_to_mm");
+  Edge<Int2, Void> mm_done("mm_done");
+  Edge<Int2, Tile> mm_to_c("mm_to_c");
+  Edge<Int2, Tile> c_result("c_result");
+
+  /* ---- ReadSpA/B: load a tile from (local) memory, throttled by the
+     control-token feedback loop ---- */
+  auto read_a_fn = [&a, &areads](const Int1& key, Void&,
+                                 std::tuple<Out<Int1, Tile>>& out) {
+    const auto [i, k] = areads[static_cast<std::size_t>(key.i)];
+    ttg::send<0>(key, a.at(i, k), out);
+  };
+  auto read_b_fn = [&b, &breads](const Int1& key, Void&,
+                                 std::tuple<Out<Int1, Tile>>& out) {
+    const auto [k, j] = breads[static_cast<std::size_t>(key.i)];
+    ttg::send<0>(key, b.at(k, j), out);
+  };
+  auto read_a_tt =
+      make_tt(world, read_a_fn, edges(read_a_ctl), edges(a_read_bcast), "ReadSpA");
+  auto read_b_tt =
+      make_tt(world, read_b_fn, edges(read_b_ctl), edges(b_read_bcast), "ReadSpB");
+
+  /* ---- BcastA/B: ship the tile once per destination rank ---- */
+  auto bcast_a_fn = [dests_of_a](const Int1& key, Tile& t,
+                                 std::tuple<Out<Int2, Tile>>& out) {
+    std::vector<Int2> keys;
+    for (int r : dests_of_a(key.i)) keys.push_back(Int2{key.i, r});
+    ttg::broadcast<0>(keys, std::move(t), out);
+  };
+  auto bcast_b_fn = [dests_of_b](const Int1& key, Tile& t,
+                                 std::tuple<Out<Int2, Tile>>& out) {
+    std::vector<Int2> keys;
+    for (int r : dests_of_b(key.i)) keys.push_back(Int2{key.i, r});
+    ttg::broadcast<0>(keys, std::move(t), out);
+  };
+  auto bcast_a_tt =
+      make_tt(world, bcast_a_fn, edges(a_read_bcast), edges(a_bcast_store), "BcastA");
+  auto bcast_b_tt =
+      make_tt(world, bcast_b_fn, edges(b_read_bcast), edges(b_bcast_store), "BcastB");
+
+  /* ---- LStoreA/B: store the tile locally, release the next read
+     (feedback loop 1), and notify the local broadcast task ---- */
+  const int rw = opt.read_window;
+  auto lstore_a_fn = [&astore, &areads, dests_of_a, rw, na](
+                         const Int2& key, Tile& t,
+                         std::tuple<Out<Int1, Void>, Out<Int3, Void>>& out) {
+    const auto [ridx, rank] = key;
+    const auto [i, k] = areads[static_cast<std::size_t>(ridx)];
+    astore[static_cast<std::size_t>(rank)][pack_ij(i, k)] = std::move(t);
+    if (rank == dests_of_a(ridx).front() && ridx + rw < na)
+      ttg::sendk<0>(Int1{ridx + rw}, out);
+    ttg::sendk<1>(Int3{i, k, rank}, out);
+  };
+  auto lstore_b_fn = [&bstore, &breads, dests_of_b, rw, nb](
+                         const Int2& key, Tile& t,
+                         std::tuple<Out<Int1, Void>, Out<Int3, Void>>& out) {
+    const auto [ridx, rank] = key;
+    const auto [k, j] = breads[static_cast<std::size_t>(ridx)];
+    bstore[static_cast<std::size_t>(rank)][pack_ij(k, j)] = std::move(t);
+    if (rank == dests_of_b(ridx).front() && ridx + rw < nb)
+      ttg::sendk<0>(Int1{ridx + rw}, out);
+    ttg::sendk<1>(Int3{k, j, rank}, out);
+  };
+  auto lstore_a_tt = make_tt(world, lstore_a_fn, edges(a_bcast_store),
+                             edges(read_a_ctl, a_arrive), "LStoreA");
+  auto lstore_b_tt = make_tt(world, lstore_b_fn, edges(b_bcast_store),
+                             edges(read_b_ctl, b_arrive), "LStoreB");
+
+  /* ---- LBcastA/B: once the tile has arrived *and* the Coordinator has
+     opened its k-window, fan it out to the local MultiplyAdds ---- */
+  auto lbcast_a_fn = [&astore, &b, dist](const Int3& key, Void&, Void&,
+                                         std::tuple<Out<Int3, Tile>>& out) {
+    const auto [i, k, rank] = key;
+    const Tile& t = astore[static_cast<std::size_t>(rank)].at(pack_ij(i, k));
+    std::vector<Int3> keys;
+    for (int j : b.row_nonzeros(k))
+      if (dist.owner(i, j) == rank) keys.push_back(Int3{i, j, k});
+    ttg::broadcast<0>(keys, t, out);
+  };
+  auto lbcast_b_fn = [&bstore, &a, dist](const Int3& key, Void&, Void&,
+                                         std::tuple<Out<Int3, Tile>>& out) {
+    const auto [k, j, rank] = key;
+    const Tile& t = bstore[static_cast<std::size_t>(rank)].at(pack_ij(k, j));
+    std::vector<Int3> keys;
+    for (int i : a.col_nonzeros(k))
+      if (dist.owner(i, j) == rank) keys.push_back(Int3{i, j, k});
+    ttg::broadcast<0>(keys, t, out);
+  };
+  auto lbcast_a_tt =
+      make_tt(world, lbcast_a_fn, edges(a_arrive, a_coord), edges(a_to_mm), "LBcastA");
+  auto lbcast_b_tt =
+      make_tt(world, lbcast_b_fn, edges(b_arrive, b_coord), edges(b_to_mm), "LBcastB");
+
+  /* ---- Coordinator: releases window w once all MultiplyAdds of window
+     w-1 on this rank completed (feedback loop 2, streaming terminal) ---- */
+  auto coord_fn = [&lb_a_keys, &lb_b_keys](
+                      const Int2& key, Void&,
+                      std::tuple<Out<Int3, Void>, Out<Int3, Void>>& out) {
+    const auto [w, rank] = key;
+    for (const auto& k : lb_a_keys[static_cast<std::size_t>(rank)]
+                                  [static_cast<std::size_t>(w)])
+      ttg::sendk<0>(k, out);
+    for (const auto& k : lb_b_keys[static_cast<std::size_t>(rank)]
+                                  [static_cast<std::size_t>(w)])
+      ttg::sendk<1>(k, out);
+  };
+  auto coord_tt =
+      make_tt(world, coord_fn, edges(mm_done), edges(a_coord, b_coord), "Coordinator");
+  coord_tt->set_input_reducer<0>([](Void&, Void&&) {});
+
+  /* ---- MultiplyAdd: the compute kernel ---- */
+  auto mm_fn = [window, nwin, dist](const Int3& key, Tile& at, Tile& bt,
+                                    std::tuple<Out<Int2, Tile>, Out<Int2, Void>>& out) {
+    const auto [i, j, k] = key;
+    Tile prod = (at.is_ghost() || bt.is_ghost())
+                    ? Tile::ghost(at.rows(), bt.cols(), 0)
+                    : Tile(at.rows(), bt.cols());
+    linalg::gemm_nn_acc(prod, at, bt);
+    ttg::send<0>(Int2{i, j}, std::move(prod), out);
+    const int w = window(k);
+    if (w + 1 < nwin) ttg::sendk<1>(Int2{w + 1, dist.owner(i, j)}, out);
+  };
+  auto mm_tt = make_tt(world, mm_fn, edges(a_to_mm, b_to_mm), edges(mm_to_c, mm_done),
+                       "MultiplyAdd");
+
+  /* ---- CReduce: streaming accumulation of the C tile ---- */
+  auto creduce_fn = [](const Int2& key, Tile& c, std::tuple<Out<Int2, Tile>>& out) {
+    ttg::send<0>(key, std::move(c), out);
+  };
+  auto creduce_tt = make_tt(world, creduce_fn, edges(mm_to_c), edges(c_result),
+                            "CReduce");
+  creduce_tt->set_input_reducer<0>(
+      [](Tile& acc, Tile&& next) { linalg::tile_add(acc, next); });
+
+  /* ---- result sink ---- */
+  BlockSparseMatrix c_out(a.panels());
+  auto sink_tt = make_sink(world, c_result, [&](const Int2& key, Tile& t) {
+    if (opt.collect) c_out.set(key.i, key.j, std::move(t));
+  });
+
+  /* ---- maps ---- */
+  read_a_tt->set_keymap([&areads, dist](const Int1& k) {
+    const auto [i, kk] = areads[static_cast<std::size_t>(k.i)];
+    return dist.owner(i, kk);
+  });
+  bcast_a_tt->set_keymap([&areads, dist](const Int1& k) {
+    const auto [i, kk] = areads[static_cast<std::size_t>(k.i)];
+    return dist.owner(i, kk);
+  });
+  read_b_tt->set_keymap([&breads, dist](const Int1& k) {
+    const auto [kk, j] = breads[static_cast<std::size_t>(k.i)];
+    return dist.owner(kk, j);
+  });
+  bcast_b_tt->set_keymap([&breads, dist](const Int1& k) {
+    const auto [kk, j] = breads[static_cast<std::size_t>(k.i)];
+    return dist.owner(kk, j);
+  });
+  lstore_a_tt->set_keymap([](const Int2& k) { return k.j; });
+  lstore_b_tt->set_keymap([](const Int2& k) { return k.j; });
+  lbcast_a_tt->set_keymap([](const Int3& k) { return k.k; });
+  lbcast_b_tt->set_keymap([](const Int3& k) { return k.k; });
+  coord_tt->set_keymap([](const Int2& k) { return k.j; });
+  mm_tt->set_keymap([dist](const Int3& k) { return dist.owner(k.i, k.j); });
+  creduce_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+  sink_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+
+  mm_tt->set_costmap([&machine](const Int3&, const Tile& at, const Tile& bt) {
+    return linalg::gemm_time(machine, at.rows(), bt.cols(), at.cols());
+  });
+  read_a_tt->set_costmap([&machine](const Int1&, const Void&) {
+    return machine.am_cpu;  // memory load, negligible vs GEMM
+  });
+  read_b_tt->set_costmap(
+      [&machine](const Int1&, const Void&) { return machine.am_cpu; });
+  // Favor earlier k-windows so the pipeline drains in order.
+  mm_tt->set_priomap([nwin, window](const Int3& k) { return nwin - window(k.k); });
+
+  for (rt::TTBase* t :
+       {static_cast<rt::TTBase*>(read_a_tt.get()), static_cast<rt::TTBase*>(read_b_tt.get()),
+        static_cast<rt::TTBase*>(bcast_a_tt.get()), static_cast<rt::TTBase*>(bcast_b_tt.get()),
+        static_cast<rt::TTBase*>(lstore_a_tt.get()), static_cast<rt::TTBase*>(lstore_b_tt.get()),
+        static_cast<rt::TTBase*>(lbcast_a_tt.get()), static_cast<rt::TTBase*>(lbcast_b_tt.get()),
+        static_cast<rt::TTBase*>(coord_tt.get()), static_cast<rt::TTBase*>(mm_tt.get()),
+        static_cast<rt::TTBase*>(creduce_tt.get()), static_cast<rt::TTBase*>(sink_tt.get())}) {
+    make_graph_executable(*t);
+  }
+
+  /* ---- per-task stream sizes ---- */
+  for (const auto& [key, cnt] : nnzk) {
+    creduce_tt->set_argstream_size<0>(
+        Int2{static_cast<int>(key >> 32), static_cast<int>(key & 0xffffffffu)}, cnt);
+  }
+  for (int r = 0; r < nranks; ++r) {
+    for (int w = 0; w < nwin; ++w) {
+      // Window w waits for window w-1's MultiplyAdds (0 for w == 0).
+      const std::int64_t need =
+          w == 0 ? 0 : mm_count[static_cast<std::size_t>(r)][static_cast<std::size_t>(w - 1)];
+      const bool has_work = !lb_a_keys[static_cast<std::size_t>(r)]
+                                      [static_cast<std::size_t>(w)].empty() ||
+                            !lb_b_keys[static_cast<std::size_t>(r)]
+                                      [static_cast<std::size_t>(w)].empty();
+      if (has_work || need > 0) coord_tt->set_argstream_size<0>(Int2{w, r}, need);
+    }
+  }
+
+  /* ---- go ---- */
+  const double t0 = world.engine().now();
+  for (int r = 0; r < std::min(rw, na); ++r) read_a_tt->invoke(Int1{r}, Void{});
+  for (int r = 0; r < std::min(rw, nb); ++r) read_b_tt->invoke(Int1{r}, Void{});
+  const double t1 = world.fence();
+  TTG_CHECK(world.unfinished() == 0, "bspmm graph did not quiesce");
+
+  Result res;
+  res.makespan = t1 - t0;
+  res.gflops = sparse::multiply_flops(a, b) / res.makespan / 1e9;
+  res.tasks = mm_tt->tasks_executed();
+  res.c = std::move(c_out);
+  return res;
+}
+
+}  // namespace ttg::apps::bspmm

@@ -1,0 +1,46 @@
+// TTG block-sparse matrix-matrix multiplication (Section III-D, Fig. 10).
+//
+// 2D-SUMMA-style C = A * B over block-sparse operands on a 2D block-cyclic
+// process grid, expressed as the paper's flowgraph:
+//
+//   ReadSpA/B --> BcastA/B --> LStoreA/B --> LBcastA/B --> MultiplyAdd
+//        ^                        |               ^            |
+//        +---- control tokens ----+               |            v
+//              (feedback loop 1)            Coordinator <-- completions
+//                                           (feedback loop 2)
+//
+// Feedback loop 1 bounds how many remote tile broadcasts are in flight
+// (window `read_window`); feedback loop 2 releases local broadcasts in
+// k-windows only after the previous window's MultiplyAdds completed,
+// "reduc[ing] the choices of the scheduler and forc[ing] it to focus on a
+// subset of GEMM tasks that work on the same subset of data". Both loops
+// use streaming terminals (Section II-B). C tiles are accumulated with a
+// streaming input reducer sized per task ID to the number of contributing
+// k-products.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/world.hpp"
+#include "sparse/block_sparse.hpp"
+
+namespace ttg::apps::bspmm {
+
+struct Options {
+  int read_window = 256;  ///< in-flight remote tile broadcasts per operand
+  int k_window = 8;       ///< SUMMA k-steps released per Coordinator phase
+  bool collect = true;    ///< gather C into Result::c
+};
+
+struct Result {
+  double makespan = 0.0;
+  double gflops = 0.0;
+  std::uint64_t tasks = 0;     ///< MultiplyAdd tasks executed
+  sparse::BlockSparseMatrix c;
+};
+
+/// Multiply C = A * B on `world`. A and B must share panel structure.
+Result run(rt::World& world, const sparse::BlockSparseMatrix& a,
+           const sparse::BlockSparseMatrix& b, const Options& opt = {});
+
+}  // namespace ttg::apps::bspmm

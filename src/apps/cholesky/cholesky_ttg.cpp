@@ -1,0 +1,185 @@
+#include "apps/cholesky/cholesky_ttg.hpp"
+
+#include "linalg/kernels.hpp"
+#include "ttg/ttg.hpp"
+
+namespace ttg::apps::cholesky {
+
+using linalg::Tile;
+using linalg::TiledMatrix;
+
+double flop_count(int n) { return n / 3.0 * n * n; }
+
+Result run(rt::World& world, const TiledMatrix& a, const Options& opt) {
+  const int nt = a.ntiles();
+  const auto& machine = world.machine();
+  const linalg::BlockCyclic2D dist = linalg::BlockCyclic2D::make(world.nranks());
+
+  /* Edges, named as in Listing 1. Key types encode what the paper calls
+     1-, 2-, and 3-tuple task IDs. */
+  Edge<Int1, Tile> to_potrf("to_potrf");
+  Edge<Int2, Tile> potrf_trsm("potrf_trsm");
+  Edge<Int2, Tile> to_trsm("to_trsm");  // tile (m,k) from INITIATOR or GEMM
+  Edge<Int2, Tile> trsm_syrk("trsm_syrk");
+  Edge<Int2, Tile> to_syrk("to_syrk");  // diagonal tile chain
+  Edge<Int3, Tile> trsm_gemm_row("trsm_gemm_row");
+  Edge<Int3, Tile> trsm_gemm_col("trsm_gemm_col");
+  Edge<Int3, Tile> to_gemm("to_gemm");  // off-diagonal tile chain
+  Edge<Int2, Tile> result("result");
+
+  /* POTRF(k): factor the diagonal tile, broadcast L(k,k) down its column
+     of TRSMs, and emit the final tile. */
+  auto potrf_fn = [nt](const Int1& key, Tile& tile_kk,
+                       std::tuple<Out<Int2, Tile>, Out<Int2, Tile>>& out) {
+    const int k = key.i;
+    TTG_CHECK(linalg::potrf(tile_kk), "matrix is not SPD");
+    std::vector<Int2> trsm_ids;
+    for (int m = k + 1; m < nt; ++m) trsm_ids.push_back(Int2{m, k});
+    ttg::send<0>(Int2{k, k}, tile_kk, out);  // RESULT
+    ttg::broadcast<1>(trsm_ids, tile_kk, out);
+  };
+  auto potrf_tt = make_tt(world, potrf_fn, edges(to_potrf),
+                          edges(result, potrf_trsm), "POTRF");
+
+  /* TRSM(m,k): solve the panel tile, then broadcast it to 4 terminals in
+     one call exactly as in Listing 1: RESULT, SYRK, GEMM row, GEMM col. */
+  auto trsm_fn = [nt](const Int2& key, Tile& tile_kk, Tile& tile_mk,
+                      std::tuple<Out<Int2, Tile>, Out<Int2, Tile>, Out<Int3, Tile>,
+                                 Out<Int3, Tile>>& out) {
+    const auto [m, k] = key;
+    linalg::trsm(tile_kk, tile_mk);
+    std::vector<Int3> row_ids, col_ids;
+    /* ids for gemms in row m */
+    for (int n = k + 1; n < m; ++n) row_ids.push_back(Int3{m, n, k});
+    /* ids for gemms in column m */
+    for (int i = m + 1; i < nt; ++i) col_ids.push_back(Int3{i, m, k});
+    /* broadcast the result to 4 output terminals:
+       0: to the final output task writing back the tile;
+       1: to the SYRK kernel;
+       2: to the gemm tasks in row m;
+       3: to the gemm tasks in column m */
+    ttg::broadcast<0, 1, 2, 3>(
+        std::make_tuple(Int2{m, k}, Int2{k, m}, row_ids, col_ids), tile_mk, out);
+  };
+  auto trsm_tt =
+      make_tt(world, trsm_fn, edges(potrf_trsm, to_trsm),
+              edges(result, trsm_syrk, trsm_gemm_row, trsm_gemm_col), "TRSM");
+
+  /* SYRK(k,m): C(m,m) -= L(m,k) L(m,k)^T; chain to the next SYRK of the
+     same diagonal tile, or to POTRF(m) when this was the last update. */
+  auto syrk_fn = [](const Int2& key, Tile& l_mk, Tile& c_mm,
+                    std::tuple<Out<Int1, Tile>, Out<Int2, Tile>>& out) {
+    const auto [k, m] = key;
+    linalg::syrk(l_mk, c_mm);
+    if (k == m - 1) {
+      ttg::send<0>(Int1{m}, std::move(c_mm), out);  // ready for POTRF(m)
+    } else {
+      ttg::send<1>(Int2{k + 1, m}, std::move(c_mm), out);
+    }
+  };
+  auto syrk_tt =
+      make_tt(world, syrk_fn, edges(trsm_syrk, to_syrk), edges(to_potrf, to_syrk),
+              "SYRK");
+
+  /* GEMM(m,n,k): C(m,n) -= L(m,k) L(n,k)^T; chain to the next GEMM of the
+     same tile, or to TRSM(m,n) when this was the last update. */
+  auto gemm_fn = [](const Int3& key, Tile& l_mk, Tile& l_nk, Tile& c_mn,
+                    std::tuple<Out<Int2, Tile>, Out<Int3, Tile>>& out) {
+    const auto [m, n, k] = key;
+    linalg::gemm_nt(c_mn, l_mk, l_nk);
+    if (k == n - 1) {
+      ttg::send<0>(Int2{m, n}, std::move(c_mn), out);  // ready for TRSM(m,n)
+    } else {
+      ttg::send<1>(Int3{m, n, k + 1}, std::move(c_mn), out);
+    }
+  };
+  auto gemm_tt = make_tt(world, gemm_fn, edges(trsm_gemm_row, trsm_gemm_col, to_gemm),
+                         edges(to_trsm, to_gemm), "GEMM");
+
+  /* RESULT: write back the factor tiles (stays on the owning rank, as in
+     the paper's distributed write-back). */
+  TiledMatrix l_out;
+  if (opt.collect) l_out = TiledMatrix(a.n(), a.block(), /*allocate=*/false);
+  auto result_tt = make_sink(world, result, [&](const Int2& key, Tile& t) {
+    if (opt.collect) l_out.tile(key.i, key.j) = std::move(t);
+  });
+
+  /* Process maps: tasks run where the tile they write lives. */
+  potrf_tt->set_keymap([dist](const Int1& k) { return dist.owner(k.i, k.i); });
+  trsm_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+  syrk_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.j, k.j); });
+  gemm_tt->set_keymap([dist](const Int3& k) { return dist.owner(k.i, k.j); });
+  result_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+
+  /* Priority map: drive the critical path — factor and solve panels of
+     early iterations before trailing updates (lookahead). */
+  if (opt.priorities) {
+    potrf_tt->set_priomap([nt](const Int1& k) { return 3 * (nt - k.i); });
+    trsm_tt->set_priomap([nt](const Int2& k) { return 2 * (nt - k.j); });
+    syrk_tt->set_priomap([nt](const Int2& k) { return nt - k.i; });
+    gemm_tt->set_priomap([nt](const Int3& k) { return nt - k.k; });
+  }
+
+  /* Cost maps: virtual kernel durations from analytic flop counts. */
+  potrf_tt->set_costmap([&machine](const Int1&, const Tile& t) {
+    return linalg::potrf_time(machine, t.rows());
+  });
+  trsm_tt->set_costmap([&machine](const Int2&, const Tile& lkk, const Tile& amk) {
+    (void)lkk;
+    return linalg::trsm_time(machine, amk.rows(), amk.cols());
+  });
+  syrk_tt->set_costmap([&machine](const Int2&, const Tile& l, const Tile& c) {
+    return linalg::syrk_time(machine, c.rows(), l.cols());
+  });
+  gemm_tt->set_costmap(
+      [&machine](const Int3&, const Tile& a_, const Tile& b_, const Tile& c_) {
+        (void)b_;
+        return linalg::gemm_time(machine, c_.rows(), c_.cols(), a_.cols());
+      });
+
+  make_graph_executable(*potrf_tt);
+  make_graph_executable(*trsm_tt);
+  make_graph_executable(*syrk_tt);
+  make_graph_executable(*gemm_tt);
+  make_graph_executable(*result_tt);
+
+  /* INITIATOR: inject every tile of the lower triangle on its owner rank.
+     "The INITIATOR operation is responsible for providing input to tasks
+     that have no direct predecessor in the algorithm." (Fig. 1.) */
+  auto init_fn = [&a](const Int2& key,
+                      std::tuple<Out<Int1, Tile>, Out<Int2, Tile>, Out<Int2, Tile>,
+                                 Out<Int3, Tile>>& out) {
+    const auto [m, n] = key;
+    Tile t = a.tile(m, n);
+    if (m == 0 && n == 0) {
+      ttg::send<0>(Int1{0}, std::move(t), out);  // POTRF(0)
+    } else if (m == n) {
+      ttg::send<2>(Int2{0, m}, std::move(t), out);  // SYRK chain start
+    } else if (n == 0) {
+      ttg::send<1>(Int2{m, 0}, std::move(t), out);  // TRSM(m,0)
+    } else {
+      ttg::send<3>(Int3{m, n, 0}, std::move(t), out);  // GEMM chain start
+    }
+  };
+  auto init_tt = make_tt<Int2>(world, init_fn, std::tuple<>{},
+                               edges(to_potrf, to_trsm, to_syrk, to_gemm), "INITIATOR");
+  init_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+  make_graph_executable(*init_tt);
+
+  const double t0 = world.engine().now();
+  for (int m = 0; m < nt; ++m)
+    for (int n = 0; n <= m; ++n) init_tt->invoke(Int2{m, n});
+  const double t1 = world.fence();
+
+  TTG_CHECK(world.unfinished() == 0, "cholesky graph did not quiesce");
+
+  Result res;
+  res.makespan = t1 - t0;
+  res.gflops = flop_count(a.n()) / res.makespan / 1e9;
+  res.tasks = potrf_tt->tasks_executed() + trsm_tt->tasks_executed() +
+              syrk_tt->tasks_executed() + gemm_tt->tasks_executed();
+  res.matrix = std::move(l_out);
+  return res;
+}
+
+}  // namespace ttg::apps::cholesky

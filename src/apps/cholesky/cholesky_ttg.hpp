@@ -1,0 +1,45 @@
+// TTG implementation of dense tiled Cholesky factorization (Section III-B,
+// Fig. 1, Listing 1 of the paper).
+//
+// The template task graph has four compute task templates plus data in/out:
+//
+//   INITIATOR --> POTRF(k)    : factor diagonal tile (k,k)
+//             \-> TRSM(m,k)   : panel solve, tile (m,k) against L(k,k)
+//             \-> SYRK(k,m)   : diagonal update C(m,m) -= L(m,k) L(m,k)^T
+//             \-> GEMM(m,n,k) : trailing update C(m,n) -= L(m,k) L(n,k)^T
+//   POTRF, TRSM --> RESULT    : write back final L tiles
+//
+// TRSM uses the paper's 4-terminal ttg::broadcast (Listing 1, lines 37-39)
+// to feed the result tile to RESULT, SYRK, and the GEMM row/column in one
+// call. Tasks are placed 2D block-cyclically and prioritized by iteration
+// (lookahead: early panels run ahead of trailing updates).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/dist.hpp"
+#include "linalg/matrix_gen.hpp"
+#include "runtime/world.hpp"
+
+namespace ttg::apps::cholesky {
+
+struct Options {
+  bool collect = true;      ///< gather the factored tiles into Result::matrix
+  bool priorities = true;   ///< use the lookahead priority map (ablation knob)
+};
+
+struct Result {
+  double makespan = 0.0;    ///< seconds of virtual time for the factorization
+  double gflops = 0.0;      ///< analytic n^3/3 flops over makespan
+  std::uint64_t tasks = 0;  ///< task bodies executed
+  linalg::TiledMatrix matrix;  ///< factored L (valid if Options::collect)
+};
+
+/// Analytic flop count of an n x n Cholesky factorization.
+[[nodiscard]] double flop_count(int n);
+
+/// Factor `a` (SPD, real or ghost tiles) on the given world; returns the
+/// lower-triangular factor and timing. The world is fenced internally.
+Result run(rt::World& world, const linalg::TiledMatrix& a, const Options& opt = {});
+
+}  // namespace ttg::apps::cholesky

@@ -1,0 +1,37 @@
+// TTG implementation of Floyd-Warshall all-pairs-shortest-path
+// (Section III-C of the paper).
+//
+// "In TTG ... a single-level 2D block-cyclic distribution of tiles is used
+// and tiles are broadcast to all successor operations independent of other
+// tiles." Each round k of the tiled algorithm runs kernel A on the diagonal
+// tile, kernels B and C on the tile row/column, and kernel D everywhere
+// else; tiles flow from round to round as messages, with no global barrier
+// anywhere — round k+1's A kernel can start as soon as tile (k+1,k+1) has
+// been updated, while round k's D kernels are still in flight elsewhere.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix_gen.hpp"
+#include "runtime/world.hpp"
+
+namespace ttg::apps::fw {
+
+struct Options {
+  bool collect = true;
+};
+
+struct Result {
+  double makespan = 0.0;
+  double gflops = 0.0;  ///< 2 n^3 min-plus op-pairs over makespan
+  std::uint64_t tasks = 0;
+  linalg::TiledMatrix matrix;  ///< all-pairs distances (if collect)
+};
+
+/// Analytic operation count: 2 n^3 (one compare + one add per (i,j,k)).
+[[nodiscard]] double op_count(int n);
+
+/// Run tiled FW-APSP on the adjacency matrix `w0` over `world`.
+Result run(rt::World& world, const linalg::TiledMatrix& w0, const Options& opt = {});
+
+}  // namespace ttg::apps::fw

@@ -1,0 +1,124 @@
+// TTG multiresolution analysis pipeline (Section III-E, Listing 3).
+//
+// For every Gaussian, the flowgraph adaptively projects the function into
+// the order-k multiwavelet basis (recurring down until the local
+// representation error is below the truncation threshold), then performs
+// the fast wavelet transform (compress, flowing *up* the tree through a
+// 2^d = 8-way streaming terminal with an input reducer — Listing 3), the
+// inverse transform (reconstruct, flowing back down), and computes the
+// function norm for verification. Unlike the native MADNESS implementation
+// there is no barrier between the steps: data streams through the entire
+// DAG, and different trees proceed completely independently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "mra/function_tree.hpp"
+#include "runtime/world.hpp"
+
+namespace ttg::apps::mra {
+
+/// Message flowing *up* the tree into a compress task's streaming terminal:
+/// child coefficient slices plus the accumulated subtree wavelet norm. The
+/// input reducer merges 2^d of these into one batch (Listing 3); a batch is
+/// always *sent* with exactly one item, which lets the PaRSEC backend move
+/// it with the split-metadata protocol (metadata: child index + norm +
+/// size; payload: the coefficient block).
+struct CompressBatch {
+  struct Item {
+    int child = 0;
+    ttg::mra::Coeffs s;
+    template <typename Ar>
+    void serialize(Ar& ar) {
+      ar& child& s;
+    }
+  };
+  std::vector<Item> items;
+  double dnorm2 = 0.0;
+
+  [[nodiscard]] std::size_t wire_bytes() const {
+    std::size_t b = sizeof(double);
+    for (const auto& it : items) b += sizeof(int) + it.s.wire_bytes();
+    return b;
+  }
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& items& dnorm2;
+  }
+};
+
+/// Root result: total squared norm in compressed form.
+struct RootInfo {
+  int fid = 0;
+  double norm2 = 0.0;
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& fid& norm2;
+  }
+};
+
+struct Options {
+  double tol = 1e-8;    ///< truncation threshold on the wavelet norm
+  int max_level = 16;   ///< refinement safety limit
+  int rand_level = 2;   ///< keymap scatters subtrees rooted at this level
+  /// Benchmark mode: skip the compress/reconstruct arithmetic (which makes
+  /// no control-flow decisions) while keeping the full task graph, message
+  /// sizes, and virtual kernel costs — the MRA analogue of ghost tiles.
+  /// Norms are not computed in this mode. Projection always runs for real
+  /// (it drives the adaptive refinement).
+  bool light_math = false;
+};
+
+struct Result {
+  double makespan = 0.0;
+  std::uint64_t tasks = 0;
+  std::uint64_t tree_nodes = 0;  ///< leaves + interior across all trees
+  /// Per function: squared norm from the compressed form and from the
+  /// reconstructed leaves (the paper's verification step).
+  std::map<int, double> norm2_compressed;
+  std::map<int, double> norm2_reconstructed;
+};
+
+/// Run the project -> compress -> reconstruct -> norm pipeline for all
+/// functions in `ctx` on `world`.
+Result run(rt::World& world, const ttg::mra::MraContext& ctx, const Options& opt = {});
+
+}  // namespace ttg::apps::mra
+
+namespace ttg::ser {
+
+/// Split-metadata support for single-item compress slices (every batch on
+/// the wire has exactly one item; merging happens in the destination's
+/// streaming terminal).
+template <>
+struct SplitMetadata<apps::mra::CompressBatch> {
+  struct metadata_type {
+    int child = 0;
+    double dnorm2 = 0.0;
+    std::uint64_t count = 0;
+  };
+  static metadata_type get_metadata(const apps::mra::CompressBatch& b) {
+    TTG_CHECK(b.items.size() == 1, "compress batch must ship single slices");
+    return {b.items[0].child, b.dnorm2, b.items[0].s.v.size()};
+  }
+  static apps::mra::CompressBatch create(const metadata_type& m) {
+    apps::mra::CompressBatch b;
+    b.dnorm2 = m.dnorm2;
+    b.items.resize(1);
+    b.items[0].child = m.child;
+    b.items[0].s.v.resize(m.count);
+    return b;
+  }
+  static std::size_t payload_bytes(const apps::mra::CompressBatch& b) {
+    return b.items[0].s.wire_bytes();
+  }
+  static std::span<const std::byte> payload(const apps::mra::CompressBatch& b) {
+    return std::as_bytes(std::span<const double>(b.items[0].s.v));
+  }
+  static std::span<std::byte> payload(apps::mra::CompressBatch& b) {
+    return std::as_writable_bytes(std::span<double>(b.items[0].s.v));
+  }
+};
+
+}  // namespace ttg::ser

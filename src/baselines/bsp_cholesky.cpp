@@ -1,0 +1,127 @@
+#include "baselines/bsp_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "apps/cholesky/cholesky_ttg.hpp"
+#include "linalg/kernels.hpp"
+
+namespace ttg::baselines {
+
+namespace {
+// Fork-join tail of the bulk-synchronous update phase: threaded BLAS over
+// an irregular local tile set leaves workers idle at the barrier.
+constexpr double kBspTailFactor = 1.15;
+}  // namespace
+
+BspCholeskyResult run_bsp_cholesky(const sim::MachineModel& machine, int nranks, int n,
+                                   int bs, BspVariant variant) {
+  const int nt = (n + bs - 1) / bs;
+  const auto dist = linalg::BlockCyclic2D::make(nranks);
+  rt::BspExecutor bsp(machine, nranks);
+  const std::size_t tile_bytes = static_cast<std::size_t>(bs) * bs * sizeof(double);
+
+  auto tile_rows = [&](int i) { return std::min(bs, n - i * bs); };
+
+  double prev_update_credit = 0.0;  // SLATE lookahead: overlap with next panel
+  double slate_credit = 0.0;        // total overlapped time, subtracted at the end
+
+  for (int k = 0; k < nt; ++k) {
+    // --- phase 1: POTRF(k) on the diagonal owner ---
+    std::vector<double> phase(static_cast<std::size_t>(nranks), 0.0);
+    phase[static_cast<std::size_t>(dist.owner(k, k))] =
+        linalg::potrf_time(machine, tile_rows(k));
+    double panel_time = *std::max_element(phase.begin(), phase.end());
+    bsp.compute_phase(phase);
+
+    // --- phase 2: broadcast L(k,k) down the column owners ---
+    std::vector<int> col_group{dist.owner(k, k)};
+    for (int m = k + 1; m < nt; ++m) {
+      int o = dist.owner(m, k);
+      if (std::find(col_group.begin(), col_group.end(), o) == col_group.end())
+        col_group.push_back(o);
+    }
+    bsp.broadcast(dist.owner(k, k), tile_bytes, col_group);
+
+    // The panel factorization itself proceeds column by column with a
+    // synchronous broadcast per column inside the panel (the classic
+    // latency term of right-looking BSP factorizations). Everyone waits
+    // for it at the next barrier.
+    if (nranks > 1) {
+      const double panel_lat =
+          bs * 2.0 *
+          std::ceil(std::log2(static_cast<double>(std::max(2, dist.Q)))) *
+          machine.net_latency;
+      std::vector<double> lat_phase(static_cast<std::size_t>(nranks), panel_lat);
+      bsp.compute_phase(lat_phase);
+    }
+
+    // --- phase 3: panel TRSMs, list-scheduled per rank ---
+    std::vector<std::vector<double>> trsm_tasks(static_cast<std::size_t>(nranks));
+    for (int m = k + 1; m < nt; ++m) {
+      trsm_tasks[static_cast<std::size_t>(dist.owner(m, k))].push_back(
+          linalg::trsm_time(machine, tile_rows(m), tile_rows(k)));
+    }
+    std::fill(phase.begin(), phase.end(), 0.0);
+    for (int r = 0; r < nranks; ++r) {
+      phase[static_cast<std::size_t>(r)] =
+          rt::BspExecutor::list_schedule(trsm_tasks[static_cast<std::size_t>(r)],
+                                         bsp.workers());
+      panel_time = std::max(panel_time, phase[static_cast<std::size_t>(r)]);
+    }
+    bsp.compute_phase(phase);
+
+    // --- phase 4: broadcast the panel along rows and columns ---
+    // Per rank, the bytes it must receive: one panel tile per distinct tile
+    // row / tile column it owns in the trailing submatrix.
+    std::fill(phase.begin(), phase.end(), 0.0);
+    const int trailing = nt - k - 1;
+    for (int r = 0; r < nranks; ++r) {
+      const int rows_here = (trailing + dist.P - 1) / dist.P;
+      const int cols_here = (trailing + dist.Q - 1) / dist.Q;
+      const std::size_t recv_bytes =
+          static_cast<std::size_t>(rows_here + cols_here) * tile_bytes;
+      phase[static_cast<std::size_t>(r)] =
+          machine.net_latency * 2 + machine.wire_time(recv_bytes);
+    }
+    bsp.compute_phase(phase);
+
+    // --- phase 5: trailing update (SYRK on diagonal, GEMM elsewhere) ---
+    std::vector<std::vector<double>> upd_tasks(static_cast<std::size_t>(nranks));
+    for (int m = k + 1; m < nt; ++m) {
+      upd_tasks[static_cast<std::size_t>(dist.owner(m, m))].push_back(
+          linalg::syrk_time(machine, tile_rows(m), tile_rows(k)));
+      for (int nn = k + 1; nn < m; ++nn) {
+        upd_tasks[static_cast<std::size_t>(dist.owner(m, nn))].push_back(
+            linalg::gemm_time(machine, tile_rows(m), tile_rows(nn), tile_rows(k)));
+      }
+    }
+    std::fill(phase.begin(), phase.end(), 0.0);
+    double update_time = 0.0;
+    for (int r = 0; r < nranks; ++r) {
+      phase[static_cast<std::size_t>(r)] =
+          kBspTailFactor * rt::BspExecutor::list_schedule(
+                               upd_tasks[static_cast<std::size_t>(r)], bsp.workers());
+      update_time = std::max(update_time, phase[static_cast<std::size_t>(r)]);
+    }
+
+    bsp.compute_phase(phase);
+    if (variant == BspVariant::Slate) {
+      // Lookahead 1: part of the panel work (POTRF + TRSM) of this
+      // iteration overlaps the *previous* trailing update. The clocks are
+      // monotone, so account the overlap as a credit subtracted at the
+      // end; the 0.7 factor reflects that the lookahead column competes
+      // with the update for the same cores.
+      slate_credit += 0.7 * std::min(prev_update_credit, panel_time);
+      prev_update_credit = update_time;
+    }
+  }
+
+  BspCholeskyResult res;
+  res.makespan = bsp.now() - slate_credit;
+  res.gflops = apps::cholesky::flop_count(n) / res.makespan / 1e9;
+  return res;
+}
+
+}  // namespace ttg::baselines

@@ -1,0 +1,39 @@
+// ScaLAPACK-like and SLATE-like tiled Cholesky comparators.
+//
+// Figure 5/6 of the paper shows "a clear separation between two sets of
+// scalability trends": ScaLAPACK and SLATE grow slowly because of "the
+// sequentiality induced by the compute flow in the Cholesky algorithm
+// without lookahead implemented in these two libraries", while the
+// task-based versions (TTG, DPLASMA, Chameleon) exploit the full tile-level
+// parallelism. We model the two BSP libraries at exactly that level:
+//
+//   ScaLAPACK-like: per iteration k — factor the diagonal tile, broadcast
+//   the panel, panel solve, broadcast row/column panels, trailing update,
+//   with a barrier after every phase and no inter-iteration overlap.
+//
+//   SLATE-like: same bulk-synchronous structure but with lookahead depth 1:
+//   the trailing update of iteration k overlaps the panel work of k+1
+//   (SLATE's column lookahead), and slightly better node-level threading.
+//
+// Kernel times and communication use the same machine model as the
+// event-driven runtimes, so GFLOP/s numbers are directly comparable.
+#pragma once
+
+#include "linalg/dist.hpp"
+#include "runtime/bsp.hpp"
+
+namespace ttg::baselines {
+
+enum class BspVariant { ScaLapack, Slate };
+
+struct BspCholeskyResult {
+  double makespan = 0.0;
+  double gflops = 0.0;
+};
+
+/// Simulate a tiled Cholesky of an n x n matrix in bs x bs tiles over
+/// `nranks` nodes of `machine`.
+BspCholeskyResult run_bsp_cholesky(const sim::MachineModel& machine, int nranks, int n,
+                                   int bs, BspVariant variant);
+
+}  // namespace ttg::baselines

@@ -1,0 +1,30 @@
+// Chameleon/StarPU-like tiled Cholesky comparator.
+//
+// Chameleon runs the same tiled algorithm (same DAG, same potential
+// parallelism) over StarPU. The paper observes it "slightly trails behind
+// the TTG and DPLASMA despite having the same potential parallelism",
+// attributing the gap to "a more efficient communication substrate in
+// PaRSEC, including the collective communication". We model Chameleon as
+// the same task graph executed with StarPU's communication profile:
+//
+//   * no rank-coalesced broadcast — a tile sent to r tasks on one remote
+//     rank crosses the wire r times (MPI point-to-point per dependence);
+//   * no one-sided split-metadata path (plain MPI sends with staging
+//     copies);
+//   * higher per-message software overhead (StarPU/MPI progression).
+#pragma once
+
+#include "apps/cholesky/cholesky_ttg.hpp"
+
+namespace ttg::baselines {
+
+/// World configuration implementing the StarPU-like communication profile.
+[[nodiscard]] rt::WorldConfig chameleon_profile(const sim::MachineModel& machine,
+                                                int nranks);
+
+/// Run tiled Cholesky with the Chameleon profile.
+apps::cholesky::Result run_chameleon_cholesky(const sim::MachineModel& machine,
+                                              int nranks,
+                                              const linalg::TiledMatrix& a);
+
+}  // namespace ttg::baselines

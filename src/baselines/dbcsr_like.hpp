@@ -1,0 +1,32 @@
+// DBCSR-like 2.5D SUMMA comparator (Section III-D).
+//
+// DBCSR (the block-sparse engine of CP2K) implements a 2.5D
+// communication-reducing SUMMA: with replication factor c, the P processes
+// form a sqrt(P/c) x sqrt(P/c) x c grid; A and B panels are broadcast
+// within smaller rows/columns and partial C results are reduced across the
+// c layers. The paper: "The 2.5D SUMMA algorithm implemented in DBCSR
+// continues to scale due to its ability to leverage greater cross-section
+// bandwidth compared to the 2D SUMMA variant that was implemented in TTG."
+//
+// We model it analytically over the same machine parameters: per-rank
+// compute F/P, per-rank communication volume ~ S / sqrt(P c), bisection
+// floor from the total cross traffic (reduced by sqrt(c)), and the layer
+// reduction of C. The replication factor is auto-tuned like DBCSR does.
+#pragma once
+
+#include "sim/machine.hpp"
+#include "sparse/block_sparse.hpp"
+
+namespace ttg::baselines {
+
+struct DbcsrResult {
+  double makespan = 0.0;
+  double gflops = 0.0;
+  int replication = 1;  ///< the chosen c
+};
+
+DbcsrResult run_dbcsr(const sim::MachineModel& machine, int nranks,
+                      const sparse::BlockSparseMatrix& a,
+                      const sparse::BlockSparseMatrix& b);
+
+}  // namespace ttg::baselines

@@ -1,0 +1,34 @@
+// DPLASMA-like tiled Cholesky: a Parameterized Task Graph executor.
+//
+// DPLASMA expresses the tiled Cholesky as a PTG running natively on
+// PaRSEC: the DAG is never discovered dynamically — every task's
+// dependences are algebraic functions of its (m, n, k) parameters, so each
+// process activates exactly its own tasks by counting satisfied
+// dependences. This file implements that executor directly on the
+// simulator's Scheduler + CommEngine, bypassing the TTG layer entirely:
+// per-rank dependence counters, a per-rank tile store, rank-deduplicated
+// data propagation using the PaRSEC one-sided (split-metadata-equivalent)
+// transfer. In the paper's Figs. 5-6, DPLASMA and TTG-over-PaRSEC are the
+// two nearly-overlapping top curves; the residual difference is the TTG
+// layer's dynamic task-matching overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix_gen.hpp"
+#include "runtime/world.hpp"
+
+namespace ttg::baselines {
+
+struct DplasmaResult {
+  double makespan = 0.0;
+  double gflops = 0.0;
+  std::uint64_t tasks = 0;
+  linalg::TiledMatrix matrix;  ///< factored L if collect was requested
+};
+
+/// Factor `a` with the PTG executor over `nranks` simulated nodes.
+DplasmaResult run_dplasma_cholesky(const sim::MachineModel& machine, int nranks,
+                                   const linalg::TiledMatrix& a, bool collect = false);
+
+}  // namespace ttg::baselines

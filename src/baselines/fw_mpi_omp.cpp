@@ -1,0 +1,109 @@
+#include "baselines/fw_mpi_omp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+#include "support/error.hpp"
+
+namespace ttg::baselines {
+
+namespace {
+// OpenMP task spawn + sync cost per recursive subtask.
+constexpr double kOmpTaskOverhead = 2.0e-6;
+
+/// Node-level fork-join execution time of `flops` min-plus work split into
+/// (s/bs)^2-ish subtasks per wave of the recursive decomposition.
+double forkjoin_time(const sim::MachineModel& m, double flops, int s, int bs,
+                     int workers) {
+  const int tiles_per_dim = std::max(1, s / bs);
+  // Artificial dependencies of the two-way recursive divide-and-conquer:
+  // only a fraction of the tile wavefront is simultaneously available.
+  const double avail = std::max(1.0, tiles_per_dim * tiles_per_dim / 4.0);
+  const double parallelism = std::min<double>(workers, avail);
+  const double compute =
+      flops / (m.core_gflops * 1e9 * linalg::kMinplusEff * parallelism);
+  const double ntasks = std::pow(static_cast<double>(tiles_per_dim), 3);
+  const double overhead = ntasks * kOmpTaskOverhead / workers;
+  return compute + overhead;
+}
+}  // namespace
+
+bool fw_mpi_omp_supports(int nranks) {
+  if (nranks == 1) return true;
+  const int r = static_cast<int>(std::lround(std::sqrt(static_cast<double>(nranks))));
+  return r * r == nranks && nranks % 2 == 0;
+}
+
+FwMpiOmpResult run_fw_mpi_omp(const sim::MachineModel& machine, int nranks, int n,
+                              int bs) {
+  TTG_REQUIRE(fw_mpi_omp_supports(nranks),
+              "MPI+OpenMP FW requires a square, even process count");
+  const int grid = static_cast<int>(std::lround(std::sqrt(static_cast<double>(nranks))));
+  const int s = (n + grid - 1) / grid;  // super-tile size per process
+  rt::BspExecutor bsp(machine, nranks);
+  const std::size_t super_bytes = static_cast<std::size_t>(s) * s * sizeof(double);
+
+  auto owner = [grid](int r, int c) { return r * grid + c; };
+
+  for (int k = 0; k < grid; ++k) {
+    // --- A phase: diagonal super-tile, fork-join FW on its owner ---
+    std::vector<double> phase(static_cast<std::size_t>(nranks), 0.0);
+    phase[static_cast<std::size_t>(owner(k, k))] =
+        forkjoin_time(machine, linalg::flops::minplus(s, s, s), s, bs, bsp.workers());
+    bsp.compute_phase(phase);
+
+    // --- broadcast the diagonal super-tile along row k and column k ---
+    std::vector<int> row_group, col_group;
+    for (int c = 0; c < grid; ++c) row_group.push_back(owner(k, c));
+    for (int r = 0; r < grid; ++r) col_group.push_back(owner(r, k));
+    bsp.broadcast(owner(k, k), super_bytes, row_group);
+    bsp.broadcast(owner(k, k), super_bytes, col_group);
+
+    // --- B/C phase: row and column panels, fork-join per owner ---
+    std::fill(phase.begin(), phase.end(), 0.0);
+    for (int c = 0; c < grid; ++c)
+      if (c != k)
+        phase[static_cast<std::size_t>(owner(k, c))] += forkjoin_time(
+            machine, linalg::flops::minplus(s, s, s), s, bs, bsp.workers());
+    for (int r = 0; r < grid; ++r)
+      if (r != k)
+        phase[static_cast<std::size_t>(owner(r, k))] += forkjoin_time(
+            machine, linalg::flops::minplus(s, s, s), s, bs, bsp.workers());
+    bsp.compute_phase(phase);
+
+    // --- exchange of super-tiles along rows and columns (MPI_Bcast) ---
+    for (int c = 0; c < grid; ++c) {
+      if (c == k) continue;
+      bsp.broadcast(owner(k, c), super_bytes, [&] {
+        std::vector<int> g;
+        for (int r = 0; r < grid; ++r) g.push_back(owner(r, c));
+        return g;
+      }());
+    }
+    for (int r = 0; r < grid; ++r) {
+      if (r == k) continue;
+      bsp.broadcast(owner(r, k), super_bytes, [&] {
+        std::vector<int> g;
+        for (int c = 0; c < grid; ++c) g.push_back(owner(r, c));
+        return g;
+      }());
+    }
+
+    // --- D phase: every interior super-tile, fork-join per owner ---
+    std::fill(phase.begin(), phase.end(), 0.0);
+    for (int r = 0; r < grid; ++r)
+      for (int c = 0; c < grid; ++c)
+        if (r != k && c != k)
+          phase[static_cast<std::size_t>(owner(r, c))] = forkjoin_time(
+              machine, linalg::flops::minplus(s, s, s), s, bs, bsp.workers());
+    bsp.compute_phase(phase);
+  }
+
+  FwMpiOmpResult res;
+  res.makespan = bsp.now();
+  res.gflops = 2.0 * n * n * n / res.makespan / 1e9;
+  return res;
+}
+
+}  // namespace ttg::baselines

@@ -1,0 +1,39 @@
+// MPI+OpenMP recursive multi-level tiled FW-APSP comparator
+// (Javanmard et al., referenced in Section III-C of the paper).
+//
+// The comparator distributes the adjacency matrix as one super-tile per
+// process on a square process grid (the implementation "puts significant
+// constraints on the available process configurations by requiring process
+// numbers that are both square and multiples of 2"), exchanges super-tiles
+// along rows and columns with MPI broadcasts each round, and applies the
+// kernels to recursive sub-tiles with OpenMP tasks.
+//
+// The paper attributes its deficit to fork-join execution: "a data-flow
+// implementation outperforms its fork-join counterpart when, due to
+// artificial dependencies, the fork-join implementation fails to generate
+// enough subtasks to keep all processors busy". We model the node-level
+// fork-join with (a) a parallelism cap from the recursive dependency
+// structure, (b) a per-subtask OpenMP spawn overhead that grows as the
+// block size shrinks, and (c) barriers between the A, B/C, and D phases of
+// every round.
+#pragma once
+
+#include "runtime/bsp.hpp"
+
+namespace ttg::baselines {
+
+struct FwMpiOmpResult {
+  double makespan = 0.0;
+  double gflops = 0.0;
+};
+
+/// True if this process count is accepted by the comparator (square and a
+/// multiple of 2, or 1).
+[[nodiscard]] bool fw_mpi_omp_supports(int nranks);
+
+/// Simulate the MPI+OpenMP recursive FW on an n x n matrix with inner block
+/// size `bs` over `nranks` nodes.
+FwMpiOmpResult run_fw_mpi_omp(const sim::MachineModel& machine, int nranks, int n,
+                              int bs);
+
+}  // namespace ttg::baselines

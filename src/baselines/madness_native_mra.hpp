@@ -1,0 +1,46 @@
+// Native-MADNESS MRA comparator (Section III-E).
+//
+// "The native MADNESS implementation computes on each tree in parallel,
+// but there is an explicit barrier after each computational step
+// (projection, compression, reconstruction, norm) as the in-memory data
+// structure is completed." We reproduce that execution model on the
+// MADNESS-like backend: each step runs as its own flowgraph to quiescence
+// (a fence is a global barrier), the explicit tree is materialized between
+// steps (charged as a re-allocation copy of every node's coefficients on
+// its owner), and the norm is a separate reduction step. The math and the
+// adaptive trees are identical to the TTG pipeline — only the
+// synchronization structure and data-structure handling differ, which is
+// exactly the comparison the paper makes in Fig. 13.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "mra/function_tree.hpp"
+#include "runtime/world.hpp"
+
+namespace ttg::baselines {
+
+struct NativeMraOptions {
+  double tol = 1e-8;
+  int max_level = 16;
+  int rand_level = 2;
+  /// Skip compress/reconstruct arithmetic (bench mode; see
+  /// apps::mra::Options::light_math). Norms are not computed.
+  bool light_math = false;
+};
+
+struct NativeMraResult {
+  double makespan = 0.0;
+  std::uint64_t tree_nodes = 0;
+  std::map<int, double> norm2_compressed;
+  std::map<int, double> norm2_reconstructed;
+};
+
+/// Run project / compress / reconstruct / norm as four barrier-separated
+/// steps. The world should use the MADNESS backend for the paper's
+/// configuration, but any backend works.
+NativeMraResult run_native_mra(rt::World& world, const ttg::mra::MraContext& ctx,
+                               const NativeMraOptions& opt = {});
+
+}  // namespace ttg::baselines

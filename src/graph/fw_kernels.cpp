@@ -1,0 +1,65 @@
+#include "graph/fw_kernels.hpp"
+
+#include <algorithm>
+
+#include "linalg/kernels.hpp"
+
+namespace ttg::graph {
+
+using linalg::Tile;
+
+void fw_a(Tile& w) {
+  TTG_CHECK(w.rows() == w.cols(), "fw_a needs a square tile");
+  if (w.is_ghost()) {
+    w.set_signature(linalg::combine_sig(w.signature(), 0, /*tag=*/10));
+    return;
+  }
+  const int n = w.rows();
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j) {
+      const double wkj = w(k, j);
+      for (int i = 0; i < n; ++i) w(i, j) = std::min(w(i, j), w(i, k) + wkj);
+    }
+}
+
+void fw_b(Tile& w, const Tile& a) {
+  TTG_CHECK(a.rows() == a.cols() && a.cols() == w.rows(), "fw_b shape mismatch");
+  if (w.is_ghost() || a.is_ghost()) {
+    w.set_signature(linalg::combine_sig(w.signature(), a.signature(), /*tag=*/11));
+    return;
+  }
+  const int b = a.rows();
+  const int n = w.cols();
+  // vias run over the diagonal tile; row k' of w updates in place and is
+  // visible to later vias.
+  for (int k = 0; k < b; ++k)
+    for (int j = 0; j < n; ++j) {
+      const double wkj = w(k, j);
+      for (int i = 0; i < b; ++i) w(i, j) = std::min(w(i, j), a(i, k) + wkj);
+    }
+}
+
+void fw_c(Tile& w, const Tile& a) {
+  TTG_CHECK(a.rows() == a.cols() && a.rows() == w.cols(), "fw_c shape mismatch");
+  if (w.is_ghost() || a.is_ghost()) {
+    w.set_signature(linalg::combine_sig(w.signature(), a.signature(), /*tag=*/12));
+    return;
+  }
+  const int b = a.rows();
+  const int m = w.rows();
+  for (int k = 0; k < b; ++k)
+    for (int j = 0; j < b; ++j) {
+      const double akj = a(k, j);
+      for (int i = 0; i < m; ++i) w(i, j) = std::min(w(i, j), w(i, k) + akj);
+    }
+}
+
+void fw_d(Tile& w, const Tile& col, const Tile& row) {
+  linalg::minplus(w, col, row);
+}
+
+double fw_time(const sim::MachineModel& machine, int m, int n, int b) {
+  return linalg::minplus_time(machine, m, n, b);
+}
+
+}  // namespace ttg::graph

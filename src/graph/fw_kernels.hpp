@@ -1,0 +1,38 @@
+// Floyd-Warshall tile kernels A/B/C/D (Fig. 7 of the paper).
+//
+// In the single-level tiled FW-APSP algorithm, round k updates every tile
+// using tile row k and tile column k as "via" paths:
+//
+//   A : the diagonal tile (k,k) runs a self-dependent FW over its own vias;
+//   B : row-panel tile (k,j) updates in place against the finished A tile;
+//   C : column-panel tile (i,k) updates in place against the A tile;
+//   D : interior tile (i,j) takes one min-plus product of the finished
+//       C tile (i,k) and B tile (k,j).
+//
+// A/B/C are order-sensitive (each via row/column must see earlier updates),
+// so they are dedicated loops rather than plain min-plus products. Ghost
+// tiles combine signatures as usual.
+#pragma once
+
+#include "linalg/tile.hpp"
+#include "sim/machine.hpp"
+
+namespace ttg::graph {
+
+/// Kernel A: in-place FW of the diagonal tile.
+void fw_a(linalg::Tile& w);
+
+/// Kernel B: row panel W(k,j) := FW-update via diagonal tile `a` (left).
+void fw_b(linalg::Tile& w, const linalg::Tile& a);
+
+/// Kernel C: column panel W(i,k) := FW-update via diagonal tile `a` (right).
+void fw_c(linalg::Tile& w, const linalg::Tile& a);
+
+/// Kernel D: interior tile W(i,j) := min(W, col ⊕ row) — a min-plus product
+/// with the finished column tile (i,k) and row tile (k,j).
+void fw_d(linalg::Tile& w, const linalg::Tile& col, const linalg::Tile& row);
+
+/// Virtual duration of any FW kernel on an m x n tile with b vias.
+[[nodiscard]] double fw_time(const sim::MachineModel& machine, int m, int n, int b);
+
+}  // namespace ttg::graph

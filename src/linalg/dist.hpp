@@ -1,0 +1,33 @@
+// 2D block-cyclic data distribution.
+//
+// All dense/tiled applications in the paper (POTRF, FW-APSP, bspmm) place
+// tile (i, j) on the rank at position (i mod P, j mod Q) of a P x Q process
+// grid — the classic ScaLAPACK layout. The TTG apps install this as the
+// keymap of every tile-indexed task template.
+#pragma once
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ttg::linalg {
+
+struct BlockCyclic2D {
+  int P = 1;  ///< process grid rows
+  int Q = 1;  ///< process grid cols
+
+  /// Owning rank of tile (i, j).
+  [[nodiscard]] int owner(int i, int j) const { return (i % P) * Q + (j % Q); }
+
+  [[nodiscard]] int nranks() const { return P * Q; }
+
+  /// Near-square grid for `nranks` processes (P <= Q, P*Q == nranks).
+  static BlockCyclic2D make(int nranks) {
+    TTG_CHECK(nranks >= 1, "need at least one rank");
+    int p = static_cast<int>(std::sqrt(static_cast<double>(nranks)));
+    while (nranks % p != 0) --p;
+    return BlockCyclic2D{p, nranks / p};
+  }
+};
+
+}  // namespace ttg::linalg

@@ -1,0 +1,170 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/hash.hpp"
+
+namespace ttg::linalg {
+
+namespace flops {
+double potrf(int n) { return n / 3.0 * n * n; }
+double trsm(int m, int n) { return static_cast<double>(m) * n * n; }
+double syrk(int n, int k) { return static_cast<double>(n) * n * k; }
+double gemm(int m, int n, int k) { return 2.0 * m * n * k; }
+double minplus(int m, int n, int k) { return 2.0 * m * n * k; }
+}  // namespace flops
+
+double potrf_time(const sim::MachineModel& m, int n) {
+  return m.flops_time(flops::potrf(n), kPotrfEff);
+}
+double trsm_time(const sim::MachineModel& m, int rows, int n) {
+  return m.flops_time(flops::trsm(rows, n), kTrsmEff);
+}
+double syrk_time(const sim::MachineModel& m, int n, int k) {
+  return m.flops_time(flops::syrk(n, k), kSyrkEff);
+}
+double gemm_time(const sim::MachineModel& m, int rows, int cols, int k) {
+  return m.flops_time(flops::gemm(rows, cols, k), kGemmEff);
+}
+double minplus_time(const sim::MachineModel& m, int rows, int cols, int k) {
+  return m.flops_time(flops::minplus(rows, cols, k), kMinplusEff);
+}
+
+std::uint64_t combine_sig(std::uint64_t a, std::uint64_t b, std::uint64_t tag) {
+  std::uint64_t h = tag;
+  support::hash_combine(h, a);
+  support::hash_combine(h, b);
+  return h;
+}
+
+bool potrf(Tile& a) {
+  TTG_CHECK(a.rows() == a.cols(), "potrf needs a square tile");
+  if (a.is_ghost()) {
+    a.set_signature(combine_sig(a.signature(), 0, /*tag=*/1));
+    return true;
+  }
+  const int n = a.rows();
+  for (int j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (int k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (int k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+    for (int i = 0; i < j; ++i) a(i, j) = 0.0;  // zero strict upper
+  }
+  return true;
+}
+
+void trsm(const Tile& lkk, Tile& amk) {
+  TTG_CHECK(lkk.rows() == lkk.cols(), "trsm triangle must be square");
+  TTG_CHECK(amk.cols() == lkk.rows(), "trsm shape mismatch");
+  if (lkk.is_ghost() || amk.is_ghost()) {
+    amk.set_signature(combine_sig(amk.signature(), lkk.signature(), /*tag=*/2));
+    return;
+  }
+  const int m = amk.rows();
+  const int n = amk.cols();
+  // Solve X L^T = A for X, column by column of X:
+  // x(:,k) = (a(:,k) - sum_{j<k} x(:,j) L(k,j)) / L(k,k).
+  for (int k = 0; k < n; ++k) {
+    const double lkk_kk = lkk(k, k);
+    for (int j = 0; j < k; ++j) {
+      const double lkj = lkk(k, j);
+      if (lkj == 0.0) continue;
+      for (int i = 0; i < m; ++i) amk(i, k) -= amk(i, j) * lkj;
+    }
+    for (int i = 0; i < m; ++i) amk(i, k) /= lkk_kk;
+  }
+}
+
+void syrk(const Tile& a, Tile& c) {
+  TTG_CHECK(c.rows() == c.cols(), "syrk target must be square");
+  TTG_CHECK(a.rows() == c.rows(), "syrk shape mismatch");
+  if (a.is_ghost() || c.is_ghost()) {
+    c.set_signature(combine_sig(c.signature(), a.signature(), /*tag=*/3));
+    return;
+  }
+  const int n = c.rows();
+  const int k = a.cols();
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {  // lower triangle
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) s += a(i, p) * a(j, p);
+      c(i, j) -= s;
+      if (i != j) c(j, i) -= s;  // keep the tile symmetric
+    }
+  }
+}
+
+void gemm_nt(Tile& c, const Tile& a, const Tile& b) {
+  TTG_CHECK(a.rows() == c.rows() && b.rows() == c.cols() && a.cols() == b.cols(),
+            "gemm_nt shape mismatch");
+  if (c.is_ghost() || a.is_ghost() || b.is_ghost()) {
+    c.set_signature(
+        combine_sig(c.signature(), combine_sig(a.signature(), b.signature(), 4), 4));
+    return;
+  }
+  const int m = c.rows();
+  const int n = c.cols();
+  const int kk = a.cols();
+  for (int j = 0; j < n; ++j)
+    for (int p = 0; p < kk; ++p) {
+      const double bjp = b(j, p);
+      if (bjp == 0.0) continue;
+      for (int i = 0; i < m; ++i) c(i, j) -= a(i, p) * bjp;
+    }
+}
+
+void gemm_nn_acc(Tile& c, const Tile& a, const Tile& b) {
+  TTG_CHECK(a.rows() == c.rows() && b.cols() == c.cols() && a.cols() == b.rows(),
+            "gemm_nn shape mismatch");
+  if (c.is_ghost() || a.is_ghost() || b.is_ghost()) {
+    c.set_signature(
+        combine_sig(c.signature(), combine_sig(a.signature(), b.signature(), 5), 5));
+    return;
+  }
+  const int m = c.rows();
+  const int n = c.cols();
+  const int kk = a.cols();
+  for (int j = 0; j < n; ++j)
+    for (int p = 0; p < kk; ++p) {
+      const double bpj = b(p, j);
+      if (bpj == 0.0) continue;
+      for (int i = 0; i < m; ++i) c(i, j) += a(i, p) * bpj;
+    }
+}
+
+void minplus(Tile& w, const Tile& a, const Tile& b) {
+  TTG_CHECK(a.rows() == w.rows() && b.cols() == w.cols() && a.cols() == b.rows(),
+            "minplus shape mismatch");
+  if (w.is_ghost() || a.is_ghost() || b.is_ghost()) {
+    w.set_signature(
+        combine_sig(w.signature(), combine_sig(a.signature(), b.signature(), 6), 6));
+    return;
+  }
+  const int m = w.rows();
+  const int n = w.cols();
+  const int kk = a.cols();
+  for (int j = 0; j < n; ++j)
+    for (int p = 0; p < kk; ++p) {
+      const double bpj = b(p, j);
+      for (int i = 0; i < m; ++i) w(i, j) = std::min(w(i, j), a(i, p) + bpj);
+    }
+}
+
+void tile_add(Tile& a, const Tile& b) {
+  TTG_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "tile_add shape mismatch");
+  if (a.is_ghost() || b.is_ghost()) {
+    a.set_signature(combine_sig(a.signature(), b.signature(), /*tag=*/7));
+    return;
+  }
+  for (std::size_t i = 0; i < a.data().size(); ++i) a.data()[i] += b.data()[i];
+}
+
+}  // namespace ttg::linalg

@@ -1,0 +1,81 @@
+// Tiled matrices and deterministic problem generators.
+//
+// TiledMatrix is the host-side container the examples/tests/benches use to
+// stage input data and collect results; inside a TTG run, tiles are
+// injected per-owner through INITIATOR nodes and travel as messages. The
+// generators produce the paper's workloads: symmetric positive-definite
+// matrices for POTRF, random directed-graph adjacency matrices (with +inf
+// for absent edges) for FW-APSP, and ghost variants of both for at-scale
+// benches.
+#pragma once
+
+#include <vector>
+
+#include "linalg/tile.hpp"
+#include "support/rng.hpp"
+
+namespace ttg::linalg {
+
+/// "Infinite" edge weight for Floyd-Warshall.
+inline constexpr double kInf = 1.0e30;
+
+/// Square matrix of square tiles (last row/col of tiles may be smaller).
+class TiledMatrix {
+ public:
+  TiledMatrix() = default;
+  /// n x n matrix in bs x bs tiles, zero-initialized real tiles. Pass
+  /// allocate = false for a structure-only shell (tiles default-constructed
+  /// empty, to be assigned later) — ghost matrices and result collectors
+  /// use this to avoid materializing n^2 doubles.
+  explicit TiledMatrix(int n, int bs, bool allocate = true);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int block() const { return bs_; }
+  [[nodiscard]] int ntiles() const { return nt_; }
+  /// Row count of tile row i (handles the ragged last tile).
+  [[nodiscard]] int tile_rows(int i) const;
+
+  [[nodiscard]] Tile& tile(int i, int j);
+  [[nodiscard]] const Tile& tile(int i, int j) const;
+
+  /// Assemble into one dense tile (tests).
+  [[nodiscard]] Tile to_dense() const;
+  /// Cut a dense tile into this tiling.
+  static TiledMatrix from_dense(const Tile& dense, int bs);
+
+  /// Max |a - b| over all elements.
+  [[nodiscard]] double max_abs_diff(const TiledMatrix& other) const;
+
+ private:
+  int n_ = 0;
+  int bs_ = 0;
+  int nt_ = 0;
+  std::vector<Tile> tiles_;
+};
+
+/// Uniform random tile in [lo, hi).
+[[nodiscard]] Tile random_tile(support::Rng& rng, int rows, int cols, double lo = -1.0,
+                               double hi = 1.0);
+
+/// Dense symmetric positive-definite matrix: B B^T + n I.
+[[nodiscard]] Tile random_spd_dense(support::Rng& rng, int n);
+
+/// SPD matrix cut into bs x bs tiles.
+[[nodiscard]] TiledMatrix random_spd(support::Rng& rng, int n, int bs);
+
+/// Random directed-graph adjacency matrix for FW: edge (i, j) present with
+/// probability `density` and weight in [1, 10); absent edges are kInf;
+/// diagonal is 0.
+[[nodiscard]] TiledMatrix random_adjacency(support::Rng& rng, int n, int bs,
+                                           double density = 0.3);
+
+/// Ghost tiling of an n x n matrix: tiles carry dims + distinct signatures.
+[[nodiscard]] TiledMatrix ghost_matrix(int n, int bs);
+
+/// Reference dense Cholesky (calls the tile kernel on the assembled matrix).
+[[nodiscard]] Tile dense_cholesky(const Tile& spd);
+
+/// Reference Floyd-Warshall on a dense adjacency tile (O(n^3) scalar loop).
+[[nodiscard]] Tile dense_fw(const Tile& adj);
+
+}  // namespace ttg::linalg

@@ -1,0 +1,24 @@
+#include "linalg/tile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ttg::linalg {
+
+double Tile::norm() const {
+  TTG_CHECK(!ghost_, "norm of ghost tile");
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Tile::max_abs_diff(const Tile& other) const {
+  TTG_CHECK(!ghost_ && !other.ghost_, "diff of ghost tiles");
+  TTG_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  return m;
+}
+
+}  // namespace ttg::linalg

@@ -1,0 +1,54 @@
+#include "mra/legendre.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ttg::mra {
+
+void legendre(double x, int k, double* p) {
+  if (k <= 0) return;
+  p[0] = 1.0;
+  if (k == 1) return;
+  p[1] = x;
+  for (int j = 1; j + 1 < k; ++j) {
+    p[j + 1] = ((2 * j + 1) * x * p[j] - j * p[j - 1]) / (j + 1);
+  }
+}
+
+void scaling_functions(double x, int k, double* phi) {
+  legendre(2.0 * x - 1.0, k, phi);
+  for (int j = 0; j < k; ++j) phi[j] *= std::sqrt(2.0 * j + 1.0);
+}
+
+Quadrature gauss_legendre(int n) {
+  TTG_CHECK(n >= 1, "quadrature needs at least one point");
+  Quadrature q;
+  q.x.resize(static_cast<std::size_t>(n));
+  q.w.resize(static_cast<std::size_t>(n));
+  // Roots of P_n on [-1,1] via Newton from Chebyshev initial guesses.
+  std::vector<double> p(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i < n; ++i) {
+    double x = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    for (int iter = 0; iter < 100; ++iter) {
+      legendre(x, n + 1, p.data());
+      // derivative: P'_n(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+      const double dp = n * (x * p[static_cast<std::size_t>(n)] -
+                             p[static_cast<std::size_t>(n) - 1]) /
+                        (x * x - 1.0);
+      const double dx = p[static_cast<std::size_t>(n)] / dp;
+      x -= dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    legendre(x, n + 1, p.data());
+    const double dp = n * (x * p[static_cast<std::size_t>(n)] -
+                           p[static_cast<std::size_t>(n) - 1]) /
+                      (x * x - 1.0);
+    // Map [-1,1] -> [0,1]: node (x+1)/2, weight w/2.
+    q.x[static_cast<std::size_t>(i)] = 0.5 * (x + 1.0);
+    q.w[static_cast<std::size_t>(i)] = 1.0 / ((1.0 - x * x) * dp * dp);
+  }
+  return q;
+}
+
+}  // namespace ttg::mra

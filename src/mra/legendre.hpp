@@ -1,0 +1,29 @@
+// Legendre polynomials and Gauss-Legendre quadrature on [0, 1].
+//
+// The multiresolution analysis (MRA) benchmark of Section III-E represents
+// functions in the multiwavelet basis of Alpert: on each dyadic box, the
+// scaling space is spanned by the first k normalized Legendre polynomials.
+// This header provides the 1D machinery: orthonormal scaling functions
+// phi_j(x) = sqrt(2j+1) P_j(2x - 1) on [0,1], and Gauss-Legendre nodes /
+// weights (computed by Newton iteration on P_n) used both for projecting
+// user functions and for assembling the two-scale filter matrices.
+#pragma once
+
+#include <vector>
+
+namespace ttg::mra {
+
+/// Evaluate P_0..P_{k-1} (standard Legendre on [-1,1]) at x.
+void legendre(double x, int k, double* p);
+
+/// Evaluate the orthonormal scaling functions phi_0..phi_{k-1} on [0,1].
+void scaling_functions(double x, int k, double* phi);
+
+/// Gauss-Legendre quadrature rule with n points, mapped to [0, 1].
+struct Quadrature {
+  std::vector<double> x;  ///< nodes in (0,1)
+  std::vector<double> w;  ///< weights summing to 1
+};
+[[nodiscard]] Quadrature gauss_legendre(int n);
+
+}  // namespace ttg::mra

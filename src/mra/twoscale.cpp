@@ -1,0 +1,99 @@
+#include "mra/twoscale.hpp"
+
+#include <cmath>
+
+#include "mra/legendre.hpp"
+#include "support/error.hpp"
+
+namespace ttg::mra {
+
+TwoScale::TwoScale(int k) : k_(k) {
+  TTG_CHECK(k >= 1 && k <= 20, "unsupported multiwavelet order");
+  // Assemble H0/H1 by Gauss-Legendre quadrature exact for degree 2k-2.
+  const auto q = gauss_legendre(2 * k);
+  h_[0].assign(static_cast<std::size_t>(k) * k, 0.0);
+  h_[1].assign(static_cast<std::size_t>(k) * k, 0.0);
+  std::vector<double> phi_parent(static_cast<std::size_t>(k));
+  std::vector<double> phi_child(static_cast<std::size_t>(k));
+  const double sqrt2 = std::sqrt(2.0);
+  for (std::size_t p = 0; p < q.x.size(); ++p) {
+    const double y = q.x[p];  // child-local coordinate in [0,1]
+    const double w = q.w[p];
+    scaling_functions(y, k, phi_child.data());
+    for (int c = 0; c < 2; ++c) {
+      const double x = 0.5 * (y + c);  // parent coordinate
+      scaling_functions(x, k, phi_parent.data());
+      for (int i = 0; i < k; ++i)
+        for (int j = 0; j < k; ++j)
+          h_[c][static_cast<std::size_t>(i) * k + j] +=
+              0.5 * w * phi_parent[static_cast<std::size_t>(i)] * sqrt2 *
+              phi_child[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+std::vector<double> TwoScale::apply_tensor(const std::vector<double>& x, int cx, int cy,
+                                           int cz, bool transpose) const {
+  const int k = k_;
+  auto apply_dim = [&](const std::vector<double>& in, const std::vector<double>& m,
+                       int dim) {
+    // Coefficients indexed v[ix][iy][iz] flattened as (ix*k + iy)*k + iz.
+    std::vector<double> out(in.size(), 0.0);
+    for (int a = 0; a < k; ++a)
+      for (int b = 0; b < k; ++b) {
+        const double mab = transpose ? m[static_cast<std::size_t>(b) * k + a]
+                                     : m[static_cast<std::size_t>(a) * k + b];
+        if (mab == 0.0) continue;
+        for (int u = 0; u < k; ++u)
+          for (int v = 0; v < k; ++v) {
+            std::size_t iin, iout;
+            switch (dim) {
+              case 0:
+                iin = (static_cast<std::size_t>(b) * k + u) * k + v;
+                iout = (static_cast<std::size_t>(a) * k + u) * k + v;
+                break;
+              case 1:
+                iin = (static_cast<std::size_t>(u) * k + b) * k + v;
+                iout = (static_cast<std::size_t>(u) * k + a) * k + v;
+                break;
+              default:
+                iin = (static_cast<std::size_t>(u) * k + v) * k + b;
+                iout = (static_cast<std::size_t>(u) * k + v) * k + a;
+                break;
+            }
+            out[iout] += mab * in[iin];
+          }
+      }
+    return out;
+  };
+  std::vector<double> t = apply_dim(x, h_[cx], 0);
+  t = apply_dim(t, h_[cy], 1);
+  t = apply_dim(t, h_[cz], 2);
+  return t;
+}
+
+std::vector<double> TwoScale::filter(
+    const std::array<std::vector<double>, 8>& child_s) const {
+  std::vector<double> parent(static_cast<std::size_t>(coeffs_per_node()), 0.0);
+  for (int c = 0; c < 8; ++c) {
+    const int cx = c & 1, cy = (c >> 1) & 1, cz = (c >> 2) & 1;
+    TTG_CHECK(static_cast<int>(child_s[c].size()) == coeffs_per_node(),
+              "filter: bad child block");
+    auto contrib = apply_tensor(child_s[c], cx, cy, cz, /*transpose=*/false);
+    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] += contrib[i];
+  }
+  return parent;
+}
+
+std::vector<double> TwoScale::unfilter_child(const std::vector<double>& parent_s,
+                                             int c) const {
+  const int cx = c & 1, cy = (c >> 1) & 1, cz = (c >> 2) & 1;
+  return apply_tensor(parent_s, cx, cy, cz, /*transpose=*/true);
+}
+
+double TwoScale::filter_flops() const {
+  // 8 children x 3 separable sweeps x 2 k^4 mul-adds.
+  return 8.0 * 3.0 * 2.0 * k_ * k_ * k_ * k_;
+}
+
+}  // namespace ttg::mra

@@ -1,0 +1,113 @@
+#include "net/network.hpp"
+
+#include <string>
+
+namespace ttg::net {
+
+Network::Network(sim::Engine& engine, const sim::MachineModel& machine, int nranks)
+    : engine_(engine), machine_(machine) {
+  TTG_CHECK(nranks >= 1, "network needs at least one rank");
+  send_nic_.reserve(static_cast<std::size_t>(nranks));
+  recv_nic_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    send_nic_.push_back(
+        std::make_unique<sim::FifoResource>(engine, "snic" + std::to_string(r)));
+    recv_nic_.push_back(
+        std::make_unique<sim::FifoResource>(engine, "rnic" + std::to_string(r)));
+  }
+  // Shared bisection capacity: half the endpoints can simultaneously push
+  // a bisection_factor share of their injection bandwidth across the cut.
+  // Beyond kFullBisectionEndpoints nodes the partition spans multiple
+  // switch groups and the cross-section stops growing linearly — the
+  // effect that favors communication-reducing (2.5D) algorithms at scale
+  // (Fig. 12 discussion in the paper).
+  const double eff_nodes =
+      nranks > 1 ? std::min<double>(nranks, kFullBisectionEndpoints) / 2.0 : 1.0;
+  bisection_bw_ = machine_.bisection_factor * eff_nodes * machine_.nic_bw;
+  bisection_ = std::make_unique<sim::FifoResource>(engine, "bisection");
+}
+
+bool Network::crosses_bisection(int src, int dst) const {
+  const int half = nranks() / 2;
+  if (half == 0) return false;
+  return (src < half) != (dst < half);
+}
+
+void Network::transfer(int src, int dst, std::size_t nbytes,
+                       std::function<void()> on_delivered) {
+  stats_.messages += 1;
+  stats_.bytes += nbytes;
+  const double wire = machine_.wire_time(nbytes);
+  const bool cross = crosses_bisection(src, dst);
+  // Pipeline: sender NIC -> (bisection) -> propagation latency -> recv NIC.
+  send_nic_[src]->submit(wire, [this, src, dst, nbytes, cross, wire,
+                                on_delivered = std::move(on_delivered)]() mutable {
+    auto deliver = [this, dst, wire, on_delivered = std::move(on_delivered)]() mutable {
+      engine_.after(machine_.net_latency, [this, dst, wire,
+                                           on_delivered = std::move(on_delivered)]() mutable {
+        recv_nic_[dst]->submit(wire, std::move(on_delivered));
+      });
+    };
+    if (cross) {
+      const double fabric = static_cast<double>(nbytes) / bisection_bw_;
+      bisection_->submit(fabric, std::move(deliver));
+    } else {
+      deliver();
+    }
+  });
+  (void)src;
+}
+
+void Network::send(int src, int dst, std::size_t nbytes,
+                   std::function<void()> on_delivered) {
+  if (nbytes <= machine_.eager_threshold) {
+    send_eager(src, dst, nbytes, std::move(on_delivered));
+  } else {
+    send_rendezvous(src, dst, nbytes, std::move(on_delivered));
+  }
+}
+
+void Network::send_eager(int src, int dst, std::size_t nbytes,
+                         std::function<void()> on_delivered) {
+  transfer(src, dst, nbytes, std::move(on_delivered));
+}
+
+void Network::send_rendezvous(int src, int dst, std::size_t nbytes,
+                              std::function<void()> on_delivered) {
+  // RTS (src->dst) and CTS (dst->src) are latency-bound control messages;
+  // we charge them as two extra latencies plus tiny NIC occupancy.
+  stats_.control_msgs += 2;
+  constexpr std::size_t kCtrlBytes = 64;
+  transfer(src, dst, kCtrlBytes, [this, src, dst, nbytes,
+                                  on_delivered = std::move(on_delivered)]() mutable {
+    transfer(dst, src, kCtrlBytes, [this, src, dst, nbytes,
+                                    on_delivered = std::move(on_delivered)]() mutable {
+      transfer(src, dst, nbytes, std::move(on_delivered));
+    });
+  });
+}
+
+void Network::rma_get(int src, int dst, std::size_t nbytes, std::function<void()> on_done,
+                      std::function<void()> on_remote_complete) {
+  stats_.rma_gets += 1;
+  // The get request travels dst->src as a control message, then the payload
+  // flows src->dst without CPU involvement on either side, then (optionally)
+  // a completion notification flows dst->src.
+  stats_.control_msgs += 1;
+  constexpr std::size_t kCtrlBytes = 64;
+  transfer(dst, src, kCtrlBytes, [this, src, dst, nbytes, on_done = std::move(on_done),
+                                  on_remote_complete =
+                                      std::move(on_remote_complete)]() mutable {
+    transfer(src, dst, nbytes, [this, src, dst, on_done = std::move(on_done),
+                                on_remote_complete =
+                                    std::move(on_remote_complete)]() mutable {
+      on_done();
+      if (on_remote_complete) {
+        stats_.control_msgs += 1;
+        transfer(dst, src, kCtrlBytes, std::move(on_remote_complete));
+      }
+    });
+  });
+}
+
+}  // namespace ttg::net

@@ -1,0 +1,94 @@
+// Simulated interconnect.
+//
+// Models the fabric the paper's runtimes used (Open MPI/UCX on Hawk, Intel
+// MPI on Seawulf) at the protocol level the TTG backends care about:
+//
+//   * eager sends     — one transfer charged to sender NIC, fabric, receiver
+//                       NIC; used for small messages and AM control traffic.
+//   * rendezvous      — RTS/CTS handshake (two latencies) before the payload
+//                       transfer; used for large two-sided messages (the
+//                       MADNESS backend's whole-object sends).
+//   * RMA get         — the receiver pulls registered memory one-sidedly;
+//                       used by the PaRSEC backend's split-metadata protocol.
+//
+// Contention model: each rank owns a send NIC and a receive NIC (FIFO
+// servers at the injection bandwidth); transfers whose endpoints fall in
+// different halves of the rank space additionally occupy a shared bisection
+// resource whose capacity is bisection_factor * (R/2) * nic_bw. This is
+// what lets the 2.5D SUMMA comparator (DBCSR) keep scaling at 256 nodes
+// while the 2D SUMMA TTG implementation becomes communication-bound, as in
+// Fig. 12 of the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "sim/resource.hpp"
+
+namespace ttg::net {
+
+/// Aggregate traffic counters, queryable after a run.
+struct NetStats {
+  std::uint64_t messages = 0;     ///< payload-bearing transfers
+  std::uint64_t control_msgs = 0; ///< RTS/CTS/notify/AM-control messages
+  std::uint64_t bytes = 0;        ///< payload bytes on the wire
+  std::uint64_t rma_gets = 0;     ///< one-sided fetches
+};
+
+/// Node count up to which the fabric provides its full (scaled) bisection;
+/// larger partitions span switch groups with oversubscribed uplinks.
+inline constexpr int kFullBisectionEndpoints = 128;
+
+/// Point-to-point simulated network among `nranks` endpoints.
+class Network {
+ public:
+  Network(sim::Engine& engine, const sim::MachineModel& machine, int nranks);
+
+  /// Two-sided send: picks eager or rendezvous by size against the
+  /// machine's eager threshold. `on_delivered` fires at the receiver once
+  /// the payload has fully arrived.
+  void send(int src, int dst, std::size_t nbytes, std::function<void()> on_delivered);
+
+  /// Force the eager path regardless of size (control/AM messages).
+  void send_eager(int src, int dst, std::size_t nbytes, std::function<void()> on_delivered);
+
+  /// Force the rendezvous path.
+  void send_rendezvous(int src, int dst, std::size_t nbytes,
+                       std::function<void()> on_delivered);
+
+  /// One-sided get: `dst` fetches `nbytes` of registered memory from `src`.
+  /// `on_done` fires at `dst` when the data has landed; `on_remote_complete`
+  /// (optional) fires at `src` when the remote completion notification
+  /// arrives (the PaRSEC backend uses it to release the source object).
+  void rma_get(int src, int dst, std::size_t nbytes, std::function<void()> on_done,
+               std::function<void()> on_remote_complete = {});
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] int nranks() const { return static_cast<int>(send_nic_.size()); }
+  [[nodiscard]] const sim::MachineModel& machine() const { return machine_; }
+
+  /// Busy time of rank r's send NIC (utilization accounting for benches).
+  [[nodiscard]] sim::Time nic_busy(int rank) const { return send_nic_[rank]->busy_time(); }
+
+ private:
+  /// Charge one payload transfer src->dst through NICs (+ bisection when
+  /// the endpoints are in different halves), then fire `on_delivered`.
+  void transfer(int src, int dst, std::size_t nbytes, std::function<void()> on_delivered);
+
+  [[nodiscard]] bool crosses_bisection(int src, int dst) const;
+
+  sim::Engine& engine_;
+  sim::MachineModel machine_;
+  std::vector<std::unique_ptr<sim::FifoResource>> send_nic_;
+  std::vector<std::unique_ptr<sim::FifoResource>> recv_nic_;
+  std::unique_ptr<sim::FifoResource> bisection_;
+  double bisection_bw_ = 0.0;
+  NetStats stats_;
+};
+
+}  // namespace ttg::net

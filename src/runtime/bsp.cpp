@@ -1,0 +1,117 @@
+#include "runtime/bsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace ttg::rt {
+
+BspExecutor::BspExecutor(const sim::MachineModel& machine, int nranks,
+                         int workers_per_rank)
+    : machine_(machine),
+      workers_(workers_per_rank > 0 ? workers_per_rank : machine.cores_per_node),
+      clock_(static_cast<std::size_t>(nranks), 0.0) {
+  TTG_CHECK(nranks >= 1, "BSP executor needs at least one rank");
+}
+
+void BspExecutor::compute(int rank, double seconds) {
+  TTG_CHECK(seconds >= 0.0, "negative compute time");
+  clock_[static_cast<std::size_t>(rank)] += seconds;
+}
+
+void BspExecutor::compute_phase(const std::vector<double>& seconds_per_rank) {
+  TTG_CHECK(seconds_per_rank.size() == clock_.size(), "phase arity mismatch");
+  for (std::size_t r = 0; r < clock_.size(); ++r) clock_[r] += seconds_per_rank[r];
+  barrier();
+}
+
+double BspExecutor::list_schedule(const std::vector<double>& task_seconds, int workers) {
+  TTG_CHECK(workers > 0, "list_schedule needs workers");
+  // Greedy: longest-processing-time-first onto the earliest-free worker.
+  std::vector<double> sorted = task_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int w = 0; w < workers; ++w) free_at.push(0.0);
+  double makespan = 0.0;
+  for (double t : sorted) {
+    double start = free_at.top();
+    free_at.pop();
+    double done = start + t;
+    makespan = std::max(makespan, done);
+    free_at.push(done);
+  }
+  return makespan;
+}
+
+double BspExecutor::msg_time(std::size_t bytes) const {
+  return machine_.net_latency + machine_.wire_time(bytes);
+}
+
+void BspExecutor::p2p(int src, int dst, std::size_t bytes) {
+  const double start = std::max(clock_[static_cast<std::size_t>(src)],
+                                clock_[static_cast<std::size_t>(dst)]);
+  const double done = start + msg_time(bytes);
+  clock_[static_cast<std::size_t>(src)] = start + machine_.wire_time(bytes);
+  clock_[static_cast<std::size_t>(dst)] = done;
+  bytes_ += bytes;
+  messages_ += 1;
+}
+
+void BspExecutor::broadcast(int root, std::size_t bytes, const std::vector<int>& group) {
+  std::vector<int> g = group;
+  if (g.empty()) {
+    g.resize(clock_.size());
+    for (std::size_t r = 0; r < clock_.size(); ++r) g[r] = static_cast<int>(r);
+  }
+  TTG_CHECK(std::find(g.begin(), g.end(), root) != g.end(), "root not in group");
+  if (g.size() <= 1) return;
+  double start = 0.0;
+  for (int r : g) start = std::max(start, clock_[static_cast<std::size_t>(r)]);
+  const int hops = static_cast<int>(std::ceil(std::log2(static_cast<double>(g.size()))));
+  const double done = start + hops * msg_time(bytes);
+  for (int r : g) clock_[static_cast<std::size_t>(r)] = done;
+  bytes_ += bytes * (g.size() - 1);
+  messages_ += g.size() - 1;
+}
+
+void BspExecutor::reduce(int root, std::size_t bytes, const std::vector<int>& group) {
+  // Same tree shape as broadcast, traversed upward.
+  broadcast(root, bytes, group);
+}
+
+void BspExecutor::allreduce(std::size_t bytes) {
+  // Reduce + broadcast.
+  const int hops =
+      2 * static_cast<int>(std::ceil(std::log2(static_cast<double>(clock_.size()))));
+  double start = now();
+  const double done = start + hops * msg_time(bytes);
+  for (auto& c : clock_) c = done;
+  bytes_ += bytes * 2 * (clock_.size() - 1);
+  messages_ += 2 * (clock_.size() - 1);
+}
+
+void BspExecutor::barrier() {
+  const int hops =
+      clock_.size() > 1
+          ? 2 * static_cast<int>(std::ceil(std::log2(static_cast<double>(clock_.size()))))
+          : 0;
+  const double done = now() + hops * machine_.net_latency;
+  for (auto& c : clock_) c = done;
+}
+
+double BspExecutor::fabric_time(std::uint64_t total_cross_bytes) const {
+  // Same cross-section model as net::Network (cap at 128 endpoints).
+  const double eff_nodes =
+      clock_.size() > 1 ? std::min<double>(static_cast<double>(clock_.size()), 128.0) / 2.0
+                        : 1.0;
+  const double bis_bw = machine_.bisection_factor * eff_nodes * machine_.nic_bw;
+  return static_cast<double>(total_cross_bytes) / bis_bw;
+}
+
+double BspExecutor::now() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+}  // namespace ttg::rt

@@ -1,0 +1,85 @@
+// Communication engine interface shared by the two TTG backends.
+//
+// Section II-D of the paper: a TTG backend "provides the ability to schedule
+// and execute tasks as well as resource management and coordination for
+// communication and computation in a distributed setting". The compute side
+// is the per-rank Scheduler; this interface is the communication side. Two
+// engines implement it:
+//
+//   ParsecComm  — models the PaRSEC backend after the paper's optimizations:
+//                 active messages for control, one-sided RMA for payloads
+//                 (split-metadata protocol), completion callbacks, low
+//                 per-message overhead, runtime-owned data (zero-copy local
+//                 sends by const reference).
+//   MadnessComm — models the MADNESS parallel runtime: one dedicated active-
+//                 message *server thread* per process through which every
+//                 incoming message is processed serially, whole-object
+//                 serialization with copies on both sides, no RMA.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "serialization/traits.hpp"
+
+namespace ttg::rt {
+
+/// Statistics a comm engine accumulates over a run.
+struct CommStats {
+  std::uint64_t messages = 0;       ///< whole-object messages shipped
+  std::uint64_t splitmd_sends = 0;  ///< split-metadata transfers
+  std::uint64_t local_copies = 0;   ///< local deliveries that paid a copy
+  std::uint64_t local_shares = 0;   ///< local deliveries shared zero-copy
+};
+
+/// Backend communication engine: ships already-serialized payloads between
+/// simulated ranks and charges the CPU/NIC costs its real counterpart pays.
+/// All `deliver`-style callbacks run at the destination once receive-side
+/// processing completes; the caller is responsible for entering the right
+/// rank context inside the callback.
+class CommEngine {
+ public:
+  virtual ~CommEngine() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Per-task runtime overhead (scheduling, dependence bookkeeping).
+  [[nodiscard]] virtual double task_overhead() const = 0;
+
+  /// True if the backend supports the split-metadata (RMA) protocol.
+  [[nodiscard]] virtual bool supports_splitmd() const = 0;
+
+  /// True if local sends by const reference can share runtime-owned data
+  /// instead of copying (the PaRSEC backend's data-ownership feature).
+  [[nodiscard]] virtual bool zero_copy_local() const = 0;
+
+  /// CPU seconds the *sender* pays to stage `bytes` for the wire under the
+  /// given protocol (serialization copies). Charged on the sending worker.
+  [[nodiscard]] virtual double send_side_cpu(std::size_t bytes, ser::Protocol p) const = 0;
+
+  /// Ship a whole-object message of `wire_bytes`; at the destination, charge
+  /// receive-side processing (AM handling + deserialization copy) on the
+  /// backend's message-processing resource, then invoke `deliver`.
+  virtual void send_message(int src, int dst, std::size_t wire_bytes,
+                            std::function<void()> deliver) = 0;
+
+  /// Split-metadata transfer: eager metadata of `md_bytes`, then a one-sided
+  /// fetch of `payload_bytes`. `on_metadata` runs at dst when the metadata
+  /// has been processed (allocate the object there); `on_payload` runs at
+  /// dst when the RMA get has landed (deliver); `on_release` runs at src
+  /// when the completion notification arrives (drop the source reference).
+  /// Only meaningful when supports_splitmd().
+  virtual void send_splitmd(int src, int dst, std::size_t md_bytes,
+                            std::size_t payload_bytes, std::function<void()> on_metadata,
+                            std::function<void()> on_payload,
+                            std::function<void()> on_release) = 0;
+
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+  CommStats& mutable_stats() { return stats_; }
+
+ protected:
+  CommStats stats_;
+};
+
+}  // namespace ttg::rt

@@ -1,0 +1,52 @@
+// MADNESS-like communication engine.
+//
+// Models the MADNESS parallel runtime as described in Section II-D: an SPMD
+// model with "a thread dedicated to serving remote active messages" — every
+// incoming message is deserialized and dispatched by that single server
+// thread, which becomes a serialization point under communication-heavy
+// loads. Data always moves as whole serialized objects (MADNESS
+// serialization), paying a staging copy on the send side and a copy out of
+// the receive buffer, with no RMA path. This is the copy/overhead profile
+// the paper cites to explain why TTG-over-MADNESS trails TTG-over-PaRSEC in
+// the FW and MRA experiments.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "runtime/comm.hpp"
+#include "sim/resource.hpp"
+
+namespace ttg::rt {
+
+class MadnessComm final : public CommEngine {
+ public:
+  MadnessComm(sim::Engine& engine, net::Network& network, double am_cpu_factor,
+              double task_overhead_override);
+
+  [[nodiscard]] const char* name() const override { return "madness"; }
+  [[nodiscard]] double task_overhead() const override { return task_overhead_; }
+  [[nodiscard]] bool supports_splitmd() const override { return false; }
+  [[nodiscard]] bool zero_copy_local() const override { return false; }
+
+  [[nodiscard]] double send_side_cpu(std::size_t bytes, ser::Protocol p) const override;
+
+  void send_message(int src, int dst, std::size_t wire_bytes,
+                    std::function<void()> deliver) override;
+
+  void send_splitmd(int, int, std::size_t, std::size_t, std::function<void()>,
+                    std::function<void()>, std::function<void()>) override {
+    TTG_CHECK(false, "MADNESS backend has no splitmd support");
+  }
+
+ private:
+  sim::Engine& engine_;
+  net::Network& network_;
+  double am_cpu_;
+  double task_overhead_;
+  /// The dedicated active-message server thread of each rank.
+  std::vector<std::unique_ptr<sim::FifoResource>> am_server_;
+};
+
+}  // namespace ttg::rt

@@ -1,0 +1,63 @@
+#include "runtime/scheduler.hpp"
+
+namespace ttg::rt {
+
+Scheduler::Scheduler(sim::Engine& engine, int rank, int workers)
+    : engine_(engine), rank_(rank), workers_(workers), idle_(workers) {
+  TTG_CHECK(workers > 0, "scheduler needs at least one worker");
+}
+
+void Scheduler::submit(int priority, double cost, std::function<void()> body) {
+  submit(priority, cost, std::string(), std::move(body));
+}
+
+void Scheduler::submit(int priority, double cost, std::string name,
+                       std::function<void()> body) {
+  TTG_CHECK(cost >= 0.0, "negative task cost");
+  Ready task{priority, next_seq_++, cost, std::move(body), std::move(name)};
+  if (idle_ > 0) {
+    --idle_;
+    start(std::move(task));
+  } else {
+    queue_.push(std::move(task));
+  }
+}
+
+double Scheduler::charge(double dt) {
+  TTG_CHECK(dt >= 0.0, "negative charge");
+  if (!in_task_) return 0.0;  // charges outside a task (graph injection) are free
+  *charge_accum_ += dt;
+  return *charge_accum_;
+}
+
+void Scheduler::start(Ready task) {
+  const double t_start = engine_.now();
+  // The body runs at the task's completion instant (see header comment).
+  engine_.after(task.cost, [this, t_start, task = std::move(task)]() mutable {
+    double extra = 0.0;
+    in_task_ = true;
+    charge_accum_ = &extra;
+    task.body();
+    in_task_ = false;
+    charge_accum_ = nullptr;
+    busy_ += task.cost + extra;
+    ++tasks_run_;
+    if (tracer_ != nullptr && !task.name.empty()) {
+      tracer_->record(std::move(task.name), rank_, task.priority, t_start,
+                      engine_.now() + extra);
+    }
+    // The worker stays busy for `extra` more seconds (post-body copies),
+    // then picks up the next ready task.
+    engine_.after(extra, [this]() {
+      if (!queue_.empty()) {
+        Ready next = std::move(const_cast<Ready&>(queue_.top()));
+        queue_.pop();
+        start(std::move(next));
+      } else {
+        ++idle_;
+      }
+    });
+  });
+}
+
+}  // namespace ttg::rt

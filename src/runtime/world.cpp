@@ -1,0 +1,78 @@
+#include "runtime/world.hpp"
+
+#include <algorithm>
+
+#include "runtime/comm_madness.hpp"
+#include "runtime/comm_parsec.hpp"
+
+namespace ttg::rt {
+
+const char* to_string(BackendKind k) {
+  switch (k) {
+    case BackendKind::Parsec:
+      return "parsec";
+    case BackendKind::Madness:
+      return "madness";
+  }
+  return "?";
+}
+
+World::World(WorldConfig cfg) : cfg_(cfg) {
+  TTG_REQUIRE(cfg_.nranks >= 1, "world needs at least one rank");
+  workers_ = cfg_.workers_per_rank > 0 ? cfg_.workers_per_rank
+                                       : cfg_.machine.cores_per_node;
+  network_ = std::make_unique<net::Network>(engine_, cfg_.machine, cfg_.nranks);
+  switch (cfg_.backend) {
+    case BackendKind::Parsec:
+      comm_ = std::make_unique<ParsecComm>(engine_, *network_, cfg_.am_cpu_factor,
+                                           cfg_.task_overhead_override,
+                                           cfg_.enable_splitmd);
+      break;
+    case BackendKind::Madness:
+      comm_ = std::make_unique<MadnessComm>(engine_, *network_, cfg_.am_cpu_factor,
+                                            cfg_.task_overhead_override);
+      break;
+  }
+  sched_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    sched_.push_back(std::make_unique<Scheduler>(engine_, r, workers_));
+  }
+}
+
+World::~World() = default;
+
+sim::Time World::fence() {
+  for (const TTBase* tt : tts_) {
+    TTG_REQUIRE(tt->executable,
+                "fence() before make_graph_executable on TT '" + tt->name() + "'");
+  }
+  return engine_.run();
+}
+
+std::size_t World::unfinished() const {
+  std::size_t n = 0;
+  for (const TTBase* tt : tts_) n += tt->pending_records();
+  return n;
+}
+
+void World::enable_tracing() {
+  if (tracer_) return;
+  tracer_ = std::make_unique<Tracer>();
+  for (auto& s : sched_) s->set_tracer(tracer_.get());
+}
+
+void World::register_tt(TTBase* tt) { tts_.push_back(tt); }
+
+void World::deregister_tt(TTBase* tt) {
+  tts_.erase(std::remove(tts_.begin(), tts_.end(), tt), tts_.end());
+}
+
+double World::total_busy_time() const {
+  double t = 0.0;
+  for (const auto& s : sched_) t += s->busy_time();
+  return t;
+}
+
+void make_graph_executable(TTBase& tt) { tt.executable = true; }
+
+}  // namespace ttg::rt

@@ -1,0 +1,135 @@
+// World: one simulated distributed execution context.
+//
+// A World bundles the virtual cluster (engine + machine model + network),
+// the per-rank schedulers, and the backend communication engine. It plays
+// the role of ttg::World / the default execution context in the real TTG
+// implementation: template tasks register with it, `fence()` drains all
+// outstanding work (TTG's global termination detection), and the current
+// rank context says on whose behalf code is presently executing (the
+// simulator is SPMD over R ranks inside one OS process).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+
+namespace ttg::rt {
+
+/// Which of the two TTG backends executes this world (Section II-D).
+enum class BackendKind { Parsec, Madness };
+
+[[nodiscard]] const char* to_string(BackendKind k);
+
+/// Construction parameters for a World. The ablation knobs correspond to
+/// the features the paper introduced (optimized broadcast, splitmd) so the
+/// benches can turn them off individually.
+struct WorldConfig {
+  sim::MachineModel machine = sim::hawk();
+  int nranks = 1;
+  int workers_per_rank = 0;  ///< 0 → machine.cores_per_node
+  BackendKind backend = BackendKind::Parsec;
+  bool optimized_broadcast = true;  ///< group broadcast keys by destination rank
+  bool enable_splitmd = true;       ///< allow the split-metadata protocol
+  double task_overhead_override = -1.0;  ///< <0 → backend default
+  double am_cpu_factor = 1.0;  ///< scales per-message CPU (Chameleon-like profile)
+};
+
+/// Type-erased base of every template task, for registration and
+/// quiescence checking.
+class TTBase {
+ public:
+  virtual ~TTBase() = default;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  /// Task records created but not yet fired (on any rank). Nonzero after a
+  /// drained fence indicates an incomplete graph (missing messages).
+  [[nodiscard]] virtual std::size_t pending_records() const = 0;
+  /// Number of task bodies executed (all ranks).
+  [[nodiscard]] virtual std::uint64_t tasks_executed() const = 0;
+
+  bool executable = false;  ///< set by make_graph_executable
+};
+
+class World {
+ public:
+  explicit World(WorldConfig cfg);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  ~World();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] const sim::MachineModel& machine() const { return cfg_.machine; }
+  [[nodiscard]] const WorldConfig& config() const { return cfg_; }
+  [[nodiscard]] CommEngine& comm() { return *comm_; }
+  [[nodiscard]] int nranks() const { return cfg_.nranks; }
+  [[nodiscard]] int workers_per_rank() const { return workers_; }
+
+  /// Rank on whose behalf code is currently executing.
+  [[nodiscard]] int rank() const { return current_rank_; }
+
+  /// Execute `fn` in the context of rank `r` (restores on exit).
+  template <typename F>
+  void run_as(int r, F&& fn) {
+    TTG_CHECK(r >= 0 && r < nranks(), "rank out of range");
+    const int saved = current_rank_;
+    current_rank_ = r;
+    fn();
+    current_rank_ = saved;
+  }
+
+  [[nodiscard]] Scheduler& scheduler(int r) { return *sched_[static_cast<std::size_t>(r)]; }
+  [[nodiscard]] Scheduler& scheduler() { return scheduler(current_rank_); }
+
+  /// Drain all outstanding events (tasks, messages); global termination
+  /// detection. Returns the virtual time reached — across the whole run,
+  /// i.e. the cumulative makespan after several fences.
+  sim::Time fence();
+
+  /// Sum of pending task records across all registered template tasks.
+  [[nodiscard]] std::size_t unfinished() const;
+
+  void register_tt(TTBase* tt);
+  void deregister_tt(TTBase* tt);
+
+  /// Flop accounting for GFLOP/s reporting in benches.
+  void add_flops(double f) { flops_ += f; }
+  [[nodiscard]] double total_flops() const { return flops_; }
+
+  /// Turn on per-task execution tracing (PaRSEC-style profiling). Call
+  /// before injecting work; records accumulate across fences.
+  void enable_tracing();
+  [[nodiscard]] bool tracing() const { return tracer_ != nullptr; }
+  /// The trace (valid only after enable_tracing()).
+  [[nodiscard]] Tracer& tracer() {
+    TTG_CHECK(tracer_ != nullptr, "tracing not enabled");
+    return *tracer_;
+  }
+
+  /// Aggregate busy time across all workers of all ranks.
+  [[nodiscard]] double total_busy_time() const;
+
+ private:
+  WorldConfig cfg_;
+  int workers_;
+  sim::Engine engine_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<CommEngine> comm_;
+  std::vector<std::unique_ptr<Scheduler>> sched_;
+  std::vector<TTBase*> tts_;
+  std::unique_ptr<Tracer> tracer_;
+  int current_rank_ = 0;
+  double flops_ = 0.0;
+};
+
+/// Validate a template task for execution (all worlds' TTs must be marked
+/// executable before fence(), mirroring ttg::make_graph_executable).
+void make_graph_executable(TTBase& tt);
+
+}  // namespace ttg::rt

@@ -1,0 +1,233 @@
+// In-memory binary archives.
+//
+// Section II-C of the paper: TTG supports several serialization protocols —
+// memcpy for trivially-copyable types, Boost.Serialization / MADNESS
+// serialization for user types (via custom high-performance in-memory
+// archives, without the archival features like versioning and pointer
+// tracking), and the 2-stage split-metadata protocol. This header provides
+// the archive pair those protocols are built on: append-only OutputArchive
+// and a bounds-checked InputArchive reading the same byte layout.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ttg::ser {
+
+class OutputArchive;
+class InputArchive;
+
+namespace detail {
+
+template <typename T, typename Ar>
+concept HasMemberSerialize = requires(T& t, Ar& ar) { t.serialize(ar); };
+
+template <typename T, typename Ar>
+concept HasAdlSerialize = requires(T& t, Ar& ar) { serialize(ar, t); };
+
+template <typename T>
+inline constexpr bool is_memcpyable_v =
+    std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
+
+}  // namespace detail
+
+/// Append-only binary serializer into a contiguous buffer.
+///
+/// Usage mirrors Boost.Serialization: `ar & x & y;` or `ar << x;`.
+/// User types participate via a member `template <class Ar> void
+/// serialize(Ar&)` (symmetric read/write) or a free `serialize(Ar&, T&)`
+/// found by ADL.
+class OutputArchive {
+ public:
+  static constexpr bool is_output = true;
+
+  void write_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  template <typename T>
+  OutputArchive& operator&(const T& v) {
+    save(v);
+    return *this;
+  }
+  template <typename T>
+  OutputArchive& operator<<(const T& v) {
+    return *this & v;
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& buffer() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> release() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void save(const T& v) {
+    if constexpr (detail::is_memcpyable_v<T>) {
+      write_bytes(&v, sizeof(T));
+    } else if constexpr (detail::HasMemberSerialize<T, OutputArchive>) {
+      // serialize() is symmetric; it only reads from v on the output path.
+      const_cast<T&>(v).serialize(*this);
+    } else if constexpr (detail::HasAdlSerialize<T, OutputArchive>) {
+      serialize(*this, const_cast<T&>(v));
+    } else {
+      static_assert(detail::is_memcpyable_v<T>,
+                    "type is not serializable: add a serialize() method or "
+                    "make it trivially copyable");
+    }
+  }
+
+  // --- native container support ---
+  template <typename T, typename A>
+  void save(const std::vector<T, A>& v) {
+    save_size(v.size());
+    if constexpr (detail::is_memcpyable_v<T>) {
+      if (!v.empty()) write_bytes(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const auto& e : v) save(e);
+    }
+  }
+  void save(const std::string& s) {
+    save_size(s.size());
+    write_bytes(s.data(), s.size());
+  }
+  template <typename A, typename B>
+  void save(const std::pair<A, B>& p) {
+    save(p.first);
+    save(p.second);
+  }
+  template <typename... Ts>
+  void save(const std::tuple<Ts...>& t) {
+    std::apply([this](const auto&... e) { (save(e), ...); }, t);
+  }
+  template <typename K, typename V, typename C, typename A>
+  void save(const std::map<K, V, C, A>& m) {
+    save_size(m.size());
+    for (const auto& [k, v] : m) {
+      save(k);
+      save(v);
+    }
+  }
+  template <typename T, std::size_t N>
+  void save(const std::array<T, N>& a) {
+    if constexpr (detail::is_memcpyable_v<T>) {
+      write_bytes(a.data(), N * sizeof(T));
+    } else {
+      for (const auto& e : a) save(e);
+    }
+  }
+
+  void save_size(std::size_t n) {
+    auto n64 = static_cast<std::uint64_t>(n);
+    write_bytes(&n64, sizeof n64);
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked binary deserializer over a byte span.
+class InputArchive {
+ public:
+  static constexpr bool is_output = false;
+
+  InputArchive(const std::byte* data, std::size_t size) : data_(data), size_(size) {}
+  explicit InputArchive(const std::vector<std::byte>& buf)
+      : InputArchive(buf.data(), buf.size()) {}
+
+  void read_bytes(void* out, std::size_t n) {
+    TTG_CHECK(pos_ + n <= size_, "archive underrun");
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  InputArchive& operator&(T& v) {
+    load(v);
+    return *this;
+  }
+  template <typename T>
+  InputArchive& operator>>(T& v) {
+    return *this & v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  void load(T& v) {
+    if constexpr (detail::is_memcpyable_v<T>) {
+      read_bytes(&v, sizeof(T));
+    } else if constexpr (detail::HasMemberSerialize<T, InputArchive>) {
+      v.serialize(*this);
+    } else if constexpr (detail::HasAdlSerialize<T, InputArchive>) {
+      serialize(*this, v);
+    } else {
+      static_assert(detail::is_memcpyable_v<T>, "type is not deserializable");
+    }
+  }
+
+  template <typename T, typename A>
+  void load(std::vector<T, A>& v) {
+    v.resize(load_size());
+    if constexpr (detail::is_memcpyable_v<T>) {
+      if (!v.empty()) read_bytes(v.data(), v.size() * sizeof(T));
+    } else {
+      for (auto& e : v) load(e);
+    }
+  }
+  void load(std::string& s) {
+    s.resize(load_size());
+    read_bytes(s.data(), s.size());
+  }
+  template <typename A, typename B>
+  void load(std::pair<A, B>& p) {
+    load(p.first);
+    load(p.second);
+  }
+  template <typename... Ts>
+  void load(std::tuple<Ts...>& t) {
+    std::apply([this](auto&... e) { (load(e), ...); }, t);
+  }
+  template <typename K, typename V, typename C, typename A>
+  void load(std::map<K, V, C, A>& m) {
+    m.clear();
+    const std::size_t n = load_size();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::pair<K, V> kv;
+      load(kv.first);
+      load(kv.second);
+      m.emplace(std::move(kv));
+    }
+  }
+  template <typename T, std::size_t N>
+  void load(std::array<T, N>& a) {
+    if constexpr (detail::is_memcpyable_v<T>) {
+      read_bytes(a.data(), N * sizeof(T));
+    } else {
+      for (auto& e : a) load(e);
+    }
+  }
+
+  std::size_t load_size() {
+    std::uint64_t n = 0;
+    read_bytes(&n, sizeof n);
+    return static_cast<std::size_t>(n);
+  }
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ttg::ser

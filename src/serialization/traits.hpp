@@ -1,0 +1,144 @@
+// Serialization protocol selection (Section II-C of the paper).
+//
+// TTG picks, per data type and at compile time, the cheapest available
+// serialization protocol in this order of preference:
+//
+//   1. splitmd  — 2-stage: eager metadata + one-sided RMA fetch of the
+//                 contiguous payload (intrusive: the type opts in through a
+//                 SplitMetadata<T> specialization; only the PaRSEC-like
+//                 backend supports it).
+//   2. trivial  — memcpy of trivially-copyable types.
+//   3. archive  — user serialize() via the in-memory binary archives
+//                 (stands in for the paper's Boost/MADNESS protocols).
+//
+// Types may additionally declare a *wire size* different from their
+// serialized buffer size via a `wire_bytes()` member. "Ghost" payloads use
+// this: a bench-scale tile carries only dimensions and a checksum but is
+// charged its full data size on the simulated network, so communication
+// behaviour at 256 nodes is reproduced faithfully on a laptop.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+
+#include "serialization/archive.hpp"
+
+namespace ttg::ser {
+
+/// Split-metadata descriptor: specialize for types supporting the 2-stage
+/// protocol. A specialization must provide:
+///   using metadata_type = <small serializable struct>;
+///   static metadata_type get_metadata(const T&);
+///   static T create(const metadata_type&);       // allocated-not-initialized
+///   static std::size_t payload_bytes(const T&);  // wire size of the payload
+///   static std::span<const std::byte> payload(const T&);
+///   static std::span<std::byte> payload(T&);
+template <typename T>
+struct SplitMetadata;  // primary template intentionally undefined
+
+namespace detail {
+template <typename T>
+concept HasSplitMetadata = requires(const T& ct, T& t) {
+  typename SplitMetadata<T>::metadata_type;
+  { SplitMetadata<T>::get_metadata(ct) } -> std::same_as<typename SplitMetadata<T>::metadata_type>;
+  { SplitMetadata<T>::create(SplitMetadata<T>::get_metadata(ct)) } -> std::same_as<T>;
+  { SplitMetadata<T>::payload_bytes(ct) } -> std::convertible_to<std::size_t>;
+  { SplitMetadata<T>::payload(ct) } -> std::same_as<std::span<const std::byte>>;
+  { SplitMetadata<T>::payload(t) } -> std::same_as<std::span<std::byte>>;
+};
+
+template <typename T>
+concept HasWireBytes = requires(const T& t) {
+  { t.wire_bytes() } -> std::convertible_to<std::size_t>;
+};
+}  // namespace detail
+
+/// Which protocol TTG would choose for T (for tests and introspection).
+enum class Protocol { SplitMetadata, Trivial, Archive };
+
+template <typename T>
+inline constexpr bool is_splitmd_v = detail::HasSplitMetadata<T>;
+
+template <typename T>
+inline constexpr bool is_trivially_serializable_v = detail::is_memcpyable_v<T>;
+
+namespace detail {
+/// Recursive archive-serializability: user hooks, memcpyable scalars, or
+/// one of the container shapes the archives handle natively.
+template <typename T>
+struct ArchiveSerializable
+    : std::bool_constant<HasMemberSerialize<T, OutputArchive> ||
+                         HasAdlSerialize<T, OutputArchive> || is_memcpyable_v<T>> {};
+template <typename T, typename A>
+struct ArchiveSerializable<std::vector<T, A>> : ArchiveSerializable<T> {};
+template <>
+struct ArchiveSerializable<std::string> : std::true_type {};
+template <typename A, typename B>
+struct ArchiveSerializable<std::pair<A, B>>
+    : std::bool_constant<ArchiveSerializable<A>::value && ArchiveSerializable<B>::value> {
+};
+template <typename... Ts>
+struct ArchiveSerializable<std::tuple<Ts...>>
+    : std::bool_constant<(ArchiveSerializable<Ts>::value && ...)> {};
+template <typename K, typename V, typename C, typename A>
+struct ArchiveSerializable<std::map<K, V, C, A>>
+    : std::bool_constant<ArchiveSerializable<K>::value && ArchiveSerializable<V>::value> {
+};
+template <typename T, std::size_t N>
+struct ArchiveSerializable<std::array<T, N>> : ArchiveSerializable<T> {};
+}  // namespace detail
+
+template <typename T>
+inline constexpr bool is_archive_serializable_v = detail::ArchiveSerializable<T>::value;
+
+template <typename T>
+inline constexpr bool is_serializable_v =
+    is_splitmd_v<T> || is_trivially_serializable_v<T> || is_archive_serializable_v<T>;
+
+/// Protocol choice as specified in the paper: splitmd > trivial > archive.
+/// (The backend may downgrade splitmd to archive if it lacks RMA support —
+/// the MADNESS-like backend does exactly that.)
+template <typename T>
+constexpr Protocol protocol_for() {
+  if constexpr (is_splitmd_v<T>) {
+    return Protocol::SplitMetadata;
+  } else if constexpr (is_trivially_serializable_v<T>) {
+    return Protocol::Trivial;
+  } else {
+    static_assert(is_archive_serializable_v<T>, "type is not serializable by TTG");
+    return Protocol::Archive;
+  }
+}
+
+/// Serialize a value whole-object (trivial or archive path).
+template <typename T>
+std::vector<std::byte> to_bytes(const T& v) {
+  OutputArchive ar;
+  ar& v;
+  return ar.release();
+}
+
+/// Deserialize a value produced by to_bytes.
+template <typename T>
+T from_bytes(const std::vector<std::byte>& buf) {
+  InputArchive ar(buf);
+  T v{};
+  ar& v;
+  TTG_CHECK(ar.remaining() == 0, "trailing bytes after deserialization");
+  return v;
+}
+
+/// Wire size charged to the simulated network for a whole-object send:
+/// the declared wire_bytes() if the type provides it (ghost payloads),
+/// otherwise the actual serialized size.
+template <typename T>
+std::size_t wire_size(const T& v, std::size_t serialized_size) {
+  if constexpr (detail::HasWireBytes<T>) {
+    return std::max(v.wire_bytes(), serialized_size);
+  } else {
+    return serialized_size;
+  }
+}
+
+}  // namespace ttg::ser

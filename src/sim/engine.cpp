@@ -1,0 +1,36 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace ttg::sim {
+
+void Engine::at(Time t, std::function<void()> fn) {
+  TTG_CHECK(t >= now_, "event scheduled in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+Time Engine::run() {
+  while (!queue_.empty()) {
+    // Move out of the queue before popping: fn may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+Time Engine::run_until(const std::function<bool()>& pred) {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+    if (pred()) break;
+  }
+  return now_;
+}
+
+}  // namespace ttg::sim

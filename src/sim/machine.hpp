@@ -1,0 +1,65 @@
+// Machine models of the paper's evaluation platforms.
+//
+// Table I + Section III-A of the paper describe two clusters:
+//   Hawk    — HPE Apollo at HLRS: dual-socket 64-core AMD EPYC 7742 nodes
+//             (evaluation used 60 worker threads/node), 256 GB RAM,
+//             Mellanox InfiniBand HDR200 fabric.
+//   Seawulf — SBU cluster: dual-socket Intel Xeon Gold 6148 (2x20 cores,
+//             evaluation used up to 40 threads), 192 GB RAM, IB FDR.
+//
+// We reproduce them as parameter sets for the discrete-event simulator.
+// Absolute rates are calibration constants (per-core effective DGEMM rate,
+// NIC bandwidth/latency, copy bandwidth); all *relative* effects in the
+// figures come from the structure of the task graphs and protocols, not
+// from these constants.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ttg::sim {
+
+/// Hardware parameters of one simulated cluster.
+struct MachineModel {
+  std::string name;
+
+  // --- node compute ---
+  int cores_per_node = 1;        ///< worker threads used per node
+  double core_gflops = 10.0;     ///< effective per-core DGEMM rate [GFLOP/s]
+  double copy_bw = 8.0e9;        ///< single-thread memcpy bandwidth [B/s]
+
+  // --- network ---
+  double net_latency = 1.5e-6;   ///< end-to-end small-message latency [s]
+  double nic_bw = 12.0e9;        ///< per-node injection bandwidth [B/s]
+  double bisection_factor = 0.7; ///< achieved fraction of full bisection bw
+  std::size_t eager_threshold = 8192;  ///< bytes; above this use rendezvous
+  double am_cpu = 4.0e-7;        ///< CPU time to handle one active message [s]
+
+  /// Time to execute `flops` floating-point ops on one core at the given
+  /// efficiency relative to the effective DGEMM rate.
+  [[nodiscard]] double flops_time(double flops, double efficiency = 1.0) const {
+    return flops / (efficiency * core_gflops * 1e9);
+  }
+
+  /// Time for a single-thread memory copy of `bytes`.
+  [[nodiscard]] double copy_time(std::size_t bytes) const {
+    return static_cast<double>(bytes) / copy_bw;
+  }
+
+  /// Wire time for `bytes` through one NIC.
+  [[nodiscard]] double wire_time(std::size_t bytes) const {
+    return static_cast<double>(bytes) / nic_bw;
+  }
+
+  /// Aggregate node DGEMM rate [GFLOP/s].
+  [[nodiscard]] double node_gflops() const { return cores_per_node * core_gflops; }
+};
+
+/// HLRS Hawk (AMD EPYC 7742, IB HDR200). 60 worker threads per node as in
+/// the paper's POTRF/FW experiments.
+MachineModel hawk();
+
+/// SBU Seawulf (Xeon Gold 6148, IB FDR). 40 threads, older slower fabric.
+MachineModel seawulf();
+
+}  // namespace ttg::sim

@@ -1,0 +1,36 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+
+namespace ttg::sim {
+
+FifoResource::FifoResource(Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+Time FifoResource::submit(Time service_time, std::function<void()> on_done) {
+  TTG_CHECK(service_time >= 0.0, "negative service time");
+  const Time start = std::max(engine_.now(), free_at_);
+  const Time done = start + service_time;
+  free_at_ = done;
+  busy_ += service_time;
+  engine_.at(done, std::move(on_done));
+  return done;
+}
+
+PoolResource::PoolResource(Engine& engine, std::string name, int servers)
+    : engine_(engine), name_(std::move(name)), free_at_(static_cast<std::size_t>(servers), 0.0) {
+  TTG_CHECK(servers > 0, "pool needs at least one server");
+}
+
+Time PoolResource::submit(Time service_time, std::function<void()> on_done) {
+  TTG_CHECK(service_time >= 0.0, "negative service time");
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  const Time start = std::max(engine_.now(), *it);
+  const Time done = start + service_time;
+  *it = done;
+  busy_ += service_time;
+  engine_.at(done, std::move(on_done));
+  return done;
+}
+
+}  // namespace ttg::sim

@@ -1,0 +1,60 @@
+// Simulated exclusive resources (NICs, AM server threads, fabric bisection).
+//
+// A FifoResource models a single server with a work-conserving FIFO queue:
+// each request occupies the server for a caller-supplied service time, and
+// the completion callback fires on the engine when the request finishes.
+// This is how per-rank NIC injection bandwidth, the MADNESS backend's
+// active-message server thread, and the global fabric bisection capacity
+// are all modeled.
+#pragma once
+
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace ttg::sim {
+
+/// Single-server FIFO queue over virtual time.
+class FifoResource {
+ public:
+  FifoResource(Engine& engine, std::string name);
+
+  /// Occupy the server for `service_time` seconds (queued after earlier
+  /// requests); calls `on_done` on completion. Returns the completion time.
+  Time submit(Time service_time, std::function<void()> on_done);
+
+  /// Time at which the server next becomes free.
+  [[nodiscard]] Time free_at() const { return free_at_; }
+
+  /// Total busy seconds accumulated (utilization accounting).
+  [[nodiscard]] Time busy_time() const { return busy_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  Engine& engine_;
+  std::string name_;
+  Time free_at_ = 0.0;
+  Time busy_ = 0.0;
+};
+
+/// Multi-server FIFO queue: like FifoResource but with `n` identical
+/// servers (e.g. a pool of DMA engines). Requests go to the earliest-free
+/// server.
+class PoolResource {
+ public:
+  PoolResource(Engine& engine, std::string name, int servers);
+
+  Time submit(Time service_time, std::function<void()> on_done);
+
+  [[nodiscard]] int servers() const { return static_cast<int>(free_at_.size()); }
+  [[nodiscard]] Time busy_time() const { return busy_; }
+
+ private:
+  Engine& engine_;
+  std::string name_;
+  std::vector<Time> free_at_;
+  Time busy_ = 0.0;
+};
+
+}  // namespace ttg::sim

@@ -1,0 +1,106 @@
+#include "sparse/block_sparse.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "linalg/kernels.hpp"
+
+namespace ttg::sparse {
+
+using linalg::Tile;
+
+BlockSparseMatrix::BlockSparseMatrix(std::vector<int> panels)
+    : panels_(std::move(panels)) {
+  offsets_.resize(panels_.size() + 1, 0);
+  for (std::size_t i = 0; i < panels_.size(); ++i)
+    offsets_[i + 1] = offsets_[i] + panels_[i];
+  n_ = offsets_.back();
+}
+
+Tile& BlockSparseMatrix::at(int i, int j) {
+  auto it = blocks_.find(pack_ij(i, j));
+  TTG_CHECK(it != blocks_.end(), "block not present");
+  return it->second;
+}
+
+const Tile& BlockSparseMatrix::at(int i, int j) const {
+  auto it = blocks_.find(pack_ij(i, j));
+  TTG_CHECK(it != blocks_.end(), "block not present");
+  return it->second;
+}
+
+void BlockSparseMatrix::set(int i, int j, Tile t) {
+  TTG_CHECK(i >= 0 && i < ntiles() && j >= 0 && j < ntiles(), "block out of range");
+  TTG_CHECK(t.rows() == panel(i) && t.cols() == panel(j), "block shape mismatch");
+  blocks_[pack_ij(i, j)] = std::move(t);
+}
+
+double BlockSparseMatrix::occupancy() const {
+  const double total = static_cast<double>(ntiles()) * ntiles();
+  return total > 0 ? static_cast<double>(blocks_.size()) / total : 0.0;
+}
+
+std::uint64_t BlockSparseMatrix::nnz_elements() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, t] : blocks_)
+    n += static_cast<std::uint64_t>(t.rows()) * static_cast<std::uint64_t>(t.cols());
+  return n;
+}
+
+std::vector<std::pair<int, int>> BlockSparseMatrix::nonzeros() const {
+  std::vector<std::pair<int, int>> v;
+  v.reserve(blocks_.size());
+  for (const auto& [key, t] : blocks_)
+    v.emplace_back(static_cast<int>(key >> 32), static_cast<int>(key & 0xffffffffu));
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<int> BlockSparseMatrix::row_nonzeros(int i) const {
+  std::vector<int> v;
+  for (int j = 0; j < ntiles(); ++j)
+    if (has(i, j)) v.push_back(j);
+  return v;
+}
+
+std::vector<int> BlockSparseMatrix::col_nonzeros(int j) const {
+  std::vector<int> v;
+  for (int i = 0; i < ntiles(); ++i)
+    if (has(i, j)) v.push_back(i);
+  return v;
+}
+
+Tile BlockSparseMatrix::to_dense() const {
+  Tile d(n_, n_);
+  for (const auto& [key, t] : blocks_) {
+    const int i = static_cast<int>(key >> 32);
+    const int j = static_cast<int>(key & 0xffffffffu);
+    for (int c = 0; c < t.cols(); ++c)
+      for (int r = 0; r < t.rows(); ++r)
+        d(offsets_[static_cast<std::size_t>(i)] + r,
+          offsets_[static_cast<std::size_t>(j)] + c) = t(r, c);
+  }
+  return d;
+}
+
+BlockSparseMatrix multiply_reference(const BlockSparseMatrix& a,
+                                     const BlockSparseMatrix& b) {
+  BlockSparseMatrix c(a.panels());
+  for (const auto& [i, k] : a.nonzeros()) {
+    for (int j : b.row_nonzeros(k)) {
+      if (!c.has(i, j)) c.set(i, j, Tile(a.panel(i), a.panel(j)));
+      linalg::gemm_nn_acc(c.at(i, j), a.at(i, k), b.at(k, j));
+    }
+  }
+  return c;
+}
+
+double multiply_flops(const BlockSparseMatrix& a, const BlockSparseMatrix& b) {
+  double f = 0.0;
+  for (const auto& [i, k] : a.nonzeros())
+    for (int j : b.row_nonzeros(k))
+      f += linalg::flops::gemm(a.panel(i), b.panel(j), a.panel(k));
+  return f;
+}
+
+}  // namespace ttg::sparse

@@ -1,0 +1,74 @@
+// Block-sparse matrices with irregular tile dimensions (Section III-D).
+//
+// The bspmm benchmark operates on matrices "tiled in blocks of irregular
+// dimensions, with a significant subset of blocks empty". Rows/columns are
+// partitioned into panels (one tile row/column per panel); each nonzero
+// block is a dense Tile of panel_rows x panel_cols.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/tile.hpp"
+
+namespace ttg::sparse {
+
+/// Packed (row, col) tile coordinate.
+constexpr std::uint64_t pack_ij(int i, int j) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+         static_cast<std::uint32_t>(j);
+}
+
+class BlockSparseMatrix {
+ public:
+  BlockSparseMatrix() = default;
+  /// Square block structure with the given panel sizes (tile (i,j) has
+  /// shape panels[i] x panels[j]).
+  explicit BlockSparseMatrix(std::vector<int> panels);
+
+  [[nodiscard]] int ntiles() const { return static_cast<int>(panels_.size()); }
+  [[nodiscard]] int panel(int i) const { return panels_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const std::vector<int>& panels() const { return panels_; }
+  /// Total matrix dimension (sum of panels).
+  [[nodiscard]] int n() const { return n_; }
+
+  [[nodiscard]] bool has(int i, int j) const { return blocks_.count(pack_ij(i, j)) > 0; }
+  [[nodiscard]] linalg::Tile& at(int i, int j);
+  [[nodiscard]] const linalg::Tile& at(int i, int j) const;
+  /// Insert/overwrite tile (i, j); shape must match the panel structure
+  /// (ignored for ghost tiles of matching dims).
+  void set(int i, int j, linalg::Tile t);
+
+  [[nodiscard]] std::size_t nnz_tiles() const { return blocks_.size(); }
+  /// Fraction of nonzero tiles.
+  [[nodiscard]] double occupancy() const;
+  /// Nonzero element count (by block footprint).
+  [[nodiscard]] std::uint64_t nnz_elements() const;
+
+  /// Deterministically ordered list of nonzero coordinates (row-major).
+  [[nodiscard]] std::vector<std::pair<int, int>> nonzeros() const;
+  /// Column indices of nonzeros in row i (sorted).
+  [[nodiscard]] std::vector<int> row_nonzeros(int i) const;
+  /// Row indices of nonzeros in column j (sorted).
+  [[nodiscard]] std::vector<int> col_nonzeros(int j) const;
+
+  /// Assemble to a dense tile (tests; real tiles only).
+  [[nodiscard]] linalg::Tile to_dense() const;
+
+ private:
+  std::vector<int> panels_;
+  std::vector<int> offsets_;  // panel start offsets
+  int n_ = 0;
+  std::unordered_map<std::uint64_t, linalg::Tile> blocks_;
+};
+
+/// C = A * B over the block structure (reference; real tiles).
+[[nodiscard]] BlockSparseMatrix multiply_reference(const BlockSparseMatrix& a,
+                                                   const BlockSparseMatrix& b);
+
+/// Total GEMM flops of C = A * B given both sparsity patterns.
+[[nodiscard]] double multiply_flops(const BlockSparseMatrix& a,
+                                    const BlockSparseMatrix& b);
+
+}  // namespace ttg::sparse

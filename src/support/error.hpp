@@ -1,0 +1,40 @@
+// Error handling primitives shared by all modules.
+//
+// The simulator is deterministic and single-threaded; internal invariant
+// violations are programming errors, so we fail fast with a message rather
+// than propagate error codes through the hot path (C++ Core Guidelines E.12,
+// I.10: prefer preconditions that terminate over silently bad states).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ttg::support {
+
+/// Thrown for user-facing, recoverable misuse of the public API
+/// (e.g. connecting edges of mismatched arity, invalid CLI arguments).
+class ApiError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void fail(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "ttg-repro fatal: %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace ttg::support
+
+/// Invariant check that is always on (the simulator is not perf-bound by it).
+#define TTG_CHECK(cond, msg)                                      \
+  do {                                                            \
+    if (!(cond)) ::ttg::support::fail(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Precondition on public API arguments: throws ApiError (recoverable).
+#define TTG_REQUIRE(cond, msg)                         \
+  do {                                                 \
+    if (!(cond)) throw ::ttg::support::ApiError(msg);  \
+  } while (0)

@@ -1,0 +1,36 @@
+// Hashing utilities for task IDs (keys).
+//
+// TTG routes every message by hashing/mapping its task ID; keys are small
+// tuples of integers (Int1/Int2/Int3 in the paper) or user structs. We
+// provide a stable 64-bit combine so unordered_map behaviour is identical
+// across runs (determinism is a core requirement of the simulator).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <type_traits>
+
+namespace ttg::support {
+
+/// 64-bit hash combiner (boost::hash_combine-style, golden-ratio constant).
+inline void hash_combine(std::uint64_t& seed, std::uint64_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+template <typename T>
+concept MemberHashable = requires(const T& t) {
+  { t.hash() } -> std::convertible_to<std::uint64_t>;
+};
+
+/// Hash dispatch: member `hash()` if provided, else std::hash.
+template <typename T>
+std::uint64_t hash_value(const T& t) {
+  if constexpr (MemberHashable<T>) {
+    return t.hash();
+  } else {
+    return std::hash<T>{}(t);
+  }
+}
+
+}  // namespace ttg::support

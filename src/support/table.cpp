@@ -1,0 +1,88 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ttg::support {
+
+Table::Table(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  TTG_REQUIRE(row.size() == header_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << "  ";
+      os << r[c];
+      os << std::string(width[c] - r[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print() const {
+  std::printf("%s\n[csv]\n%s[/csv]\n\n", str().c_str(), csv().c_str());
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  if (v >= 1e12) {
+    scaled = v / 1e12;
+    suffix = " T";
+  } else if (v >= 1e9) {
+    scaled = v / 1e9;
+    suffix = " G";
+  } else if (v >= 1e6) {
+    scaled = v / 1e6;
+    suffix = " M";
+  } else if (v >= 1e3) {
+    scaled = v / 1e3;
+    suffix = " K";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%s", precision, scaled, suffix);
+  return buf;
+}
+
+}  // namespace ttg::support

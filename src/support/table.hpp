@@ -1,0 +1,39 @@
+// Plain-text table formatting for the benchmark harness.
+//
+// Every bench binary regenerates one table/figure from the paper and prints
+// it as an aligned text table (plus a machine-readable CSV block) so the
+// series can be compared against the paper's plots directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ttg::support {
+
+/// Column-aligned text table with a title, header row, and data rows.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render as an aligned text table.
+  [[nodiscard]] std::string str() const;
+  /// Render as CSV (header + rows).
+  [[nodiscard]] std::string csv() const;
+  /// Print both renderings to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (bench output helper).
+std::string fmt(double v, int precision = 2);
+/// Format as engineering notation with a unit, e.g. 1234.5 -> "1.23 K".
+std::string fmt_si(double v, int precision = 2);
+
+}  // namespace ttg::support

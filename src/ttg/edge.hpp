@@ -1,0 +1,89 @@
+// Typed edges and the input-terminal interface.
+//
+// "TTG represents an algorithm as a flowgraph composed of one or more nodes
+// (template tasks) equipped with ordered sets of input and output terminals
+// connected by directed edges. Template tasks, terminals, and edges are
+// explicitly and strongly typed. Edges encode all possible flows of
+// messages." (Section II.)
+//
+// An Edge<Key, Value> is a lightweight shared handle; connecting it as an
+// input of a template task registers that task's input terminal as a sink,
+// and every output terminal attached to the edge fans its messages out to
+// all sinks. One output terminal may feed any number of input terminals.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/world.hpp"
+
+namespace ttg {
+
+/// Interface of a template task's input terminal, as seen by edges and
+/// output terminals. Implementations live inside TT (one per input slot).
+template <typename Key, typename Value>
+class InTerminalBase {
+ public:
+  virtual ~InTerminalBase() = default;
+
+  /// Rank that owns task `key` of the consumer (its keymap).
+  [[nodiscard]] virtual int owner(const Key& key) const = 0;
+
+  /// Deliver a value for `key` on the *current* rank (copies the value).
+  virtual void put_local(const Key& key, const Value& value) = 0;
+  /// Deliver a value for `key` on the current rank (moves the value).
+  virtual void put_local_move(const Key& key, Value&& value) = 0;
+
+  /// Declare the number of stream items task `key` expects on this
+  /// (streaming) terminal.
+  virtual void set_stream_size_local(const Key& key, std::size_t n) = 0;
+  /// Close the stream for task `key` at its current length.
+  virtual void finalize_stream_local(const Key& key) = 0;
+
+  [[nodiscard]] virtual rt::World& world() const = 0;
+  [[nodiscard]] virtual const std::string& consumer_name() const = 0;
+};
+
+namespace detail {
+
+/// Shared state of an edge: the registered sinks.
+template <typename Key, typename Value>
+struct EdgeImpl {
+  std::string name;
+  std::vector<InTerminalBase<Key, Value>*> sinks;
+};
+
+}  // namespace detail
+
+/// Strongly-typed edge carrying (Key, Value) messages.
+template <typename Key, typename Value>
+class Edge {
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  explicit Edge(std::string name = "edge")
+      : impl_(std::make_shared<detail::EdgeImpl<Key, Value>>()) {
+    impl_->name = std::move(name);
+  }
+
+  [[nodiscard]] const std::string& name() const { return impl_->name; }
+  [[nodiscard]] std::size_t fanout() const { return impl_->sinks.size(); }
+
+  [[nodiscard]] detail::EdgeImpl<Key, Value>* impl() const { return impl_.get(); }
+  [[nodiscard]] std::shared_ptr<detail::EdgeImpl<Key, Value>> impl_ptr() const {
+    return impl_;
+  }
+
+ private:
+  std::shared_ptr<detail::EdgeImpl<Key, Value>> impl_;
+};
+
+/// Group edges for make_tt: `ttg::edges(a, b, c)`.
+template <typename... Es>
+auto edges(Es&&... es) {
+  return std::make_tuple(std::forward<Es>(es)...);
+}
+
+}  // namespace ttg

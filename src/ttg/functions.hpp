@@ -1,0 +1,86 @@
+// Free-function send/broadcast API used inside task bodies (Fig. 2).
+//
+//   ttg::send<i>(key, value, out)            one terminal, one task ID
+//   ttg::broadcast<i>(keys, value, out)      one terminal, several task IDs
+//   ttg::broadcast<i,j,...>(keylists, value, out)
+//                                            several terminals, each with one
+//                                            or more task IDs — the form the
+//                                            TRSM task template in Listing 1
+//                                            uses to feed 4 terminals from
+//                                            one tile without re-serializing
+//   ttg::set_size<i>(key, n, out)            declare a stream's length
+//   ttg::finalize<i>(key, out)               close a stream
+#pragma once
+
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "ttg/terminal.hpp"
+
+namespace ttg {
+
+namespace detail {
+template <typename T>
+struct is_key_vector : std::false_type {};
+template <typename K, typename A>
+struct is_key_vector<std::vector<K, A>> : std::true_type {};
+
+/// Dispatch a single key or a vector of keys into one terminal.
+template <typename OutT, typename Keyish, typename V>
+void bcast_one(const OutT& term, const Keyish& keyish, const V& value) {
+  if constexpr (is_key_vector<Keyish>::value) {
+    if (!keyish.empty()) term.broadcast(keyish, value);
+  } else {
+    term.send(keyish, value);
+  }
+}
+}  // namespace detail
+
+/// Send `value` for task `key` to output terminal `i`.
+template <std::size_t i, typename Key, typename V, typename... Outs>
+void send(const Key& key, V&& value, std::tuple<Outs...>& out) {
+  std::get<i>(out).send(key, std::forward<V>(value));
+}
+
+/// Pure-control send (terminal i carries Void data).
+template <std::size_t i, typename Key, typename... Outs>
+void sendk(const Key& key, std::tuple<Outs...>& out) {
+  std::get<i>(out).send(key);
+}
+
+/// Send `value` to every task in `keys` on terminal `i`; crosses the wire
+/// once per destination rank (Fig. 2b).
+template <std::size_t i, typename Key, typename V, typename... Outs>
+void broadcast(const std::vector<Key>& keys, const V& value, std::tuple<Outs...>& out) {
+  if (!keys.empty()) std::get<i>(out).broadcast(keys, value);
+}
+
+/// Multi-terminal broadcast (Fig. 2c): `keylists` is a tuple aligned with
+/// the terminal indices `Is...`; each element is a single key or a
+/// std::vector of keys for that terminal.
+template <std::size_t... Is, typename... KeyLists, typename V, typename... Outs>
+  requires(sizeof...(Is) == sizeof...(KeyLists) && sizeof...(Is) > 1)
+void broadcast(const std::tuple<KeyLists...>& keylists, const V& value,
+               std::tuple<Outs...>& out) {
+  [&]<std::size_t... Js>(std::index_sequence<Js...>) {
+    constexpr std::size_t idx[] = {Is...};
+    (detail::bcast_one(std::get<idx[Js]>(out), std::get<Js>(keylists), value), ...);
+  }(std::make_index_sequence<sizeof...(Is)>{});
+}
+
+/// Declare that task `key` expects `n` stream items on the streaming input
+/// terminals connected to output terminal `i`.
+template <std::size_t i, typename Key, typename... Outs>
+void set_size(const Key& key, std::size_t n, std::tuple<Outs...>& out) {
+  std::get<i>(out).set_size(key, n);
+}
+
+/// Close the stream of task `key` on the streaming inputs connected to
+/// output terminal `i` at its current length.
+template <std::size_t i, typename Key, typename... Outs>
+void finalize(const Key& key, std::tuple<Outs...>& out) {
+  std::get<i>(out).finalize(key);
+}
+
+}  // namespace ttg

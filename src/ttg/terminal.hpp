@@ -1,0 +1,262 @@
+// Output terminals: sending and broadcasting (Section II-A of the paper).
+//
+// A task body receives a tuple of Out<Key, Value> terminals and pushes
+// messages through them with ttg::send / ttg::broadcast. Routing rules:
+//
+//   * the destination rank of each (key, value) message is the *consumer's*
+//     keymap applied to the key;
+//   * local deliveries copy by default; moves and (on backends that own the
+//     data, i.e. PaRSEC) const-reference sends are zero-copy;
+//   * remote deliveries pick the best serialization protocol for Value:
+//     split-metadata (metadata eager + one-sided payload fetch) when the
+//     type and backend support it, otherwise whole-object serialization;
+//   * broadcasts to several task IDs owned by the same remote rank are
+//     coalesced into a single message carrying the key list (the optimized
+//     ttg::broadcast the paper introduced) unless the world was configured
+//     with optimized_broadcast = false (the ablation / Chameleon profile).
+#pragma once
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "serialization/traits.hpp"
+#include "ttg/edge.hpp"
+#include "ttg/keys.hpp"
+
+namespace ttg {
+
+namespace detail {
+/// Local-copy charge estimate: the declared wire size when available
+/// (Tile-like types), else the static size of the value.
+template <typename V>
+std::size_t local_copy_bytes(const V& v) {
+  if constexpr (ser::detail::HasWireBytes<V>) {
+    return v.wire_bytes();
+  } else {
+    return sizeof(V);
+  }
+}
+}  // namespace detail
+
+/// Output terminal attached to one edge; fans out to all of the edge's
+/// registered input terminals.
+template <typename Key, typename Value>
+class Out {
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  Out() = default;
+  Out(rt::World* world, std::shared_ptr<detail::EdgeImpl<Key, Value>> edge)
+      : world_(world), edge_(std::move(edge)) {}
+
+  /// Send one message; the value is copied (mutable afterwards).
+  void send(const Key& key, const Value& value) const {
+    route(std::vector<Key>{key}, value, /*moved=*/false);
+  }
+  /// Send one message, surrendering the value (zero-copy path).
+  void send(const Key& key, Value&& value) const {
+    route(std::vector<Key>{key}, value, /*moved=*/true);
+  }
+  /// Pure-control send (Value == Void).
+  void send(const Key& key) const
+    requires std::same_as<Value, Void>
+  {
+    route(std::vector<Key>{key}, Void{}, /*moved=*/true);
+  }
+
+  /// Send the same value to several task IDs (Fig. 2b): the value crosses
+  /// the wire once per destination rank, not once per key.
+  void broadcast(const std::vector<Key>& keys, const Value& value) const {
+    route(keys, value, /*moved=*/false);
+  }
+  void broadcast(const std::vector<Key>& keys, Value&& value) const {
+    route(keys, value, /*moved=*/true);
+  }
+
+  /// Declare how many stream items task `key` expects on the connected
+  /// streaming input terminals.
+  void set_size(const Key& key, std::size_t n) const {
+    control(key, [n](InTerminalBase<Key, Value>* sink, const Key& k) {
+      sink->set_stream_size_local(k, n);
+    });
+  }
+
+  /// Close the connected streaming terminals' stream for `key` at its
+  /// current length.
+  void finalize(const Key& key) const {
+    control(key, [](InTerminalBase<Key, Value>* sink, const Key& k) {
+      sink->finalize_stream_local(k);
+    });
+  }
+
+  [[nodiscard]] bool connected() const { return edge_ && !edge_->sinks.empty(); }
+  [[nodiscard]] std::size_t fanout() const { return edge_ ? edge_->sinks.size() : 0; }
+
+ private:
+  void route(const std::vector<Key>& keys, const Value& value, bool moved) const {
+    if (keys.empty()) return;
+    TTG_CHECK(world_ != nullptr, "send through a default-constructed terminal");
+    TTG_CHECK(connected(), "send through an unconnected output terminal");
+    auto& w = *world_;
+    const int me = w.rank();
+    auto& comm = w.comm();
+    const bool coalesce = w.config().optimized_broadcast;
+
+    for (auto* sink : edge_->sinks) {
+      std::vector<Key> local;
+      std::map<int, std::vector<Key>> remote;  // ordered => deterministic
+      for (const Key& k : keys) {
+        const int dst = sink->owner(k);
+        if (dst == me) {
+          local.push_back(k);
+        } else {
+          remote[dst].push_back(k);
+        }
+      }
+      for (const Key& k : local) {
+        // Physical copy always happens (each task owns private inputs);
+        // the virtual cost depends on the backend's data ownership.
+        if (moved || comm.zero_copy_local()) {
+          comm.mutable_stats().local_shares += 1;
+        } else {
+          comm.mutable_stats().local_copies += 1;
+          w.scheduler(me).charge(w.machine().copy_time(detail::local_copy_bytes(value)));
+        }
+        sink->put_local(k, value);
+      }
+      for (auto& [dst, ks] : remote) {
+        if (coalesce) {
+          send_remote(sink, me, dst, ks, value);
+        } else {
+          for (const Key& k : ks) send_remote(sink, me, dst, {k}, value);
+        }
+      }
+    }
+  }
+
+  void send_remote(InTerminalBase<Key, Value>* sink, int src, int dst,
+                   const std::vector<Key>& ks, const Value& value) const {
+    auto& w = *world_;
+    auto& comm = w.comm();
+    if constexpr (ser::is_splitmd_v<Value>) {
+      if (comm.supports_splitmd()) {
+        send_splitmd(sink, src, dst, ks, value);
+        return;
+      }
+    }
+    static_assert(std::is_default_constructible_v<Value>,
+                  "remote TTG values must be default-constructible");
+    // Whole-object path: serialize value + piggybacked key list.
+    ser::OutputArchive ar;
+    ar& value;
+    ar& ks;
+    auto buf = std::make_shared<std::vector<std::byte>>(ar.release());
+    const std::size_t wire = ser::wire_size(value, buf->size());
+    // Downgrade the protocol label when splitmd exists but the backend
+    // cannot use it (MADNESS): costs follow the whole-object path.
+    constexpr ser::Protocol proto =
+        ser::protocol_for<Value>() == ser::Protocol::SplitMetadata
+            ? ser::Protocol::Archive
+            : ser::protocol_for<Value>();
+    const double cpu = comm.send_side_cpu(wire, proto);
+    const double delay = w.scheduler(src).charge(cpu);
+    rt::World* wp = world_;
+    w.engine().after(delay, [wp, &comm, src, dst, wire, buf, sink]() {
+      comm.send_message(src, dst, wire, [wp, dst, buf, sink]() {
+        ser::InputArchive ia(*buf);
+        Value v{};
+        ia& v;
+        std::vector<Key> keys;
+        ia& keys;
+        wp->run_as(dst, [&]() {
+          for (std::size_t i = 0; i + 1 < keys.size(); ++i) sink->put_local(keys[i], v);
+          sink->put_local_move(keys.back(), std::move(v));
+        });
+      });
+    });
+  }
+
+  void send_splitmd(InTerminalBase<Key, Value>* sink, int src, int dst,
+                    const std::vector<Key>& ks, const Value& value) const {
+    using SMD = ser::SplitMetadata<Value>;
+    auto& w = *world_;
+    auto& comm = w.comm();
+    ser::OutputArchive ar;
+    auto md = SMD::get_metadata(value);
+    ar& md;
+    ar& ks;
+    auto mdbuf = std::make_shared<std::vector<std::byte>>(ar.release());
+    const std::size_t payload_bytes = SMD::payload_bytes(value);
+    // The runtime keeps the source object registered/alive until the
+    // remote completion notification; shared ownership models that.
+    auto holder = std::make_shared<const Value>(value);
+    auto obj = std::make_shared<Value>();
+    auto keys_out = std::make_shared<std::vector<Key>>();
+    const double cpu = comm.send_side_cpu(payload_bytes, ser::Protocol::SplitMetadata);
+    const double delay = w.scheduler(src).charge(cpu);
+    rt::World* wp = world_;
+    w.engine().after(delay, [wp, &comm, src, dst, mdbuf, payload_bytes, holder, obj,
+                             keys_out, sink]() {
+      comm.send_splitmd(
+          src, dst, mdbuf->size(), payload_bytes,
+          /*on_metadata=*/
+          [mdbuf, obj, keys_out]() {
+            ser::InputArchive ia(*mdbuf);
+            typename SMD::metadata_type m{};
+            ia& m;
+            ia&* keys_out;
+            *obj = SMD::create(m);
+          },
+          /*on_payload=*/
+          [wp, dst, holder, obj, keys_out, sink]() {
+            const auto src_span = SMD::payload(*holder);
+            const auto dst_span = SMD::payload(*obj);
+            TTG_CHECK(src_span.size() == dst_span.size(), "splitmd payload size mismatch");
+            if (!src_span.empty())
+              std::memcpy(dst_span.data(), src_span.data(), src_span.size());
+            wp->run_as(dst, [&]() {
+              const auto& keys = *keys_out;
+              for (std::size_t i = 0; i + 1 < keys.size(); ++i)
+                sink->put_local(keys[i], *obj);
+              sink->put_local_move(keys.back(), std::move(*obj));
+            });
+          },
+          /*on_release=*/[holder]() { /* dropping the ref releases the source */ });
+    });
+  }
+
+  /// Route a control action (stream size / finalize) to the owner of `key`
+  /// on every sink.
+  template <typename Action>
+  void control(const Key& key, Action action) const {
+    TTG_CHECK(world_ != nullptr, "control through a default-constructed terminal");
+    TTG_CHECK(connected(), "control through an unconnected output terminal");
+    auto& w = *world_;
+    const int me = w.rank();
+    auto& comm = w.comm();
+    for (auto* sink : edge_->sinks) {
+      const int dst = sink->owner(key);
+      if (dst == me) {
+        action(sink, key);
+      } else {
+        constexpr std::size_t kCtrlBytes = 64;
+        const double cpu = comm.send_side_cpu(kCtrlBytes, ser::Protocol::Trivial);
+        const double delay = w.scheduler(me).charge(cpu);
+        rt::World* wp = world_;
+        w.engine().after(delay, [wp, &comm, me, dst, sink, key, action]() {
+          comm.send_message(me, dst, kCtrlBytes, [wp, dst, sink, key, action]() {
+            wp->run_as(dst, [&]() { action(sink, key); });
+          });
+        });
+      }
+    }
+  }
+
+  rt::World* world_ = nullptr;
+  std::shared_ptr<detail::EdgeImpl<Key, Value>> edge_;
+};
+
+}  // namespace ttg

@@ -1,0 +1,360 @@
+// Template tasks (the TT in TTG) and make_tt.
+//
+// "Once every input terminal of a given template task has received one
+// message with the same value of task ID, a task is created with the data
+// parts of the corresponding messages." (Section II.) This header implements
+// that matching logic, plus the features the paper added:
+//
+//   * priority maps (set_priomap) forwarded to the runtime scheduler;
+//   * streaming terminals (set_input_reducer / stream sizes / finalize)
+//     that accept a bounded or unbounded stream of messages reduced into a
+//     single task input;
+//   * user-defined process maps (set_keymap) deciding where each task runs;
+//   * cost maps (set_costmap) — a simulator extension: the virtual compute
+//     duration of a task, derived from kernel flop counts.
+//
+// A task body is any callable `fn(const Key&, InV&..., OutTuple&)`; inputs
+// arrive as private, mutable values ("tasks mutating inputs receive private
+// copies"), and the terminal tuple is used with ttg::send / ttg::broadcast.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <functional>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ttg/keys.hpp"
+#include "ttg/terminal.hpp"
+
+namespace ttg {
+
+template <typename Key, typename Fn, typename InTuple, typename OutTuple>
+class TT;
+
+/// Template task with inputs InV... keyed by Key, producing messages on
+/// output terminals OutTerm... via callable Fn.
+template <typename Key, typename Fn, typename... InV, typename... OutTerm>
+class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt::TTBase {
+ public:
+  static constexpr std::size_t kNumIn = sizeof...(InV);
+  static constexpr std::size_t kNumOut = sizeof...(OutTerm);
+  using key_type = Key;
+  using input_values = std::tuple<InV...>;
+  using out_terminals = std::tuple<OutTerm...>;
+
+  template <typename InEdges, typename OutEdges>
+  TT(rt::World& world, Fn fn, const InEdges& ins, const OutEdges& outs, std::string name)
+      : world_(world),
+        fn_(std::move(fn)),
+        name_(std::move(name)),
+        records_(static_cast<std::size_t>(world.nranks())) {
+    slots_ = make_slots(std::make_index_sequence<kNumIn>{});
+    keymap_ = [n = world.nranks()](const Key& k) {
+      return static_cast<int>(support::hash_value(k) % static_cast<std::uint64_t>(n));
+    };
+    stream_size_.fill(-1);
+    connect_inputs(ins, std::make_index_sequence<kNumIn>{});
+    connect_outputs(outs, std::make_index_sequence<kNumOut>{});
+    world_.register_tt(this);
+  }
+
+  ~TT() override { world_.deregister_tt(this); }
+  TT(const TT&) = delete;
+  TT& operator=(const TT&) = delete;
+
+  // --- configuration (call before injecting data) ---
+
+  /// Process map: task ID -> owning rank.
+  void set_keymap(std::function<int(const Key&)> f) { keymap_ = std::move(f); }
+  /// Priority map: task ID -> scheduler priority (higher runs first).
+  void set_priomap(std::function<int(const Key&)> f) { priomap_ = std::move(f); }
+  /// Cost map: virtual compute seconds of a task given its key and inputs.
+  void set_costmap(std::function<double(const Key&, const InV&...)> f) {
+    costmap_ = std::move(f);
+  }
+
+  /// Turn input terminal I into a streaming terminal: incoming messages are
+  /// folded into the accumulated value with `reducer`; the task fires after
+  /// `size` messages (size < 0: unbounded until set_size/finalize).
+  template <std::size_t I>
+  void set_input_reducer(
+      std::function<void(std::tuple_element_t<I, input_values>&,
+                         std::tuple_element_t<I, input_values>&&)>
+          reducer,
+      std::int64_t size = -1) {
+    std::get<I>(reducers_) = std::move(reducer);
+    is_stream_[I] = true;
+    stream_size_[I] = size;
+  }
+
+  /// Change the static stream size of streaming terminal I.
+  template <std::size_t I>
+  void set_static_argstream_size(std::int64_t n) {
+    TTG_REQUIRE(is_stream_[I], "terminal is not streaming");
+    stream_size_[I] = n;
+  }
+
+  /// Declare, for one specific task ID, how many stream items terminal I
+  /// expects (Listing 3: per-task stream sizes). Runs on the key's owner;
+  /// call during graph setup or from a task on any rank.
+  template <std::size_t I>
+  void set_argstream_size(const Key& key, std::int64_t n) {
+    world_.run_as(keymap_(key), [&]() { set_stream_size<I>(key, n); });
+  }
+
+  // --- introspection ---
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::size_t pending_records() const override {
+    std::size_t n = 0;
+    for (const auto& m : records_) n += m.size();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t tasks_executed() const override { return executed_; }
+  [[nodiscard]] int keymap(const Key& k) const { return keymap_(k); }
+  [[nodiscard]] rt::World& world() const { return world_; }
+
+  /// Access output terminal I (e.g. for manual injection in tests).
+  template <std::size_t I>
+  [[nodiscard]] auto& out() {
+    return std::get<I>(outs_);
+  }
+
+  // --- data injection (the INITIATOR pattern) ---
+
+  /// Create task `key` directly with the given input values, on its owner
+  /// rank. Represents reading locally-available data into the graph.
+  void invoke(const Key& key, InV... vals)
+    requires(kNumIn > 0)
+  {
+    input_values tup(std::move(vals)...);
+    inject(key, std::move(tup), std::make_index_sequence<kNumIn>{});
+  }
+
+  /// Create an input-less task `key` on its owner rank.
+  void invoke(const Key& key)
+    requires(kNumIn == 0)
+  {
+    world_.run_as(keymap_(key), [&]() { create_task(key, input_values{}); });
+  }
+
+ private:
+  // ---- input slots: the typed InTerminalBase implementations ----
+  template <std::size_t I>
+  class Slot final : public InTerminalBase<Key, std::tuple_element_t<I, input_values>> {
+   public:
+    using value_type = std::tuple_element_t<I, input_values>;
+    explicit Slot(TT* tt = nullptr) : tt_(tt) {}
+    [[nodiscard]] int owner(const Key& k) const override { return tt_->keymap_(k); }
+    void put_local(const Key& k, const value_type& v) override {
+      value_type copy = v;
+      tt_->template put<I>(k, std::move(copy));
+    }
+    void put_local_move(const Key& k, value_type&& v) override {
+      tt_->template put<I>(k, std::move(v));
+    }
+    void set_stream_size_local(const Key& k, std::size_t n) override {
+      tt_->template set_stream_size<I>(k, static_cast<std::int64_t>(n));
+    }
+    void finalize_stream_local(const Key& k) override {
+      tt_->template finalize_stream<I>(k);
+    }
+    [[nodiscard]] rt::World& world() const override { return tt_->world_; }
+    [[nodiscard]] const std::string& consumer_name() const override { return tt_->name_; }
+
+   private:
+    TT* tt_;
+  };
+
+  template <std::size_t... Is>
+  auto make_slots(std::index_sequence<Is...>) {
+    return std::tuple<Slot<Is>...>(Slot<Is>(this)...);
+  }
+
+  template <typename InEdges, std::size_t... Is>
+  void connect_inputs(const InEdges& ins, std::index_sequence<Is...>) {
+    ((std::get<Is>(in_edges_) = std::get<Is>(ins).impl_ptr()), ...);
+    (std::get<Is>(in_edges_)->sinks.push_back(&std::get<Is>(slots_)), ...);
+  }
+
+  template <typename OutEdges, std::size_t... Is>
+  void connect_outputs(const OutEdges& outs, std::index_sequence<Is...>) {
+    ((std::get<Is>(outs_) =
+          std::tuple_element_t<Is, out_terminals>(&world_, std::get<Is>(outs).impl_ptr())),
+     ...);
+  }
+
+  // ---- task record: inputs received so far for one task ID ----
+  static constexpr std::size_t kSlots = kNumIn > 0 ? kNumIn : 1;
+  struct Record {
+    input_values vals{};
+    std::array<std::int64_t, kSlots> received{};
+    std::array<std::int64_t, kSlots> target{};
+    std::bitset<kSlots> done;
+  };
+
+  Record& record(const Key& key) {
+    auto& map = records_[static_cast<std::size_t>(world_.rank())];
+    auto it = map.find(key);
+    if (it == map.end()) {
+      Record rec;
+      for (std::size_t i = 0; i < kNumIn; ++i)
+        rec.target[i] = is_stream_[i] ? stream_size_[i] : 1;
+      it = map.emplace(key, std::move(rec)).first;
+    }
+    return it->second;
+  }
+
+  template <std::size_t I>
+  void put(const Key& key, std::tuple_element_t<I, input_values>&& v) {
+    static_assert(I < kNumIn);
+    Record& rec = record(key);
+    TTG_CHECK(!rec.done[I], "input terminal " + std::to_string(I) + " of '" + name_ +
+                                "' received a message for an already-satisfied task " +
+                                "(duplicate input or stream overflow)");
+    if (is_stream_[I]) {
+      if (rec.received[I] == 0) {
+        std::get<I>(rec.vals) = std::move(v);
+      } else {
+        auto& reducer = std::get<I>(reducers_);
+        reducer(std::get<I>(rec.vals), std::move(v));
+      }
+      ++rec.received[I];
+      if (rec.target[I] >= 0 && rec.received[I] == rec.target[I]) {
+        rec.done[I] = true;
+        maybe_fire(key);
+      } else {
+        TTG_CHECK(rec.target[I] < 0 || rec.received[I] < rec.target[I],
+                  "stream overflow on '" + name_ + "'");
+      }
+    } else {
+      TTG_CHECK(rec.received[I] == 0,
+                "duplicate input on terminal " + std::to_string(I) + " of '" + name_ +
+                    "' for task " + key_to_string(key));
+      std::get<I>(rec.vals) = std::move(v);
+      rec.received[I] = 1;
+      rec.done[I] = true;
+      maybe_fire(key);
+    }
+  }
+
+  template <std::size_t I>
+  void set_stream_size(const Key& key, std::int64_t n) {
+    TTG_REQUIRE(is_stream_[I], "set_size on a non-streaming terminal of '" + name_ + "'");
+    Record& rec = record(key);
+    TTG_CHECK(!rec.done[I], "stream size set after completion");
+    TTG_CHECK(rec.received[I] <= n, "stream size below already-received count");
+    rec.target[I] = n;
+    if (rec.received[I] == n) {
+      rec.done[I] = true;
+      maybe_fire(key);
+    }
+  }
+
+  template <std::size_t I>
+  void finalize_stream(const Key& key) {
+    TTG_REQUIRE(is_stream_[I], "finalize on a non-streaming terminal of '" + name_ + "'");
+    Record& rec = record(key);
+    TTG_CHECK(!rec.done[I], "stream finalized twice");
+    rec.target[I] = rec.received[I];
+    rec.done[I] = true;
+    maybe_fire(key);
+  }
+
+  void maybe_fire(const Key& key) {
+    auto& map = records_[static_cast<std::size_t>(world_.rank())];
+    auto it = map.find(key);
+    TTG_CHECK(it != map.end(), "record vanished");
+    if (it->second.done.count() != kNumIn) return;
+    input_values vals = std::move(it->second.vals);
+    map.erase(it);
+    create_task(key, std::move(vals));
+  }
+
+  void create_task(const Key& key, input_values&& vals) {
+    const int rank = world_.rank();
+    const int prio = priomap_ ? priomap_(key) : 0;
+    double cost = 0.0;
+    if (costmap_) {
+      cost = std::apply(
+          [&](const auto&... v) { return costmap_(key, v...); }, vals);
+    }
+    cost += world_.comm().task_overhead();
+    auto body = [this, rank, key, vals = std::move(vals)]() mutable {
+      world_.run_as(rank, [&]() {
+        ++executed_;
+        call_body(key, vals);
+      });
+    };
+    if (world_.tracing()) {
+      world_.scheduler(rank).submit(prio, cost, name_, std::move(body));
+    } else {
+      world_.scheduler(rank).submit(prio, cost, std::move(body));
+    }
+  }
+
+  void call_body(const Key& key, input_values& vals) {
+    if constexpr (kNumIn == 0) {
+      fn_(key, outs_);
+    } else {
+      std::apply([&](auto&... v) { fn_(key, v..., outs_); }, vals);
+    }
+  }
+
+  template <std::size_t... Is>
+  void inject(const Key& key, input_values&& tup, std::index_sequence<Is...>) {
+    world_.run_as(keymap_(key), [&]() {
+      (put<Is>(key, std::move(std::get<Is>(tup))), ...);
+    });
+  }
+
+  // ---- state ----
+  rt::World& world_;
+  Fn fn_;
+  std::string name_;
+  std::function<int(const Key&)> keymap_;
+  std::function<int(const Key&)> priomap_;
+  std::function<double(const Key&, const InV&...)> costmap_;
+  std::vector<std::unordered_map<Key, Record, KeyHash<Key>>> records_;
+  std::tuple<std::function<void(InV&, InV&&)>...> reducers_;
+  std::array<bool, kSlots> is_stream_{};
+  std::array<std::int64_t, kSlots> stream_size_{};
+  std::tuple<std::shared_ptr<detail::EdgeImpl<Key, InV>>...> in_edges_;
+  out_terminals outs_{};
+  std::uint64_t executed_ = 0;
+
+  template <std::size_t... Is>
+  static auto slots_tuple_helper(std::index_sequence<Is...>) -> std::tuple<Slot<Is>...>;
+  using slots_tuple = decltype(slots_tuple_helper(std::make_index_sequence<kNumIn>{}));
+  slots_tuple slots_;
+
+  template <std::size_t>
+  friend class Slot;
+};
+
+/// Compose a template task from a callable and its input/output edges
+/// (Listing 1 of the paper). Key is deduced from the input edges; for a
+/// task template with no inputs pass the Key explicitly:
+/// `make_tt<Int1>(world, fn, std::tuple<>{}, outs, "initiator")`.
+template <typename Key, typename Fn, typename... InV, typename... OutK, typename... OutV>
+auto make_tt(rt::World& world, Fn fn, const std::tuple<Edge<Key, InV>...>& ins,
+             const std::tuple<Edge<OutK, OutV>...>& outs, std::string name = "tt") {
+  using TTType = TT<Key, Fn, std::tuple<InV...>, std::tuple<Out<OutK, OutV>...>>;
+  return std::make_unique<TTType>(world, std::move(fn), ins, outs, std::move(name));
+}
+
+/// Terminal consumer: calls `f(key, value)` for every message on `e`.
+/// Convenience for RESULT-style nodes that write output data back.
+template <typename Key, typename Value, typename F>
+auto make_sink(rt::World& world, const Edge<Key, Value>& e, F f,
+               std::string name = "sink") {
+  auto fn = [f = std::move(f)](const Key& k, Value& v, std::tuple<>&) { f(k, v); };
+  return make_tt(world, std::move(fn), edges(e), std::tuple<>{}, std::move(name));
+}
+
+}  // namespace ttg

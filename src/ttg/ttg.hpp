@@ -1,0 +1,34 @@
+// Umbrella header for the TTG programming model.
+//
+// Reproduction of the C++ TTG library described in "Generalized Flow-Graph
+// Programming Using Template Task-Graphs: Initial Implementation and
+// Assessment" (IPDPS 2022). A TTG program:
+//
+//   1. declares typed edges:            ttg::Edge<Int2, Tile> potrf_trsm;
+//   2. composes template tasks:         auto tt = ttg::make_tt(world, fn,
+//                                           ttg::edges(in...), ttg::edges(out...));
+//   3. configures maps:                 tt->set_keymap(...); tt->set_priomap(...);
+//   4. marks the graph executable:      ttg::make_graph_executable(*tt);
+//   5. injects data (INITIATOR):        tt->invoke(key, value);
+//   6. executes to quiescence:          world.fence();
+//
+// Execution is distributed over a simulated cluster (see runtime/world.hpp)
+// with either the PaRSEC-like or the MADNESS-like backend.
+#pragma once
+
+#include "runtime/world.hpp"
+#include "serialization/traits.hpp"
+#include "ttg/edge.hpp"
+#include "ttg/functions.hpp"
+#include "ttg/keys.hpp"
+#include "ttg/terminal.hpp"
+#include "ttg/tt.hpp"
+
+namespace ttg {
+
+using rt::BackendKind;
+using rt::make_graph_executable;
+using rt::World;
+using rt::WorldConfig;
+
+}  // namespace ttg

@@ -1,0 +1,162 @@
+// Integration tests of block-sparse GEMM: structure generator, TTG SUMMA
+// with both feedback loops, and the DBCSR comparator.
+#include <gtest/gtest.h>
+
+#include "apps/bspmm/bspmm_ttg.hpp"
+#include "baselines/dbcsr_like.hpp"
+#include "linalg/kernels.hpp"
+#include "sparse/yukawa_gen.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+using namespace ttg;
+using sparse::BlockSparseMatrix;
+
+sparse::YukawaParams small_params() {
+  sparse::YukawaParams p;
+  p.natoms = 40;
+  p.max_tile = 64;
+  p.box = 60.0;
+  p.screening_length = 5.0;
+  p.threshold = 1e-3;
+  p.seed = 7;
+  return p;
+}
+
+double compare(const BlockSparseMatrix& ref, const BlockSparseMatrix& got) {
+  double err = 0.0;
+  for (auto [i, j] : ref.nonzeros()) {
+    if (ref.at(i, j).norm() < 1e-300) continue;
+    EXPECT_TRUE(got.has(i, j)) << "missing C(" << i << "," << j << ")";
+    if (got.has(i, j)) err = std::max(err, ref.at(i, j).max_abs_diff(got.at(i, j)));
+  }
+  return err;
+}
+
+TEST(BlockSparse, BasicOps) {
+  BlockSparseMatrix m({4, 4, 2});
+  EXPECT_EQ(m.ntiles(), 3);
+  EXPECT_EQ(m.n(), 10);
+  EXPECT_FALSE(m.has(0, 1));
+  m.set(0, 1, linalg::Tile(4, 4));
+  EXPECT_TRUE(m.has(0, 1));
+  EXPECT_EQ(m.nnz_tiles(), 1u);
+  EXPECT_DOUBLE_EQ(m.occupancy(), 1.0 / 9.0);
+  EXPECT_EQ(m.nnz_elements(), 16u);
+  EXPECT_EQ(m.row_nonzeros(0), std::vector<int>{1});
+  EXPECT_EQ(m.col_nonzeros(1), std::vector<int>{0});
+  EXPECT_DEATH(m.set(0, 2, linalg::Tile(4, 4)), "shape");
+}
+
+TEST(BlockSparse, ReferenceMultiplyMatchesDense) {
+  auto a = sparse::yukawa_matrix(small_params());
+  auto c = sparse::multiply_reference(a, a);
+  // Compare against the dense product.
+  auto ad = a.to_dense();
+  linalg::Tile cd(ad.rows(), ad.cols());
+  linalg::gemm_nn_acc(cd, ad, ad);
+  double err = 0;
+  auto got = c.to_dense();
+  for (int i = 0; i < cd.rows(); ++i)
+    for (int j = 0; j < cd.cols(); ++j)
+      err = std::max(err, std::abs(cd(i, j) - got(i, j)));
+  EXPECT_LT(err, 1e-10);
+}
+
+TEST(Yukawa, GeneratorStatistics) {
+  auto p = small_params();
+  auto m = sparse::yukawa_matrix(p);
+  EXPECT_GT(m.ntiles(), 10);
+  EXPECT_GT(m.nnz_tiles(), 0u);
+  for (int i = 0; i < m.ntiles(); ++i) {
+    // Panels respect the cap unless a single atom's basis already exceeds
+    // it (atom bases are 40..70 functions).
+    EXPECT_LE(m.panel(i), std::max(p.max_tile, 70));
+    EXPECT_TRUE(m.has(i, i));  // diagonal always survives screening
+  }
+  // Deterministic for a fixed seed.
+  auto m2 = sparse::yukawa_matrix(p);
+  EXPECT_EQ(m.nnz_tiles(), m2.nnz_tiles());
+  const auto report = sparse::structure_report(m);
+  EXPECT_NE(report.find("occupancy"), std::string::npos);
+}
+
+TEST(Yukawa, GhostModeMirrorsStructure) {
+  auto p = small_params();
+  auto real = sparse::yukawa_matrix(p);
+  p.ghost = true;
+  auto ghost = sparse::yukawa_matrix(p);
+  EXPECT_EQ(real.nnz_tiles(), ghost.nnz_tiles());
+  EXPECT_EQ(real.panels(), ghost.panels());
+  for (auto [i, j] : real.nonzeros()) EXPECT_TRUE(ghost.at(i, j).is_ghost());
+}
+
+struct Case {
+  int nranks;
+  rt::BackendKind backend;
+  int read_window;
+  int k_window;
+};
+
+class BspmmCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BspmmCorrectness, MatchesReference) {
+  const auto p = GetParam();
+  auto a = sparse::yukawa_matrix(small_params());
+  auto ref = sparse::multiply_reference(a, a);
+
+  rt::WorldConfig cfg;
+  cfg.nranks = p.nranks;
+  cfg.backend = p.backend;
+  rt::World world(cfg);
+  apps::bspmm::Options opt;
+  opt.read_window = p.read_window;
+  opt.k_window = p.k_window;
+  auto res = apps::bspmm::run(world, a, a, opt);
+  EXPECT_LT(compare(ref, res.c), 1e-10);
+  EXPECT_GT(res.tasks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BspmmCorrectness,
+    ::testing::Values(Case{1, rt::BackendKind::Parsec, 64, 8},
+                      Case{4, rt::BackendKind::Parsec, 64, 8},
+                      Case{4, rt::BackendKind::Parsec, 4, 2},   // tight windows
+                      Case{4, rt::BackendKind::Parsec, 1, 1},   // serialized loops
+                      Case{3, rt::BackendKind::Parsec, 16, 4},  // odd grid
+                      Case{4, rt::BackendKind::Madness, 64, 8},
+                      Case{2, rt::BackendKind::Madness, 8, 3}));
+
+TEST(Bspmm, MultiplyFlopsPositiveAndConsistent) {
+  auto a = sparse::yukawa_matrix(small_params());
+  const double f = sparse::multiply_flops(a, a);
+  EXPECT_GT(f, 0.0);
+  // Flops must not exceed the dense count.
+  const double dense = 2.0 * std::pow(static_cast<double>(a.n()), 3);
+  EXPECT_LE(f, dense);
+}
+
+TEST(Dbcsr, FeasibleGridsAndScaling) {
+  auto p = small_params();
+  p.ghost = true;
+  auto a = sparse::yukawa_matrix(p);
+  double prev = 1e300;
+  for (int nodes : {1, 4, 16, 64}) {
+    auto r = baselines::run_dbcsr(sim::hawk(), nodes, a, a);
+    EXPECT_GT(r.gflops, 0.0);
+    EXPECT_LE(r.makespan, prev * 1.001) << "nodes=" << nodes;
+    prev = r.makespan;
+  }
+}
+
+TEST(Dbcsr, ReplicationKicksInAtScale) {
+  auto p = small_params();
+  p.ghost = true;
+  p.natoms = 120;
+  auto a = sparse::yukawa_matrix(p);
+  auto r = baselines::run_dbcsr(sim::hawk(), 256, a, a);
+  EXPECT_GE(r.replication, 1);
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// Integration tests of the Cholesky implementations: TTG on both backends,
+// the DPLASMA-like PTG executor, the BSP comparators, and ghost-mode runs.
+#include <gtest/gtest.h>
+
+#include "apps/cholesky/cholesky_ttg.hpp"
+#include "baselines/bsp_cholesky.hpp"
+#include "baselines/chameleon_like.hpp"
+#include "baselines/dplasma_like.hpp"
+#include "linalg/kernels.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+using namespace ttg;
+using linalg::TiledMatrix;
+
+struct Case {
+  int nranks;
+  int n;
+  int bs;
+  rt::BackendKind backend;
+};
+
+class CholeskyCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CholeskyCorrectness, MatchesDenseReference) {
+  const auto p = GetParam();
+  support::Rng rng(42);
+  auto a = linalg::random_spd(rng, p.n, p.bs);
+  auto ref = linalg::dense_cholesky(a.to_dense());
+
+  rt::WorldConfig cfg;
+  cfg.machine = sim::hawk();
+  cfg.nranks = p.nranks;
+  cfg.backend = p.backend;
+  rt::World world(cfg);
+  auto res = apps::cholesky::run(world, a);
+  EXPECT_LT(res.matrix.to_dense().max_abs_diff(ref), 1e-9);
+  EXPECT_GT(res.makespan, 0.0);
+  EXPECT_GT(res.gflops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CholeskyCorrectness,
+    ::testing::Values(Case{1, 64, 16, rt::BackendKind::Parsec},
+                      Case{1, 64, 64, rt::BackendKind::Parsec},  // single tile
+                      Case{2, 96, 32, rt::BackendKind::Parsec},
+                      Case{4, 96, 16, rt::BackendKind::Parsec},
+                      Case{7, 100, 24, rt::BackendKind::Parsec},  // ragged + odd grid
+                      Case{4, 96, 16, rt::BackendKind::Madness},
+                      Case{2, 80, 32, rt::BackendKind::Madness}));
+
+TEST(Cholesky, TaskCountMatchesAlgorithm) {
+  support::Rng rng(1);
+  const int nt = 5;
+  auto a = linalg::random_spd(rng, nt * 16, 16);
+  rt::WorldConfig cfg;
+  cfg.nranks = 2;
+  rt::World world(cfg);
+  auto res = apps::cholesky::run(world, a);
+  // nt potrf + nt(nt-1)/2 trsm + nt(nt-1)/2 syrk + nt(nt-1)(nt-2)/6 gemm.
+  const std::uint64_t expect = nt + nt * (nt - 1) / 2 * 2 + nt * (nt - 1) * (nt - 2) / 6;
+  EXPECT_EQ(res.tasks, expect);
+}
+
+TEST(Cholesky, GhostRunHasSameTaskCountAsReal) {
+  support::Rng rng(2);
+  auto real = linalg::random_spd(rng, 96, 32);
+  auto ghost = linalg::ghost_matrix(96, 32);
+  rt::WorldConfig cfg;
+  cfg.nranks = 4;
+  std::uint64_t tr, tg;
+  {
+    rt::World w(cfg);
+    tr = apps::cholesky::run(w, real).tasks;
+  }
+  {
+    rt::World w(cfg);
+    apps::cholesky::Options opt;
+    opt.collect = false;
+    tg = apps::cholesky::run(w, ghost, opt).tasks;
+  }
+  EXPECT_EQ(tr, tg);
+}
+
+TEST(Cholesky, GhostMakespanMatchesRealMakespan) {
+  // The cost model only depends on tile dimensions, so ghost and real runs
+  // must produce identical virtual timings.
+  support::Rng rng(3);
+  auto real = linalg::random_spd(rng, 96, 32);
+  auto ghost = linalg::ghost_matrix(96, 32);
+  rt::WorldConfig cfg;
+  cfg.nranks = 4;
+  double t_real, t_ghost;
+  {
+    rt::World w(cfg);
+    t_real = apps::cholesky::run(w, real).makespan;
+  }
+  {
+    rt::World w(cfg);
+    apps::cholesky::Options opt;
+    opt.collect = false;
+    t_ghost = apps::cholesky::run(w, ghost, opt).makespan;
+  }
+  EXPECT_NEAR(t_real, t_ghost, 1e-12);
+}
+
+TEST(Dplasma, MatchesDenseReference) {
+  support::Rng rng(4);
+  auto a = linalg::random_spd(rng, 96, 24);
+  auto ref = linalg::dense_cholesky(a.to_dense());
+  auto res = baselines::run_dplasma_cholesky(sim::hawk(), 4, a, /*collect=*/true);
+  EXPECT_LT(res.matrix.to_dense().max_abs_diff(ref), 1e-9);
+}
+
+TEST(Dplasma, ComparableToTtgParsec) {
+  auto a = linalg::ghost_matrix(512 * 8, 512);
+  rt::WorldConfig cfg;
+  cfg.nranks = 4;
+  rt::World w(cfg);
+  apps::cholesky::Options opt;
+  opt.collect = false;
+  const double ttg_t = apps::cholesky::run(w, a, opt).makespan;
+  const double dpl_t = baselines::run_dplasma_cholesky(sim::hawk(), 4, a).makespan;
+  // The paper's Fig. 5/6: DPLASMA and TTG/PaRSEC nearly overlap.
+  EXPECT_LT(std::abs(ttg_t - dpl_t) / ttg_t, 0.35);
+}
+
+TEST(BspBaselines, SlateNoSlowerThanScalapack) {
+  for (int nodes : {1, 4, 16}) {
+    auto sc = baselines::run_bsp_cholesky(sim::hawk(), nodes, 512 * 16, 512,
+                                          baselines::BspVariant::ScaLapack);
+    auto sl = baselines::run_bsp_cholesky(sim::hawk(), nodes, 512 * 16, 512,
+                                          baselines::BspVariant::Slate);
+    EXPECT_LE(sl.makespan, sc.makespan * 1.0001) << "nodes=" << nodes;
+  }
+}
+
+TEST(BspBaselines, TaskBasedBeatsBspAtScale) {
+  // The headline separation of Fig. 5: at multiple nodes, TTG and DPLASMA
+  // clearly outperform the no-lookahead BSP libraries.
+  const int nodes = 16;
+  auto ghost = linalg::ghost_matrix(512 * 24, 512);
+  rt::WorldConfig cfg;
+  cfg.nranks = nodes;
+  rt::World w(cfg);
+  apps::cholesky::Options opt;
+  opt.collect = false;
+  const double ttg_t = apps::cholesky::run(w, ghost, opt).makespan;
+  const auto sc = baselines::run_bsp_cholesky(sim::hawk(), nodes, 512 * 24, 512,
+                                              baselines::BspVariant::ScaLapack);
+  EXPECT_LT(ttg_t, sc.makespan);
+}
+
+TEST(Chameleon, CorrectButTrailsTtg) {
+  support::Rng rng(5);
+  auto a = linalg::random_spd(rng, 96, 24);
+  auto ref = linalg::dense_cholesky(a.to_dense());
+  {
+    rt::World w(baselines::chameleon_profile(sim::hawk(), 4));
+    auto res = apps::cholesky::run(w, a);
+    EXPECT_LT(res.matrix.to_dense().max_abs_diff(ref), 1e-9);
+  }
+  // Performance: Chameleon slightly trails TTG/PaRSEC (ghost, larger run).
+  auto ghost = linalg::ghost_matrix(512 * 16, 512);
+  apps::cholesky::Options opt;
+  opt.collect = false;
+  rt::WorldConfig cfg;
+  cfg.nranks = 8;
+  rt::World wt(cfg);
+  const double ttg_t = apps::cholesky::run(wt, ghost, opt).makespan;
+  const double ch_t =
+      baselines::run_chameleon_cholesky(sim::hawk(), 8, ghost).makespan;
+  EXPECT_GT(ch_t, ttg_t);
+}
+
+TEST(Cholesky, PrioritiesHelpOrAreNeutral) {
+  auto ghost = linalg::ghost_matrix(512 * 12, 512);
+  apps::cholesky::Options with, without;
+  with.collect = without.collect = false;
+  without.priorities = false;
+  rt::WorldConfig cfg;
+  cfg.nranks = 4;
+  double t_with, t_without;
+  {
+    rt::World w(cfg);
+    t_with = apps::cholesky::run(w, ghost, with).makespan;
+  }
+  {
+    rt::World w(cfg);
+    t_without = apps::cholesky::run(w, ghost, without).makespan;
+  }
+  EXPECT_LE(t_with, t_without * 1.05);
+}
+
+TEST(Cholesky, FlopCountFormula) {
+  EXPECT_NEAR(apps::cholesky::flop_count(300), 9.0e6, 1.0);
+}
+
+}  // namespace

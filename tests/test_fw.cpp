@@ -1,0 +1,152 @@
+// Integration tests of the FW-APSP implementations.
+#include <gtest/gtest.h>
+
+#include "apps/fw_apsp/fw_ttg.hpp"
+#include "baselines/fw_mpi_omp.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+using namespace ttg;
+
+struct Case {
+  int nranks;
+  int n;
+  int bs;
+  rt::BackendKind backend;
+};
+
+class FwCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FwCorrectness, MatchesDenseReference) {
+  const auto p = GetParam();
+  support::Rng rng(31);
+  auto w0 = linalg::random_adjacency(rng, p.n, p.bs, 0.25);
+  auto ref = linalg::dense_fw(w0.to_dense());
+
+  rt::WorldConfig cfg;
+  cfg.nranks = p.nranks;
+  cfg.backend = p.backend;
+  rt::World world(cfg);
+  auto res = apps::fw::run(world, w0);
+  EXPECT_LT(res.matrix.to_dense().max_abs_diff(ref), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FwCorrectness,
+    ::testing::Values(Case{1, 32, 8, rt::BackendKind::Parsec},
+                      Case{1, 32, 32, rt::BackendKind::Parsec},  // single tile
+                      Case{2, 48, 16, rt::BackendKind::Parsec},
+                      Case{4, 64, 16, rt::BackendKind::Parsec},
+                      Case{6, 60, 12, rt::BackendKind::Parsec},  // ragged tiles
+                      Case{4, 64, 16, rt::BackendKind::Madness},
+                      Case{2, 48, 24, rt::BackendKind::Madness}));
+
+TEST(Fw, DisconnectedVerticesStayInf) {
+  // Graph with an unreachable vertex: distances must remain "infinite".
+  linalg::TiledMatrix w0(4, 2);
+  auto d = linalg::Tile(4, 4);
+  for (auto& v : d.data()) v = linalg::kInf;
+  for (int i = 0; i < 4; ++i) d(i, i) = 0;
+  d(0, 1) = 1;
+  d(1, 2) = 1;  // vertex 3 disconnected
+  w0 = linalg::TiledMatrix::from_dense(d, 2);
+  rt::WorldConfig cfg;
+  cfg.nranks = 2;
+  rt::World world(cfg);
+  auto res = apps::fw::run(world, w0);
+  auto out = res.matrix.to_dense();
+  EXPECT_DOUBLE_EQ(out(0, 2), 2.0);
+  EXPECT_GE(out(0, 3), linalg::kInf * 0.9);
+  EXPECT_GE(out(3, 0), linalg::kInf * 0.9);
+}
+
+TEST(Fw, TaskCountIsNtCubed) {
+  support::Rng rng(32);
+  const int nt = 4;
+  auto w0 = linalg::random_adjacency(rng, nt * 8, 8, 0.3);
+  rt::WorldConfig cfg;
+  cfg.nranks = 2;
+  rt::World world(cfg);
+  auto res = apps::fw::run(world, w0);
+  EXPECT_EQ(res.tasks, static_cast<std::uint64_t>(nt) * nt * nt);
+}
+
+TEST(Fw, NegativeEdgesSupported) {
+  // FW handles negative weights (no negative cycles).
+  linalg::Tile d(4, 4);
+  for (auto& v : d.data()) v = linalg::kInf;
+  for (int i = 0; i < 4; ++i) d(i, i) = 0;
+  d(0, 1) = 5;
+  d(1, 2) = -3;
+  d(0, 2) = 4;
+  auto w0 = linalg::TiledMatrix::from_dense(d, 2);
+  auto ref = linalg::dense_fw(d);
+  rt::WorldConfig cfg;
+  cfg.nranks = 2;
+  rt::World world(cfg);
+  auto res = apps::fw::run(world, w0);
+  EXPECT_LT(res.matrix.to_dense().max_abs_diff(ref), 1e-12);
+  EXPECT_DOUBLE_EQ(res.matrix.to_dense()(0, 2), 2.0);
+}
+
+TEST(FwMpiOmp, ProcessCountConstraint) {
+  // "requiring process numbers that are both square and multiples of 2".
+  EXPECT_TRUE(baselines::fw_mpi_omp_supports(1));
+  EXPECT_TRUE(baselines::fw_mpi_omp_supports(4));
+  EXPECT_TRUE(baselines::fw_mpi_omp_supports(16));
+  EXPECT_TRUE(baselines::fw_mpi_omp_supports(64));
+  EXPECT_FALSE(baselines::fw_mpi_omp_supports(2));
+  EXPECT_FALSE(baselines::fw_mpi_omp_supports(9));  // square but odd
+  EXPECT_FALSE(baselines::fw_mpi_omp_supports(8));
+  EXPECT_THROW(baselines::run_fw_mpi_omp(sim::hawk(), 8, 1024, 64),
+               support::ApiError);
+}
+
+TEST(FwMpiOmp, TtgOutperformsForkJoin) {
+  // Fig. 8: "the TTG implementation clearly outperforms the MPI+OpenMP
+  // implementation up to 16 nodes by a factor of almost 2".
+  const int nodes = 4, n = 8192, bs = 128;
+  auto ghost = linalg::ghost_matrix(n, bs);
+  rt::WorldConfig cfg;
+  cfg.nranks = nodes;
+  rt::World world(cfg);
+  apps::fw::Options opt;
+  opt.collect = false;
+  const double ttg_t = apps::fw::run(world, ghost, opt).makespan;
+  const double omp_t = baselines::run_fw_mpi_omp(sim::hawk(), nodes, n, bs).makespan;
+  EXPECT_GT(omp_t, ttg_t * 1.3);
+}
+
+TEST(FwMpiOmp, StrongScalingDegradesGracefully) {
+  const int n = 8192, bs = 128;
+  double prev = 1e30;
+  for (int nodes : {1, 4, 16}) {
+    const double t = baselines::run_fw_mpi_omp(sim::hawk(), nodes, n, bs).makespan;
+    EXPECT_LT(t, prev);  // still scales, just less than TTG
+    prev = t;
+  }
+}
+
+TEST(Fw, GhostAndRealSameVirtualTime) {
+  support::Rng rng(33);
+  const int n = 64, bs = 16;
+  auto real = linalg::random_adjacency(rng, n, bs, 0.3);
+  auto ghost = linalg::ghost_matrix(n, bs);
+  rt::WorldConfig cfg;
+  cfg.nranks = 4;
+  double tr, tg;
+  {
+    rt::World w(cfg);
+    tr = apps::fw::run(w, real).makespan;
+  }
+  {
+    rt::World w(cfg);
+    apps::fw::Options opt;
+    opt.collect = false;
+    tg = apps::fw::run(w, ghost, opt).makespan;
+  }
+  EXPECT_NEAR(tr, tg, 1e-12);
+}
+
+}  // namespace

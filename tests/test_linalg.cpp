@@ -1,0 +1,247 @@
+// Unit tests for tiles, dense kernels, distributions, and generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/fw_kernels.hpp"
+#include "linalg/dist.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/matrix_gen.hpp"
+
+namespace {
+
+using namespace ttg;
+using namespace ttg::linalg;
+
+TEST(Tile, ConstructionAndAccess) {
+  Tile t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_FALSE(t.is_ghost());
+  t(2, 3) = 5.0;
+  EXPECT_DOUBLE_EQ(t(2, 3), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+  EXPECT_EQ(t.wire_bytes(), 3u * 4u * sizeof(double));
+}
+
+TEST(Tile, GhostMode) {
+  auto g = Tile::ghost(100, 200, 42);
+  EXPECT_TRUE(g.is_ghost());
+  EXPECT_EQ(g.signature(), 42u);
+  EXPECT_EQ(g.wire_bytes(), 100u * 200u * sizeof(double));
+  EXPECT_TRUE(g.data().empty());
+  EXPECT_DEATH((void)g(0, 0), "ghost");
+}
+
+TEST(Tile, NormAndDiff) {
+  Tile a(2, 2), b(2, 2);
+  a(0, 0) = 3;
+  a(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  b(0, 0) = 3.5;
+  b(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.5);
+}
+
+TEST(Kernels, PotrfMatchesDefinition) {
+  support::Rng rng(1);
+  Tile a = random_spd_dense(rng, 24);
+  Tile l = a;
+  ASSERT_TRUE(potrf(l));
+  // Check A == L L^T.
+  for (int i = 0; i < 24; ++i)
+    for (int j = 0; j < 24; ++j) {
+      double s = 0;
+      for (int k = 0; k < 24; ++k) s += l(i, k) * l(j, k);
+      EXPECT_NEAR(s, a(i, j), 1e-9);
+    }
+  // Strict upper triangle zeroed.
+  for (int i = 0; i < 24; ++i)
+    for (int j = i + 1; j < 24; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+}
+
+TEST(Kernels, PotrfRejectsIndefinite) {
+  Tile a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = -1;
+  EXPECT_FALSE(potrf(a));
+}
+
+TEST(Kernels, TrsmSolvesAgainstTriangle) {
+  support::Rng rng(2);
+  Tile l = random_spd_dense(rng, 8);
+  ASSERT_TRUE(potrf(l));
+  Tile a = random_tile(rng, 5, 8);
+  Tile x = a;
+  trsm(l, x);
+  // Verify X L^T == A.
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 8; ++j) {
+      double s = 0;
+      for (int k = 0; k < 8; ++k) s += x(i, k) * l(j, k);
+      EXPECT_NEAR(s, a(i, j), 1e-9);
+    }
+}
+
+TEST(Kernels, SyrkSubtractsOuterProduct) {
+  support::Rng rng(3);
+  Tile a = random_tile(rng, 6, 4);
+  Tile c(6, 6);
+  Tile c0 = c;
+  syrk(a, c);
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) {
+      double s = 0;
+      for (int k = 0; k < 4; ++k) s += a(i, k) * a(j, k);
+      EXPECT_NEAR(c(i, j), c0(i, j) - s, 1e-12);
+    }
+}
+
+TEST(Kernels, GemmNtSubtracts) {
+  support::Rng rng(4);
+  Tile a = random_tile(rng, 3, 5), b = random_tile(rng, 4, 5);
+  Tile c = random_tile(rng, 3, 4);
+  Tile c0 = c;
+  gemm_nt(c, a, b);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j) {
+      double s = 0;
+      for (int k = 0; k < 5; ++k) s += a(i, k) * b(j, k);
+      EXPECT_NEAR(c(i, j), c0(i, j) - s, 1e-12);
+    }
+}
+
+TEST(Kernels, GemmNnAccumulates) {
+  support::Rng rng(5);
+  Tile a = random_tile(rng, 3, 5), b = random_tile(rng, 5, 4);
+  Tile c = random_tile(rng, 3, 4);
+  Tile c0 = c;
+  gemm_nn_acc(c, a, b);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j) {
+      double s = 0;
+      for (int k = 0; k < 5; ++k) s += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), c0(i, j) + s, 1e-12);
+    }
+}
+
+TEST(Kernels, MinplusComputesShortestHop) {
+  Tile w(2, 2), a(2, 2), b(2, 2);
+  for (auto* t : {&w, &a, &b})
+    for (auto& v : t->data()) v = kInf;
+  a(0, 0) = 1;
+  b(0, 1) = 2;
+  w(0, 1) = 10;
+  minplus(w, a, b);
+  EXPECT_DOUBLE_EQ(w(0, 1), 3.0);  // via: 1 + 2 beats 10
+}
+
+TEST(Kernels, TileAdd) {
+  Tile a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  b(0, 0) = 2;
+  tile_add(a, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+}
+
+TEST(Kernels, GhostKernelsCombineSignaturesDeterministically) {
+  auto mk = [] {
+    auto a = Tile::ghost(4, 4, 1);
+    auto c = Tile::ghost(4, 4, 2);
+    syrk(a, c);
+    return c.signature();
+  };
+  EXPECT_EQ(mk(), mk());
+  // Different inputs produce different signatures.
+  auto a = Tile::ghost(4, 4, 3);
+  auto c = Tile::ghost(4, 4, 2);
+  syrk(a, c);
+  EXPECT_NE(c.signature(), mk());
+}
+
+TEST(Kernels, FlopCounts) {
+  EXPECT_DOUBLE_EQ(flops::gemm(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(flops::trsm(2, 3), 18.0);
+  EXPECT_DOUBLE_EQ(flops::syrk(3, 2), 18.0);
+  EXPECT_NEAR(flops::potrf(3), 9.0, 1e-12);
+  // Time helpers scale inversely with efficiency.
+  const auto m = sim::hawk();
+  EXPECT_LT(gemm_time(m, 64, 64, 64), potrf_time(m, 64) * flops::gemm(64, 64, 64) /
+                                          flops::potrf(64));
+}
+
+TEST(FwKernels, MatchDenseReference) {
+  support::Rng rng(6);
+  const int n = 24, bs = 8;
+  auto w0 = random_adjacency(rng, n, bs, 0.3);
+  auto ref = dense_fw(w0.to_dense());
+  // Run the tiled algorithm serially with the A/B/C/D kernels.
+  auto m = w0;
+  const int nt = m.ntiles();
+  for (int k = 0; k < nt; ++k) {
+    graph::fw_a(m.tile(k, k));
+    for (int j = 0; j < nt; ++j)
+      if (j != k) graph::fw_b(m.tile(k, j), m.tile(k, k));
+    for (int i = 0; i < nt; ++i)
+      if (i != k) graph::fw_c(m.tile(i, k), m.tile(k, k));
+    for (int i = 0; i < nt; ++i)
+      for (int j = 0; j < nt; ++j)
+        if (i != k && j != k) graph::fw_d(m.tile(i, j), m.tile(i, k), m.tile(k, j));
+  }
+  EXPECT_LT(m.to_dense().max_abs_diff(ref), 1e-12);
+}
+
+TEST(TiledMatrix, RoundtripDense) {
+  support::Rng rng(7);
+  Tile d = random_tile(rng, 20, 20);
+  auto m = TiledMatrix::from_dense(d, 6);  // ragged last tile
+  EXPECT_EQ(m.ntiles(), 4);
+  EXPECT_EQ(m.tile_rows(3), 2);
+  EXPECT_LT(m.to_dense().max_abs_diff(d), 1e-15);
+}
+
+TEST(TiledMatrix, GhostMatrixShapes) {
+  auto g = ghost_matrix(100, 30);
+  EXPECT_EQ(g.ntiles(), 4);
+  EXPECT_TRUE(g.tile(0, 0).is_ghost());
+  EXPECT_EQ(g.tile(3, 3).rows(), 10);
+  EXPECT_NE(g.tile(0, 1).signature(), g.tile(1, 0).signature());
+}
+
+TEST(BlockCyclic, CoversAllRanksEvenly) {
+  for (int nranks : {1, 2, 4, 6, 8, 16}) {
+    auto d = BlockCyclic2D::make(nranks);
+    EXPECT_EQ(d.nranks(), nranks);
+    std::vector<int> count(static_cast<std::size_t>(nranks), 0);
+    for (int i = 0; i < 32; ++i)
+      for (int j = 0; j < 32; ++j) {
+        const int o = d.owner(i, j);
+        ASSERT_GE(o, 0);
+        ASSERT_LT(o, nranks);
+        count[static_cast<std::size_t>(o)]++;
+      }
+    for (int c : count) EXPECT_GT(c, 0);
+  }
+}
+
+TEST(BlockCyclic, NearSquareGrids) {
+  EXPECT_EQ(BlockCyclic2D::make(16).P, 4);
+  EXPECT_EQ(BlockCyclic2D::make(8).P, 2);
+  EXPECT_EQ(BlockCyclic2D::make(7).P, 1);
+}
+
+TEST(Generators, SpdIsFactorizable) {
+  support::Rng rng(8);
+  auto a = random_spd(rng, 40, 16);
+  Tile d = a.to_dense();
+  EXPECT_TRUE(potrf(d));
+}
+
+TEST(Generators, AdjacencyHasZeroDiagonal) {
+  support::Rng rng(9);
+  auto w = random_adjacency(rng, 16, 8, 0.5);
+  Tile d = w.to_dense();
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+}
+
+}  // namespace

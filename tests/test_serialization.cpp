@@ -1,0 +1,169 @@
+// Unit + property tests for the serialization framework: archive
+// round-trips, protocol-selection traits, and split-metadata descriptors.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "linalg/tile.hpp"
+#include "mra/function_tree.hpp"
+#include "serialization/archive.hpp"
+#include "serialization/traits.hpp"
+#include "support/rng.hpp"
+#include "ttg/keys.hpp"
+
+namespace {
+
+using namespace ttg;
+using ser::from_bytes;
+using ser::to_bytes;
+
+template <typename T>
+void expect_roundtrip(const T& v) {
+  auto buf = to_bytes(v);
+  EXPECT_EQ(from_bytes<T>(buf), v);
+}
+
+TEST(Archive, Scalars) {
+  expect_roundtrip(42);
+  expect_roundtrip(3.14159);
+  expect_roundtrip<std::uint64_t>(0xdeadbeefcafeull);
+  expect_roundtrip(true);
+  expect_roundtrip('x');
+}
+
+TEST(Archive, Containers) {
+  expect_roundtrip(std::vector<int>{1, 2, 3});
+  expect_roundtrip(std::vector<double>{});
+  expect_roundtrip(std::string("hello ttg"));
+  expect_roundtrip(std::string());
+  expect_roundtrip(std::pair<int, std::string>{7, "seven"});
+  expect_roundtrip(std::tuple<int, double, std::string>{1, 2.5, "x"});
+  expect_roundtrip(std::map<std::string, int>{{"a", 1}, {"b", 2}});
+  expect_roundtrip(std::array<int, 4>{9, 8, 7, 6});
+  expect_roundtrip(std::vector<std::vector<int>>{{1}, {}, {2, 3}});
+}
+
+struct Custom {
+  int a = 0;
+  std::vector<double> xs;
+  bool operator==(const Custom&) const = default;
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& a& xs;
+  }
+};
+
+struct AdlType {
+  int v = 0;
+  bool operator==(const AdlType&) const = default;
+};
+template <typename Ar>
+void serialize(Ar& ar, AdlType& t) {
+  ar& t.v;
+}
+
+TEST(Archive, MemberSerialize) { expect_roundtrip(Custom{5, {1.5, 2.5}}); }
+TEST(Archive, AdlSerialize) { expect_roundtrip(AdlType{11}); }
+
+TEST(Archive, UnderrunDetected) {
+  auto buf = to_bytes(42);
+  buf.pop_back();
+  EXPECT_DEATH((void)from_bytes<int>(buf), "underrun");
+}
+
+TEST(Archive, PropertyRandomVectors) {
+  support::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v(static_cast<std::size_t>(rng.uniform_int(0, 200)));
+    for (auto& x : v) x = rng.uniform(-1e9, 1e9);
+    expect_roundtrip(v);
+  }
+}
+
+TEST(Archive, PropertyRandomStrings) {
+  support::Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string s(static_cast<std::size_t>(rng.uniform_int(0, 100)), ' ');
+    for (auto& c : s) c = static_cast<char>(rng.uniform_int(0, 255));
+    expect_roundtrip(s);
+  }
+}
+
+TEST(Traits, ProtocolSelectionOrder) {
+  // splitmd > trivial > archive, as in Section II-C.
+  EXPECT_EQ(ser::protocol_for<linalg::Tile>(), ser::Protocol::SplitMetadata);
+  EXPECT_EQ(ser::protocol_for<mra::Coeffs>(), ser::Protocol::SplitMetadata);
+  EXPECT_EQ(ser::protocol_for<int>(), ser::Protocol::Trivial);
+  EXPECT_EQ(ser::protocol_for<Void>(), ser::Protocol::Trivial);
+  EXPECT_EQ(ser::protocol_for<Custom>(), ser::Protocol::Archive);
+  EXPECT_EQ(ser::protocol_for<std::vector<double>>(), ser::Protocol::Archive);
+}
+
+TEST(Traits, SerializabilityDetection) {
+  EXPECT_TRUE(ser::is_serializable_v<int>);
+  EXPECT_TRUE(ser::is_serializable_v<Custom>);
+  EXPECT_TRUE(ser::is_serializable_v<linalg::Tile>);
+  EXPECT_TRUE((ser::is_trivially_serializable_v<Int3>));
+  EXPECT_FALSE(ser::is_trivially_serializable_v<Custom>);
+}
+
+TEST(Traits, WireSizeUsesDeclaredBytes) {
+  auto ghost = linalg::Tile::ghost(100, 100);
+  const auto buf = to_bytes(ghost);
+  // Ghost serializes small but declares its full footprint on the wire.
+  EXPECT_LT(buf.size(), 1000u);
+  EXPECT_EQ(ser::wire_size(ghost, buf.size()), 100u * 100u * sizeof(double));
+  // Types without wire_bytes() use the serialized size.
+  EXPECT_EQ(ser::wire_size(Custom{}, 24), 24u);
+}
+
+TEST(SplitMetadata, TileRoundtrip) {
+  using SMD = ser::SplitMetadata<linalg::Tile>;
+  support::Rng rng(7);
+  linalg::Tile t(8, 5);
+  for (auto& v : t.data()) v = rng.uniform(-1, 1);
+
+  auto md = SMD::get_metadata(t);
+  auto copy = SMD::create(md);
+  ASSERT_EQ(copy.rows(), 8);
+  ASSERT_EQ(copy.cols(), 5);
+  const auto src = SMD::payload(t);
+  const auto dst = SMD::payload(copy);
+  ASSERT_EQ(src.size(), dst.size());
+  std::memcpy(dst.data(), src.data(), src.size());
+  EXPECT_EQ(copy, t);
+  EXPECT_EQ(SMD::payload_bytes(t), 8u * 5u * sizeof(double));
+}
+
+TEST(SplitMetadata, GhostTilePayloadDeclaredNotActual) {
+  using SMD = ser::SplitMetadata<linalg::Tile>;
+  auto g = linalg::Tile::ghost(64, 64, 123);
+  EXPECT_EQ(SMD::payload_bytes(g), 64u * 64u * sizeof(double));
+  EXPECT_TRUE(SMD::payload(g).empty());  // nothing to actually copy
+  auto re = SMD::create(SMD::get_metadata(g));
+  EXPECT_TRUE(re.is_ghost());
+  EXPECT_EQ(re.signature(), 123u);
+}
+
+TEST(SplitMetadata, CoeffsRoundtrip) {
+  using SMD = ser::SplitMetadata<mra::Coeffs>;
+  mra::Coeffs c;
+  c.v = {1.0, 2.0, 3.0};
+  auto copy = SMD::create(SMD::get_metadata(c));
+  ASSERT_EQ(copy.v.size(), 3u);
+  std::memcpy(SMD::payload(copy).data(), SMD::payload(c).data(),
+              SMD::payload(c).size());
+  EXPECT_EQ(copy.v, c.v);
+}
+
+TEST(Archive, TileWholeObjectRoundtrip) {
+  support::Rng rng(8);
+  linalg::Tile t(6, 7);
+  for (auto& v : t.data()) v = rng.uniform(-1, 1);
+  expect_roundtrip(t);
+  expect_roundtrip(linalg::Tile::ghost(10, 20, 99));
+  expect_roundtrip(linalg::Tile());
+}
+
+}  // namespace
