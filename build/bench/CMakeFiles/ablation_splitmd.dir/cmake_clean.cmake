@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_splitmd.dir/ablation_splitmd.cpp.o"
+  "CMakeFiles/ablation_splitmd.dir/ablation_splitmd.cpp.o.d"
+  "ablation_splitmd"
+  "ablation_splitmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_splitmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

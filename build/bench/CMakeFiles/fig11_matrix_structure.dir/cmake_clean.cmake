@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_matrix_structure.dir/fig11_matrix_structure.cpp.o"
+  "CMakeFiles/fig11_matrix_structure.dir/fig11_matrix_structure.cpp.o.d"
+  "fig11_matrix_structure"
+  "fig11_matrix_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_matrix_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bspmm.dir/fig12_bspmm.cpp.o"
+  "CMakeFiles/fig12_bspmm.dir/fig12_bspmm.cpp.o.d"
+  "fig12_bspmm"
+  "fig12_bspmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bspmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

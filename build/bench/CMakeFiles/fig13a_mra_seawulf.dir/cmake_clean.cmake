@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_mra_seawulf.dir/fig13a_mra_seawulf.cpp.o"
+  "CMakeFiles/fig13a_mra_seawulf.dir/fig13a_mra_seawulf.cpp.o.d"
+  "fig13a_mra_seawulf"
+  "fig13a_mra_seawulf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_mra_seawulf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

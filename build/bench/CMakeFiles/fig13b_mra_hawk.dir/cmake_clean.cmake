@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_mra_hawk.dir/fig13b_mra_hawk.cpp.o"
+  "CMakeFiles/fig13b_mra_hawk.dir/fig13b_mra_hawk.cpp.o.d"
+  "fig13b_mra_hawk"
+  "fig13b_mra_hawk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_mra_hawk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_potrf_problem.dir/fig6_potrf_problem.cpp.o"
+  "CMakeFiles/fig6_potrf_problem.dir/fig6_potrf_problem.cpp.o.d"
+  "fig6_potrf_problem"
+  "fig6_potrf_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_potrf_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

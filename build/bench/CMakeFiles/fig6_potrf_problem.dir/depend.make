@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_potrf_problem.
+# This may be replaced when dependencies are built.

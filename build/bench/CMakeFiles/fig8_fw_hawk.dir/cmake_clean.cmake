@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fw_hawk.dir/fig8_fw_hawk.cpp.o"
+  "CMakeFiles/fig8_fw_hawk.dir/fig8_fw_hawk.cpp.o.d"
+  "fig8_fw_hawk"
+  "fig8_fw_hawk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fw_hawk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

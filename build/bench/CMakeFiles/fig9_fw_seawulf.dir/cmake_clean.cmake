@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fw_seawulf.dir/fig9_fw_seawulf.cpp.o"
+  "CMakeFiles/fig9_fw_seawulf.dir/fig9_fw_seawulf.cpp.o.d"
+  "fig9_fw_seawulf"
+  "fig9_fw_seawulf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fw_seawulf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bspmm_demo.dir/bspmm_demo.cpp.o"
+  "CMakeFiles/bspmm_demo.dir/bspmm_demo.cpp.o.d"
+  "bspmm_demo"
+  "bspmm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bspmm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

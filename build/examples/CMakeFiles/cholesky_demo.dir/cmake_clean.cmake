@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_demo.dir/cholesky_demo.cpp.o"
+  "CMakeFiles/cholesky_demo.dir/cholesky_demo.cpp.o.d"
+  "cholesky_demo"
+  "cholesky_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_paths_demo.dir/fw_paths_demo.cpp.o"
+  "CMakeFiles/fw_paths_demo.dir/fw_paths_demo.cpp.o.d"
+  "fw_paths_demo"
+  "fw_paths_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_paths_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mra_demo.dir/mra_demo.cpp.o"
+  "CMakeFiles/mra_demo.dir/mra_demo.cpp.o.d"
+  "mra_demo"
+  "mra_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mra_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavefront_lcs.dir/wavefront_lcs.cpp.o"
+  "CMakeFiles/wavefront_lcs.dir/wavefront_lcs.cpp.o.d"
+  "wavefront_lcs"
+  "wavefront_lcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavefront_lcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

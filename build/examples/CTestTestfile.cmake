@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--nranks" "3" "--count" "20")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wavefront_lcs "/root/repo/build/examples/wavefront_lcs" "--n" "256" "--bs" "32")
+set_tests_properties(example_wavefront_lcs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cholesky_demo "/root/repo/build/examples/cholesky_demo" "--n" "128" "--bs" "32")
+set_tests_properties(example_cholesky_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fw_paths_demo "/root/repo/build/examples/fw_paths_demo" "--vertices" "64" "--bs" "16")
+set_tests_properties(example_fw_paths_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bspmm_demo "/root/repo/build/examples/bspmm_demo" "--natoms" "40")
+set_tests_properties(example_bspmm_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mra_demo "/root/repo/build/examples/mra_demo" "--k" "6" "--funcs" "3" "--tol" "1e-6")
+set_tests_properties(example_mra_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bspmm/bspmm_ttg.cpp" "src/CMakeFiles/ttg_repro.dir/apps/bspmm/bspmm_ttg.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/apps/bspmm/bspmm_ttg.cpp.o.d"
+  "/root/repo/src/apps/cholesky/cholesky_ttg.cpp" "src/CMakeFiles/ttg_repro.dir/apps/cholesky/cholesky_ttg.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/apps/cholesky/cholesky_ttg.cpp.o.d"
+  "/root/repo/src/apps/fw_apsp/fw_ttg.cpp" "src/CMakeFiles/ttg_repro.dir/apps/fw_apsp/fw_ttg.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/apps/fw_apsp/fw_ttg.cpp.o.d"
+  "/root/repo/src/apps/mra/mra_ttg.cpp" "src/CMakeFiles/ttg_repro.dir/apps/mra/mra_ttg.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/apps/mra/mra_ttg.cpp.o.d"
+  "/root/repo/src/baselines/bsp_cholesky.cpp" "src/CMakeFiles/ttg_repro.dir/baselines/bsp_cholesky.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/baselines/bsp_cholesky.cpp.o.d"
+  "/root/repo/src/baselines/chameleon_like.cpp" "src/CMakeFiles/ttg_repro.dir/baselines/chameleon_like.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/baselines/chameleon_like.cpp.o.d"
+  "/root/repo/src/baselines/dbcsr_like.cpp" "src/CMakeFiles/ttg_repro.dir/baselines/dbcsr_like.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/baselines/dbcsr_like.cpp.o.d"
+  "/root/repo/src/baselines/dplasma_like.cpp" "src/CMakeFiles/ttg_repro.dir/baselines/dplasma_like.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/baselines/dplasma_like.cpp.o.d"
+  "/root/repo/src/baselines/fw_mpi_omp.cpp" "src/CMakeFiles/ttg_repro.dir/baselines/fw_mpi_omp.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/baselines/fw_mpi_omp.cpp.o.d"
+  "/root/repo/src/baselines/madness_native_mra.cpp" "src/CMakeFiles/ttg_repro.dir/baselines/madness_native_mra.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/baselines/madness_native_mra.cpp.o.d"
+  "/root/repo/src/graph/fw_kernels.cpp" "src/CMakeFiles/ttg_repro.dir/graph/fw_kernels.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/graph/fw_kernels.cpp.o.d"
+  "/root/repo/src/linalg/kernels.cpp" "src/CMakeFiles/ttg_repro.dir/linalg/kernels.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/linalg/kernels.cpp.o.d"
+  "/root/repo/src/linalg/matrix_gen.cpp" "src/CMakeFiles/ttg_repro.dir/linalg/matrix_gen.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/linalg/matrix_gen.cpp.o.d"
+  "/root/repo/src/linalg/tile.cpp" "src/CMakeFiles/ttg_repro.dir/linalg/tile.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/linalg/tile.cpp.o.d"
+  "/root/repo/src/mra/function_tree.cpp" "src/CMakeFiles/ttg_repro.dir/mra/function_tree.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/mra/function_tree.cpp.o.d"
+  "/root/repo/src/mra/legendre.cpp" "src/CMakeFiles/ttg_repro.dir/mra/legendre.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/mra/legendre.cpp.o.d"
+  "/root/repo/src/mra/twoscale.cpp" "src/CMakeFiles/ttg_repro.dir/mra/twoscale.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/mra/twoscale.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/ttg_repro.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/net/network.cpp.o.d"
+  "/root/repo/src/runtime/bsp.cpp" "src/CMakeFiles/ttg_repro.dir/runtime/bsp.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/runtime/bsp.cpp.o.d"
+  "/root/repo/src/runtime/comm_madness.cpp" "src/CMakeFiles/ttg_repro.dir/runtime/comm_madness.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/runtime/comm_madness.cpp.o.d"
+  "/root/repo/src/runtime/comm_parsec.cpp" "src/CMakeFiles/ttg_repro.dir/runtime/comm_parsec.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/runtime/comm_parsec.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/ttg_repro.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/world.cpp" "src/CMakeFiles/ttg_repro.dir/runtime/world.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/runtime/world.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/ttg_repro.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/ttg_repro.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/ttg_repro.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sparse/block_sparse.cpp" "src/CMakeFiles/ttg_repro.dir/sparse/block_sparse.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/sparse/block_sparse.cpp.o.d"
+  "/root/repo/src/sparse/yukawa_gen.cpp" "src/CMakeFiles/ttg_repro.dir/sparse/yukawa_gen.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/sparse/yukawa_gen.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/ttg_repro.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/ttg_repro.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/ttg_repro.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/ttg_repro.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ttg_repro.
+# This may be replaced when dependencies are built.

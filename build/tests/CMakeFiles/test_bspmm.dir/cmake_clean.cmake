@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bspmm.dir/test_bspmm.cpp.o"
+  "CMakeFiles/test_bspmm.dir/test_bspmm.cpp.o.d"
+  "test_bspmm"
+  "test_bspmm.pdb"
+  "test_bspmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bspmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mra.dir/test_mra.cpp.o"
+  "CMakeFiles/test_mra.dir/test_mra.cpp.o.d"
+  "test_mra"
+  "test_mra.pdb"
+  "test_mra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

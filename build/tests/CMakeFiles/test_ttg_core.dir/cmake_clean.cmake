@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttg_core.dir/test_ttg_core.cpp.o"
+  "CMakeFiles/test_ttg_core.dir/test_ttg_core.cpp.o.d"
+  "test_ttg_core"
+  "test_ttg_core.pdb"
+  "test_ttg_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
