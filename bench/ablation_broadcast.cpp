@@ -3,6 +3,7 @@
 // communication difference behind Chameleon's deficit in Figs. 5-6.
 #include "apps/cholesky/cholesky_ttg.hpp"
 #include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
 #include "ttg/ttg.hpp"
 
 using namespace ttg;
@@ -11,7 +12,9 @@ int main(int argc, char** argv) {
   support::Cli cli("ablation_broadcast", "optimized broadcast on/off (POTRF)");
   cli.option("nodes", "16", "node count");
   cli.option("nt", "16", "tiles per dimension (tile 512)");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const int nodes = static_cast<int>(cli.get_int("nodes"));
   const int nt = static_cast<int>(cli.get_int("nt"));
   const auto m = sim::hawk();
@@ -27,9 +30,11 @@ int main(int argc, char** argv) {
     cfg.nranks = nodes;
     cfg.optimized_broadcast = optimized;
     rt::World world(cfg);
+    trace.attach(world);
     apps::cholesky::Options opt;
     opt.collect = false;
     auto res = apps::cholesky::run(world, ghost, opt);
+    trace.finish(world, optimized ? "coalesced" : "per-dependence", res.makespan);
     const auto& st = world.comm().stats();
     return std::pair<double, std::uint64_t>(res.makespan,
                                             st.messages + st.splitmd_sends);

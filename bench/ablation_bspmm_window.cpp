@@ -5,6 +5,7 @@
 // pipeline, too-large windows lose the working-set focus.
 #include "apps/bspmm/bspmm_ttg.hpp"
 #include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
 #include "sparse/yukawa_gen.hpp"
 #include "ttg/ttg.hpp"
 
@@ -14,7 +15,9 @@ int main(int argc, char** argv) {
   support::Cli cli("ablation_bspmm_window", "bspmm feedback-loop windows");
   cli.option("nodes", "16", "node count");
   cli.option("natoms", "300", "atoms in the synthetic matrix");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const int nodes = static_cast<int>(cli.get_int("nodes"));
 
   sparse::YukawaParams p;
@@ -34,11 +37,17 @@ int main(int argc, char** argv) {
     cfg.machine = sim::hawk();
     cfg.nranks = nodes;
     rt::World world(cfg);
+    trace.attach(world);
     apps::bspmm::Options opt;
     opt.collect = false;
     opt.read_window = read_window;
     opt.k_window = k_window;
-    return apps::bspmm::run(world, a, a, opt).gflops;
+    auto res = apps::bspmm::run(world, a, a, opt);
+    trace.finish(world,
+                 "rw" + std::to_string(read_window) + "-kw" +
+                     std::to_string(k_window),
+                 res.makespan);
+    return res.gflops;
   };
 
   support::Table t("Coordinator k-window sweep (read window 64)",

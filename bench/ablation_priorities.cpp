@@ -2,6 +2,7 @@
 // on vs off for POTRF lookahead.
 #include "apps/cholesky/cholesky_ttg.hpp"
 #include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
 #include "ttg/ttg.hpp"
 
 using namespace ttg;
@@ -10,7 +11,9 @@ int main(int argc, char** argv) {
   support::Cli cli("ablation_priorities", "priority maps on/off (POTRF)");
   cli.option("nodes", "16", "node count");
   cli.option("nt", "48", "tiles per dimension (tile 512)");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const int nodes = static_cast<int>(cli.get_int("nodes"));
   const int nt = static_cast<int>(cli.get_int("nt"));
 
@@ -25,10 +28,13 @@ int main(int argc, char** argv) {
     cfg.machine = sim::hawk();
     cfg.nranks = nodes;
     rt::World world(cfg);
+    trace.attach(world);
     apps::cholesky::Options opt;
     opt.collect = false;
     opt.priorities = prio;
-    return apps::cholesky::run(world, ghost, opt).makespan;
+    auto res = apps::cholesky::run(world, ghost, opt);
+    trace.finish(world, prio ? "priomap-on" : "priomap-off", res.makespan);
+    return res.makespan;
   };
   const double t_on = run(true);
   const double t_off = run(false);

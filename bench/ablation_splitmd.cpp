@@ -4,6 +4,7 @@
 #include "apps/fw_apsp/fw_ttg.hpp"
 #include "apps/mra/mra_ttg.hpp"
 #include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
 #include "ttg/ttg.hpp"
 
 using namespace ttg;
@@ -11,7 +12,9 @@ using namespace ttg;
 int main(int argc, char** argv) {
   support::Cli cli("ablation_splitmd", "splitmd on/off on comm-bound workloads");
   cli.option("nodes", "16", "node count");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const int nodes = static_cast<int>(cli.get_int("nodes"));
   const auto m = sim::hawk();
 
@@ -28,9 +31,12 @@ int main(int argc, char** argv) {
     cfg.nranks = nodes;
     cfg.enable_splitmd = sm;
     rt::World world(cfg);
+    trace.attach(world);
     apps::fw::Options opt;
     opt.collect = false;
-    return apps::fw::run(world, ghost, opt).makespan;
+    auto res = apps::fw::run(world, ghost, opt);
+    trace.finish(world, sm ? "fw-splitmd-on" : "fw-splitmd-off", res.makespan);
+    return res.makespan;
   };
   const double fw_on = fw_run(true), fw_off = fw_run(false);
   t.add_row({"FW-APSP 4096/128", support::fmt(fw_on, 4), support::fmt(fw_off, 4),
@@ -44,9 +50,12 @@ int main(int argc, char** argv) {
     cfg.nranks = nodes;
     cfg.enable_splitmd = sm;
     rt::World world(cfg);
+    trace.attach(world);
     apps::mra::Options opt;
     opt.tol = 1e-6;
-    return apps::mra::run(world, ctx, opt).makespan;
+    auto res = apps::mra::run(world, ctx, opt);
+    trace.finish(world, sm ? "mra-splitmd-on" : "mra-splitmd-off", res.makespan);
+    return res.makespan;
   };
   const double mra_on = mra_run(true), mra_off = mra_run(false);
   t.add_row({"MRA k=10 x12 fns", support::fmt(mra_on, 4), support::fmt(mra_off, 4),

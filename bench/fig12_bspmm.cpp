@@ -10,6 +10,7 @@
 #include "apps/bspmm/bspmm_ttg.hpp"
 #include "baselines/dbcsr_like.hpp"
 #include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
 #include "sparse/yukawa_gen.hpp"
 #include "ttg/ttg.hpp"
 
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
   support::Cli cli("fig12_bspmm", "block-sparse GEMM strong scaling (Fig. 12)");
   cli.option("natoms", "420", "atoms (paper: 2500)");
   cli.flag("full", "paper-scale 2500 atoms (slow)");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
 
   sparse::YukawaParams p;
   p.natoms = cli.get_flag("full") ? 2500 : static_cast<int>(cli.get_int("natoms"));
@@ -46,9 +49,15 @@ int main(int argc, char** argv) {
       cfg.nranks = nodes;
       cfg.backend = b;
       rt::World world(cfg);
+      trace.attach(world);
       apps::bspmm::Options opt;
       opt.collect = false;
-      return apps::bspmm::run(world, a, a, opt).gflops;
+      auto res = apps::bspmm::run(world, a, a, opt);
+      trace.finish(world,
+                   std::string(rt::to_string(b)) + "-" + std::to_string(nodes) +
+                       "nodes",
+                   res.makespan);
+      return res.gflops;
     };
     auto db = baselines::run_dbcsr(m, nodes, a, a);
     t.add_row({std::to_string(nodes), support::fmt(run_ttg(rt::BackendKind::Parsec), 0),

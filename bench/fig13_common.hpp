@@ -12,6 +12,7 @@
 #include "apps/mra/mra_ttg.hpp"
 #include "baselines/madness_native_mra.hpp"
 #include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
 #include "ttg/ttg.hpp"
 
 namespace ttg::bench {
@@ -24,7 +25,9 @@ inline int run_fig13(const char* figure, const sim::MachineModel& machine,
   cli.option("tol", "1e-8", "truncation threshold (paper: 1e-8)");
   cli.flag("full", "larger run: 128 functions (slow)");
   cli.flag("verify", "full per-run arithmetic incl. norm verification (slow)");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const bool full = cli.get_flag("full");
   const int k = static_cast<int>(cli.get_int("k"));
   const int nfuncs = full ? 128 : static_cast<int>(cli.get_int("funcs"));
@@ -51,11 +54,17 @@ inline int run_fig13(const char* figure, const sim::MachineModel& machine,
       cfg.nranks = nodes;
       cfg.backend = b;
       rt::World world(cfg);
+      trace.attach(world);
       apps::mra::Options opt;
       opt.tol = tol;
       opt.rand_level = 3;  // finer overdecomposition for the bigger runs
       opt.light_math = light;
-      return apps::mra::run(world, ctx, opt).makespan;
+      auto res = apps::mra::run(world, ctx, opt);
+      trace.finish(world,
+                   std::string(rt::to_string(b)) + "-" + std::to_string(nodes) +
+                       "nodes",
+                   res.makespan);
+      return res.makespan;
     };
     double native;
     {

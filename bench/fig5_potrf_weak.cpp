@@ -12,6 +12,7 @@
 #include "baselines/chameleon_like.hpp"
 #include "baselines/dplasma_like.hpp"
 #include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
 #include "ttg/ttg.hpp"
 
 using namespace ttg;
@@ -19,16 +20,22 @@ using namespace ttg;
 namespace {
 
 double ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
-               rt::BackendKind backend) {
+               rt::BackendKind backend, const rt::TraceSession& trace) {
   auto ghost = linalg::ghost_matrix(n, bs);
   rt::WorldConfig cfg;
   cfg.machine = m;
   cfg.nranks = nodes;
   cfg.backend = backend;
   rt::World world(cfg);
+  trace.attach(world);
   apps::cholesky::Options opt;
   opt.collect = false;
-  return apps::cholesky::run(world, ghost, opt).gflops;
+  auto res = apps::cholesky::run(world, ghost, opt);
+  trace.finish(world,
+               std::string(rt::to_string(backend)) + "-" + std::to_string(nodes) +
+                   "nodes",
+               res.makespan);
+  return res.gflops;
 }
 
 }  // namespace
@@ -38,7 +45,9 @@ int main(int argc, char** argv) {
   cli.option("per-node", "8192", "submatrix dimension per node (paper: 30000)");
   cli.option("bs", "512", "tile size");
   cli.flag("full", "paper-scale submatrix (30k per node; slow)");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const int per_node = cli.get_flag("full") ? 30000
                                             : static_cast<int>(cli.get_int("per-node"));
   const int bs = static_cast<int>(cli.get_int("bs"));
@@ -57,8 +66,8 @@ int main(int argc, char** argv) {
         static_cast<int>(std::lround(per_node * std::sqrt(static_cast<double>(nodes)) /
                                      bs)) * bs;  // round to whole tiles
     auto ghost = linalg::ghost_matrix(n, bs);
-    const double g_parsec = ttg_run(m, nodes, n, bs, rt::BackendKind::Parsec);
-    const double g_mad = ttg_run(m, nodes, n, bs, rt::BackendKind::Madness);
+    const double g_parsec = ttg_run(m, nodes, n, bs, rt::BackendKind::Parsec, trace);
+    const double g_mad = ttg_run(m, nodes, n, bs, rt::BackendKind::Madness, trace);
     const double g_dpl = baselines::run_dplasma_cholesky(m, nodes, ghost).gflops;
     const double g_cha =
         baselines::run_chameleon_cholesky(m, nodes, ghost).gflops;

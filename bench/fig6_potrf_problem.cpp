@@ -10,6 +10,7 @@
 #include "baselines/chameleon_like.hpp"
 #include "baselines/dplasma_like.hpp"
 #include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
 #include "ttg/ttg.hpp"
 
 using namespace ttg;
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
   cli.option("nodes", "64", "fixed node count");
   cli.option("bs", "512", "tile size");
   cli.flag("full", "extend to paper-scale 200k+ matrices (slow)");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const int nodes = static_cast<int>(cli.get_int("nodes"));
   const int bs = static_cast<int>(cli.get_int("bs"));
   const auto m = sim::hawk();
@@ -43,9 +46,14 @@ int main(int argc, char** argv) {
       cfg.nranks = nodes;
       cfg.backend = b;
       rt::World world(cfg);
+      trace.attach(world);
       apps::cholesky::Options opt;
       opt.collect = false;
-      return apps::cholesky::run(world, ghost, opt).gflops;
+      auto res = apps::cholesky::run(world, ghost, opt);
+      trace.finish(world,
+                   std::string(rt::to_string(b)) + "-n" + std::to_string(n),
+                   res.makespan);
+      return res.gflops;
     };
     t.add_row(
         {std::to_string(n), support::fmt(run_ttg(rt::BackendKind::Parsec), 0),

@@ -9,6 +9,7 @@
 #include "apps/fw_apsp/fw_ttg.hpp"
 #include "baselines/fw_mpi_omp.hpp"
 #include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
 #include "ttg/ttg.hpp"
 
 using namespace ttg;
@@ -16,16 +17,22 @@ using namespace ttg;
 namespace {
 
 std::string ttg_time(const sim::MachineModel& m, int nodes, int n, int bs,
-                     rt::BackendKind backend) {
+                     rt::BackendKind backend, const rt::TraceSession& trace) {
   auto ghost = linalg::ghost_matrix(n, bs);
   rt::WorldConfig cfg;
   cfg.machine = m;
   cfg.nranks = nodes;
   cfg.backend = backend;
   rt::World world(cfg);
+  trace.attach(world);
   apps::fw::Options opt;
   opt.collect = false;
-  return support::fmt(apps::fw::run(world, ghost, opt).makespan, 3);
+  auto res = apps::fw::run(world, ghost, opt);
+  trace.finish(world,
+               std::string(rt::to_string(backend)) + "-bs" + std::to_string(bs) +
+                   "-" + std::to_string(nodes) + "nodes",
+               res.makespan);
+  return support::fmt(res.makespan, 3);
 }
 
 }  // namespace
@@ -34,7 +41,9 @@ int main(int argc, char** argv) {
   support::Cli cli("fig8_fw_hawk", "FW-APSP strong scaling on Hawk (Fig. 8)");
   cli.option("n", "8192", "matrix dimension (paper: 32768)");
   cli.flag("full", "paper-scale 32k matrix incl. block 64 (slow)");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const bool full = cli.get_flag("full");
   const int n = full ? 32768 : static_cast<int>(cli.get_int("n"));
   const auto m = sim::hawk();
@@ -59,7 +68,7 @@ int main(int argc, char** argv) {
     for (int nodes : nodes_parsec) {
       // Scalability limit: fewer tiles per process than threads (the
       // paper's (n/bs)/grid analysis for block 128 at 256 nodes).
-      row.push_back(ttg_time(m, nodes, n, bs, rt::BackendKind::Parsec));
+      row.push_back(ttg_time(m, nodes, n, bs, rt::BackendKind::Parsec, trace));
     }
     t.add_row(row);
   }
@@ -71,7 +80,7 @@ int main(int argc, char** argv) {
         row.push_back(bench::na());
         continue;
       }
-      row.push_back(ttg_time(m, nodes, n, bs, rt::BackendKind::Madness));
+      row.push_back(ttg_time(m, nodes, n, bs, rt::BackendKind::Madness, trace));
     }
     t.add_row(row);
   }

@@ -8,6 +8,7 @@
 #include "apps/fw_apsp/fw_ttg.hpp"
 #include "baselines/fw_mpi_omp.hpp"
 #include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
 #include "ttg/ttg.hpp"
 
 using namespace ttg;
@@ -16,7 +17,9 @@ int main(int argc, char** argv) {
   support::Cli cli("fig9_fw_seawulf", "FW-APSP strong scaling on Seawulf (Fig. 9)");
   cli.option("n", "12288", "matrix dimension (paper: 32768)");
   cli.flag("full", "paper-scale 32k matrix (slow)");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const int n = cli.get_flag("full") ? 32768 : static_cast<int>(cli.get_int("n"));
   const auto m = sim::seawulf();
 
@@ -39,9 +42,15 @@ int main(int argc, char** argv) {
         cfg.nranks = nodes;
         cfg.backend = backend;
         rt::World world(cfg);
+        trace.attach(world);
         apps::fw::Options opt;
         opt.collect = false;
-        row.push_back(support::fmt(apps::fw::run(world, ghost, opt).makespan, 3));
+        auto res = apps::fw::run(world, ghost, opt);
+        trace.finish(world,
+                     std::string(rt::to_string(backend)) + "-bs" +
+                         std::to_string(bs) + "-" + std::to_string(nodes) + "nodes",
+                     res.makespan);
+        row.push_back(support::fmt(res.makespan, 3));
       }
       t.add_row(row);
     }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "apps/bspmm/bspmm_ttg.hpp"
+#include "runtime/trace_session.hpp"
 #include "sparse/yukawa_gen.hpp"
 #include "support/cli.hpp"
 #include "ttg/ttg.hpp"
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
   cli.option("nranks", "4", "simulated cluster size");
   cli.option("read-window", "32", "in-flight remote broadcasts (feedback loop 1)");
   cli.option("k-window", "4", "k-steps per Coordinator phase (feedback loop 2)");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
 
   sparse::YukawaParams p;
   p.natoms = static_cast<int>(cli.get_int("natoms"));
@@ -35,10 +38,12 @@ int main(int argc, char** argv) {
   cfg.machine = sim::hawk();
   cfg.nranks = static_cast<int>(cli.get_int("nranks"));
   World world(cfg);
+  trace.attach(world);
   apps::bspmm::Options opt;
   opt.read_window = static_cast<int>(cli.get_int("read-window"));
   opt.k_window = static_cast<int>(cli.get_int("k-window"));
   auto res = apps::bspmm::run(world, a, a, opt);
+  trace.finish(world, "", res.makespan);
 
   double err = 0.0;
   for (auto [i, j] : ref.nonzeros()) {

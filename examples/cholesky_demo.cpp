@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "apps/cholesky/cholesky_ttg.hpp"
+#include "runtime/trace_session.hpp"
 #include "support/cli.hpp"
 #include "ttg/ttg.hpp"
 
@@ -20,7 +21,9 @@ int main(int argc, char** argv) {
   cli.option("bs", "64", "tile size");
   cli.option("nranks", "4", "simulated cluster size");
   cli.option("seed", "42", "RNG seed");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
 
   const int n = static_cast<int>(cli.get_int("n"));
   const int bs = static_cast<int>(cli.get_int("bs"));
@@ -36,7 +39,9 @@ int main(int argc, char** argv) {
     cfg.nranks = static_cast<int>(cli.get_int("nranks"));
     cfg.backend = backend;
     World world(cfg);
+    trace.attach(world);
     auto res = apps::cholesky::run(world, a);
+    trace.finish(world, rt::to_string(backend), res.makespan);
     const double err = res.matrix.to_dense().max_abs_diff(ref);
     std::printf(
         "backend %-7s: %llu tasks, makespan %.3f ms, %.1f GFLOP/s, max |err| %.2e\n",

@@ -8,6 +8,7 @@
 
 #include "apps/fw_apsp/fw_ttg.hpp"
 #include "baselines/fw_mpi_omp.hpp"
+#include "runtime/trace_session.hpp"
 #include "support/cli.hpp"
 #include "ttg/ttg.hpp"
 
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   cli.option("bs", "32", "tile size");
   cli.option("nranks", "4", "simulated cluster size (square for comparator)");
   cli.option("density", "0.15", "edge probability");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
 
   const int n = static_cast<int>(cli.get_int("vertices"));
   const int bs = static_cast<int>(cli.get_int("bs"));
@@ -34,7 +37,9 @@ int main(int argc, char** argv) {
   cfg.machine = sim::hawk();
   cfg.nranks = nranks;
   World world(cfg);
+  trace.attach(world);
   auto res = apps::fw::run(world, w0);
+  trace.finish(world, "", res.makespan);
   const double err = res.matrix.to_dense().max_abs_diff(ref);
   std::printf("TTG FW-APSP: %llu tasks, makespan %.3f ms, max |err| %.2e\n",
               static_cast<unsigned long long>(res.tasks), res.makespan * 1e3, err);

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "apps/mra/mra_ttg.hpp"
+#include "runtime/trace_session.hpp"
 #include "support/cli.hpp"
 #include "ttg/ttg.hpp"
 
@@ -20,7 +21,9 @@ int main(int argc, char** argv) {
   cli.option("exponent", "3e4", "Gaussian exponent (unit-cube coordinates)");
   cli.option("tol", "1e-7", "truncation threshold");
   cli.option("nranks", "4", "simulated cluster size");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
 
   const int nfuncs = static_cast<int>(cli.get_int("funcs"));
   auto fns = mra::random_gaussians(nfuncs, cli.get_double("exponent"), 2022);
@@ -30,9 +33,11 @@ int main(int argc, char** argv) {
   cfg.machine = sim::hawk();
   cfg.nranks = static_cast<int>(cli.get_int("nranks"));
   World world(cfg);
+  trace.attach(world);
   apps::mra::Options opt;
   opt.tol = cli.get_double("tol");
   auto res = apps::mra::run(world, ctx, opt);
+  trace.finish(world, "", res.makespan);
 
   std::printf("%d functions, %llu tree nodes, %llu tasks, makespan %.3f ms\n",
               nfuncs, static_cast<unsigned long long>(res.tree_nodes),

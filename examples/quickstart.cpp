@@ -11,6 +11,7 @@
 //   $ ./examples/quickstart [--nranks 4] [--count 32]
 #include <cstdio>
 
+#include "runtime/trace_session.hpp"
 #include "support/cli.hpp"
 #include "ttg/ttg.hpp"
 
@@ -20,7 +21,9 @@ int main(int argc, char** argv) {
   cli.option("nranks", "4", "simulated cluster size");
   cli.option("count", "32", "how many numbers to push through the graph");
   cli.option("backend", "parsec", "parsec | madness");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const int nranks = static_cast<int>(cli.get_int("nranks"));
   const int count = static_cast<int>(cli.get_int("count"));
 
@@ -30,6 +33,7 @@ int main(int argc, char** argv) {
   cfg.backend =
       cli.get("backend") == "madness" ? BackendKind::Madness : BackendKind::Parsec;
   World world(cfg);
+  trace.attach(world);
 
   // Edges are strongly typed: (task ID, data).
   Edge<Int1, long> numbers("numbers");
@@ -66,5 +70,6 @@ int main(int argc, char** argv) {
   std::printf("tasks executed: %llu square + %llu sum\n",
               static_cast<unsigned long long>(square->tasks_executed()),
               static_cast<unsigned long long>(sum->tasks_executed()));
+  trace.finish(world, "", makespan);
   return total == expect ? 0 : 1;
 }

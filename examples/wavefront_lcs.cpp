@@ -14,6 +14,7 @@
 #include <string>
 
 #include "linalg/dist.hpp"
+#include "runtime/trace_session.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 #include "ttg/ttg.hpp"
@@ -52,7 +53,9 @@ int main(int argc, char** argv) {
   cli.option("n", "512", "string length");
   cli.option("bs", "64", "block size");
   cli.option("nranks", "4", "simulated cluster size");
+  rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
   const int n = static_cast<int>(cli.get_int("n"));
   const int bs = static_cast<int>(cli.get_int("bs"));
   const int nb = (n + bs - 1) / bs;
@@ -160,5 +163,6 @@ int main(int argc, char** argv) {
   std::printf("worker utilization: %.1f%%\n",
               100.0 * world.tracer().utilization(world.nranks(),
                                                  world.workers_per_rank(), makespan));
+  trace.finish(world, "", makespan);
   return lcs == ref ? 0 : 1;
 }

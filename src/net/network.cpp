@@ -37,6 +37,15 @@ void Network::transfer(int src, int dst, std::size_t nbytes,
                        std::function<void()> on_delivered) {
   stats_.messages += 1;
   stats_.bytes += nbytes;
+  if (observer_) {
+    // Wrap delivery so the observer sees the full injection->delivery span.
+    const sim::Time injected = engine_.now();
+    on_delivered = [this, src, dst, nbytes, injected,
+                    inner = std::move(on_delivered)]() mutable {
+      observer_(src, dst, nbytes, injected, engine_.now());
+      inner();
+    };
+  }
   const double wire = machine_.wire_time(nbytes);
   const bool cross = crosses_bisection(src, dst);
   // Pipeline: sender NIC -> (bisection) -> propagation latency -> recv NIC.

@@ -72,6 +72,14 @@ class Network {
   [[nodiscard]] int nranks() const { return static_cast<int>(send_nic_.size()); }
   [[nodiscard]] const sim::MachineModel& machine() const { return machine_; }
 
+  /// Observe every payload transfer: called as (src, dst, bytes, t_inject,
+  /// t_delivered) when the transfer completes. The runtime's tracer uses
+  /// this to record wire-occupancy spans without the network layer knowing
+  /// about tracing.
+  using TransferObserver =
+      std::function<void(int, int, std::size_t, sim::Time, sim::Time)>;
+  void set_transfer_observer(TransferObserver obs) { observer_ = std::move(obs); }
+
   /// Busy time of rank r's send NIC (utilization accounting for benches).
   [[nodiscard]] sim::Time nic_busy(int rank) const { return send_nic_[rank]->busy_time(); }
 
@@ -89,6 +97,7 @@ class Network {
   std::unique_ptr<sim::FifoResource> bisection_;
   double bisection_bw_ = 0.0;
   NetStats stats_;
+  TransferObserver observer_;
 };
 
 }  // namespace ttg::net

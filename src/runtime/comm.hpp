@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "runtime/trace.hpp"
 #include "serialization/traits.hpp"
 
 namespace ttg::rt {
@@ -58,6 +59,14 @@ class CommEngine {
   /// given protocol (serialization copies). Charged on the sending worker.
   [[nodiscard]] virtual double send_side_cpu(std::size_t bytes, ser::Protocol p) const = 0;
 
+  /// Payload staging copies the sender pays for one whole-object message
+  /// under protocol `p` (the copies behind send_side_cpu, as a count).
+  [[nodiscard]] virtual int send_copies(ser::Protocol p) const = 0;
+
+  /// Payload unstaging copies the receiver pays for one whole-object
+  /// message (buffer -> object deserialization).
+  [[nodiscard]] virtual int recv_copies(ser::Protocol p) const = 0;
+
   /// Ship a whole-object message of `wire_bytes`; at the destination, charge
   /// receive-side processing (AM handling + deserialization copy) on the
   /// backend's message-processing resource, then invoke `deliver`.
@@ -78,8 +87,13 @@ class CommEngine {
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   CommStats& mutable_stats() { return stats_; }
 
+  /// Attach an execution tracer (owned by the World): the engine records
+  /// message-processing queue waits and RMA latencies into it.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  protected:
   CommStats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ttg::rt

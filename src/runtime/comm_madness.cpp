@@ -1,5 +1,6 @@
 #include "runtime/comm_madness.hpp"
 
+#include <algorithm>
 #include <string>
 
 namespace ttg::rt {
@@ -43,7 +44,12 @@ void MadnessComm::send_message(int src, int dst, std::size_t wire_bytes,
     // Everything funnels through the single AM server thread: RMI dispatch
     // plus the buffer -> object deserialization copy.
     const double service = am_cpu_ + network_.machine().copy_time(wire_bytes);
-    am_server_[static_cast<std::size_t>(dst)]->submit(service, std::move(deliver));
+    auto& server = *am_server_[static_cast<std::size_t>(dst)];
+    if (tracer_ != nullptr) {
+      const double at = engine_.now();
+      tracer_->record_server(dst, at, std::max(0.0, server.free_at() - at), service);
+    }
+    server.submit(service, std::move(deliver));
   });
 }
 

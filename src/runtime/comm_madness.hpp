@@ -32,6 +32,12 @@ class MadnessComm final : public CommEngine {
 
   [[nodiscard]] double send_side_cpu(std::size_t bytes, ser::Protocol p) const override;
 
+  // MADNESS serializes whole objects regardless of protocol preference:
+  // one staging copy into the AM buffer at the sender, one copy out of the
+  // receive buffer on the server thread.
+  [[nodiscard]] int send_copies(ser::Protocol) const override { return 1; }
+  [[nodiscard]] int recv_copies(ser::Protocol) const override { return 1; }
+
   void send_message(int src, int dst, std::size_t wire_bytes,
                     std::function<void()> deliver) override;
 

@@ -1,5 +1,6 @@
 #include "runtime/comm_parsec.hpp"
 
+#include <algorithm>
 #include <string>
 
 namespace ttg::rt {
@@ -50,7 +51,12 @@ void ParsecComm::send_message(int src, int dst, std::size_t wire_bytes,
     // The comm thread handles the AM and performs the single
     // buffer -> object copy for whole-object protocols.
     const double service = am_cpu_ + network_.machine().copy_time(wire_bytes);
-    comm_thread_[static_cast<std::size_t>(dst)]->submit(service, std::move(deliver));
+    auto& thread = *comm_thread_[static_cast<std::size_t>(dst)];
+    if (tracer_ != nullptr) {
+      const double at = engine_.now();
+      tracer_->record_server(dst, at, std::max(0.0, thread.free_at() - at), service);
+    }
+    thread.submit(service, std::move(deliver));
   });
 }
 
@@ -66,7 +72,12 @@ void ParsecComm::send_splitmd(int src, int dst, std::size_t md_bytes,
                                            on_payload = std::move(on_payload),
                                            on_release = std::move(on_release)]() mutable {
     const double md_service = am_cpu_;
-    comm_thread_[static_cast<std::size_t>(dst)]->submit(
+    auto& thread = *comm_thread_[static_cast<std::size_t>(dst)];
+    if (tracer_ != nullptr) {
+      const double at = engine_.now();
+      tracer_->record_server(dst, at, std::max(0.0, thread.free_at() - at), md_service);
+    }
+    thread.submit(
         md_service, [this, src, dst, payload_bytes, on_metadata = std::move(on_metadata),
                      on_payload = std::move(on_payload),
                      on_release = std::move(on_release)]() mutable {
@@ -75,8 +86,16 @@ void ParsecComm::send_splitmd(int src, int dst, std::size_t md_bytes,
           // ...then fetches the contiguous payload with a one-sided get.
           // No CPU copy: the data lands in the new object's memory. The
           // sender is notified on completion and releases the source.
-          network_.rma_get(src, dst, payload_bytes, std::move(on_payload),
-                           std::move(on_release));
+          const double issued = engine_.now();
+          network_.rma_get(
+              src, dst, payload_bytes,
+              [this, src, dst, payload_bytes, issued,
+               on_payload = std::move(on_payload)]() mutable {
+                if (tracer_ != nullptr)
+                  tracer_->record_rma(src, dst, payload_bytes, issued, engine_.now());
+                on_payload();
+              },
+              std::move(on_release));
         });
   });
 }

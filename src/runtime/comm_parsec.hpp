@@ -29,6 +29,17 @@ class ParsecComm final : public CommEngine {
 
   [[nodiscard]] double send_side_cpu(std::size_t bytes, ser::Protocol p) const override;
 
+  // Splitmd and trivially-copyable sends go to the wire straight from
+  // object memory; only archive types pay a staging copy. The receive-side
+  // comm thread always pays one buffer -> object copy for whole-object
+  // messages (splitmd payloads land in place via RMA).
+  [[nodiscard]] int send_copies(ser::Protocol p) const override {
+    return p == ser::Protocol::Archive ? 1 : 0;
+  }
+  [[nodiscard]] int recv_copies(ser::Protocol p) const override {
+    return p == ser::Protocol::SplitMetadata ? 0 : 1;
+  }
+
   void send_message(int src, int dst, std::size_t wire_bytes,
                     std::function<void()> deliver) override;
 

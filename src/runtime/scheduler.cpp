@@ -3,21 +3,39 @@
 namespace ttg::rt {
 
 Scheduler::Scheduler(sim::Engine& engine, int rank, int workers)
-    : engine_(engine), rank_(rank), workers_(workers), idle_(workers) {
+    : engine_(engine), rank_(rank), workers_(workers) {
   TTG_CHECK(workers > 0, "scheduler needs at least one worker");
+  // LIFO free list seeded so the first task lands on worker 0.
+  idle_workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = workers - 1; w >= 0; --w) idle_workers_.push_back(w);
 }
 
 void Scheduler::submit(int priority, double cost, std::function<void()> body) {
-  submit(priority, cost, std::string(), std::move(body));
+  submit_node(priority, cost, Tracer::kNoNode, std::move(body));
 }
 
 void Scheduler::submit(int priority, double cost, std::string name,
                        std::function<void()> body) {
+  submit(priority, cost, std::move(name), std::string(), std::move(body));
+}
+
+void Scheduler::submit(int priority, double cost, std::string name, std::string key,
+                       std::function<void()> body) {
+  const std::uint32_t node =
+      tracer_ != nullptr
+          ? tracer_->task_created(std::move(name), std::move(key), rank_, priority)
+          : Tracer::kNoNode;
+  submit_node(priority, cost, node, std::move(body));
+}
+
+void Scheduler::submit_node(int priority, double cost, std::uint32_t trace_node,
+                            std::function<void()> body) {
   TTG_CHECK(cost >= 0.0, "negative task cost");
-  Ready task{priority, next_seq_++, cost, std::move(body), std::move(name)};
-  if (idle_ > 0) {
-    --idle_;
-    start(std::move(task));
+  Ready task{priority, next_seq_++, cost, std::move(body), trace_node};
+  if (!idle_workers_.empty()) {
+    const int worker = idle_workers_.back();
+    idle_workers_.pop_back();
+    start(std::move(task), worker);
   } else {
     queue_.push(std::move(task));
   }
@@ -27,34 +45,37 @@ double Scheduler::charge(double dt) {
   TTG_CHECK(dt >= 0.0, "negative charge");
   if (!in_task_) return 0.0;  // charges outside a task (graph injection) are free
   *charge_accum_ += dt;
+  if (tracer_ != nullptr) tracer_->add_charged_cpu(rank_, dt);
   return *charge_accum_;
 }
 
-void Scheduler::start(Ready task) {
+void Scheduler::start(Ready task, int worker) {
   const double t_start = engine_.now();
   // The body runs at the task's completion instant (see header comment).
-  engine_.after(task.cost, [this, t_start, task = std::move(task)]() mutable {
+  engine_.after(task.cost, [this, t_start, worker, task = std::move(task)]() mutable {
     double extra = 0.0;
     in_task_ = true;
     charge_accum_ = &extra;
+    const bool traced = tracer_ != nullptr && task.trace_node != Tracer::kNoNode;
+    if (traced) tracer_->set_context(task.trace_node);
     task.body();
+    if (traced) tracer_->clear_context();
     in_task_ = false;
     charge_accum_ = nullptr;
     busy_ += task.cost + extra;
     ++tasks_run_;
-    if (tracer_ != nullptr && !task.name.empty()) {
-      tracer_->record(std::move(task.name), rank_, task.priority, t_start,
-                      engine_.now() + extra);
+    if (traced) {
+      tracer_->task_executed(task.trace_node, worker, t_start, engine_.now() + extra);
     }
     // The worker stays busy for `extra` more seconds (post-body copies),
     // then picks up the next ready task.
-    engine_.after(extra, [this]() {
+    engine_.after(extra, [this, worker]() {
       if (!queue_.empty()) {
         Ready next = std::move(const_cast<Ready&>(queue_.top()));
         queue_.pop();
-        start(std::move(next));
+        start(std::move(next), worker);
       } else {
-        ++idle_;
+        idle_workers_.push_back(worker);
       }
     });
   });

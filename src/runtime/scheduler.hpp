@@ -38,6 +38,11 @@ class Scheduler {
   /// (if tracing is enabled on this world).
   void submit(int priority, double cost, std::string name, std::function<void()> body);
 
+  /// Like submit(), with both the template-task name and the rendered task
+  /// key recorded in the tracer.
+  void submit(int priority, double cost, std::string name, std::string key,
+              std::function<void()> body);
+
   /// Attach an execution tracer (owned by the World).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] bool tracing() const { return tracer_ != nullptr; }
@@ -65,7 +70,7 @@ class Scheduler {
     std::uint64_t seq;
     double cost;
     std::function<void()> body;
-    std::string name;  ///< nonempty only when tracing
+    std::uint32_t trace_node;  ///< Tracer node id, or Tracer::kNoNode
   };
   struct Worse {
     bool operator()(const Ready& a, const Ready& b) const {
@@ -74,12 +79,14 @@ class Scheduler {
     }
   };
 
-  void start(Ready task);
+  void submit_node(int priority, double cost, std::uint32_t trace_node,
+                   std::function<void()> body);
+  void start(Ready task, int worker);
 
   sim::Engine& engine_;
   int rank_;
   int workers_;
-  int idle_;
+  std::vector<int> idle_workers_;  ///< free worker indices (LIFO)
   std::uint64_t next_seq_ = 0;
   std::uint64_t tasks_run_ = 0;
   double busy_ = 0.0;

@@ -1,0 +1,55 @@
+#include "runtime/trace_session.hpp"
+
+#include <cstdio>
+
+#include "support/table.hpp"
+
+namespace ttg::rt {
+
+void TraceSession::add_options(support::Cli& cli) {
+  cli.option("trace", "",
+             "write a Chrome-trace JSON (chrome://tracing / Perfetto) to this path");
+  cli.flag("trace-summary",
+           "print per-template, per-rank, and critical-path trace reports");
+}
+
+TraceSession::TraceSession(const support::Cli& cli)
+    : path_(cli.get("trace")), summary_(cli.get_flag("trace-summary")) {}
+
+TraceSession::TraceSession(std::string path, bool summary)
+    : path_(std::move(path)), summary_(summary) {}
+
+void TraceSession::attach(World& world) const {
+  if (enabled()) world.enable_tracing();
+}
+
+std::string TraceSession::output_path(const std::string& label) const {
+  if (label.empty()) return path_;
+  // Insert the label before the extension: out.json -> out.<label>.json.
+  const auto slash = path_.find_last_of('/');
+  const auto dot = path_.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path_ + "." + label;
+  return path_.substr(0, dot) + "." + label + path_.substr(dot);
+}
+
+void TraceSession::finish(World& world, const std::string& label,
+                          double makespan) const {
+  if (!enabled()) return;
+  Tracer& tracer = world.tracer();
+  if (!path_.empty()) {
+    const std::string out = output_path(label);
+    tracer.write_chrome_trace(out);
+    std::printf("# trace: wrote %s (%zu tasks, %zu messages)\n", out.c_str(),
+                tracer.records().size(), tracer.messages().size());
+  }
+  if (summary_) {
+    if (!label.empty()) std::printf("# trace summary: %s\n", label.c_str());
+    std::printf("%s\n", tracer.summary_table().c_str());
+    const double span = makespan >= 0.0 ? makespan : world.engine().now();
+    std::printf("%s\n", tracer.breakdown_table(span).str().c_str());
+    std::printf("%s\n", tracer.critical_path_report().c_str());
+  }
+}
+
+}  // namespace ttg::rt

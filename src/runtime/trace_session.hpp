@@ -1,0 +1,57 @@
+// CLI wiring for runtime tracing: `--trace <path>` / `--trace-summary`.
+//
+// Every bench and example binary declares the two options through
+// add_options(), constructs a TraceSession from the parsed Cli, attaches
+// it to each World it creates, and calls finish() after the run:
+//
+//   support::Cli cli(...);
+//   rt::TraceSession::add_options(cli);
+//   ...
+//   rt::TraceSession trace(cli);
+//   rt::World world(cfg);
+//   trace.attach(world);
+//   ... run, fence ...
+//   trace.finish(world, "parsec-8nodes");
+//
+// finish() writes one Chrome-trace JSON file per traced World (the label
+// disambiguates binaries that run many configurations) and/or prints the
+// per-template summary, the per-rank breakdown, and the critical-path
+// report. With neither flag given, attach()/finish() are no-ops, so the
+// wiring costs nothing on untraced runs.
+#pragma once
+
+#include <string>
+
+#include "runtime/world.hpp"
+#include "support/cli.hpp"
+
+namespace ttg::rt {
+
+class TraceSession {
+ public:
+  /// Declare --trace and --trace-summary on a Cli (call before parse()).
+  static void add_options(support::Cli& cli);
+
+  /// Read the trace options back from a parsed Cli.
+  explicit TraceSession(const support::Cli& cli);
+  TraceSession(std::string path, bool summary);
+
+  [[nodiscard]] bool enabled() const { return !path_.empty() || summary_; }
+
+  /// Enable tracing on `world` (no-op when not enabled).
+  void attach(World& world) const;
+
+  /// Export and/or print the trace of one finished World. `label` is
+  /// appended to the output file stem when a binary traces several runs;
+  /// `makespan` (if >= 0) sizes the idle column of the breakdown table.
+  void finish(World& world, const std::string& label = "",
+              double makespan = -1.0) const;
+
+ private:
+  [[nodiscard]] std::string output_path(const std::string& label) const;
+
+  std::string path_;      ///< Chrome-trace output file ("" = no export)
+  bool summary_ = false;  ///< print summary/breakdown/critical-path tables
+};
+
+}  // namespace ttg::rt

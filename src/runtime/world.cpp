@@ -58,7 +58,14 @@ std::size_t World::unfinished() const {
 void World::enable_tracing() {
   if (tracer_) return;
   tracer_ = std::make_unique<Tracer>();
+  tracer_->configure(cfg_.nranks, workers_);
   for (auto& s : sched_) s->set_tracer(tracer_.get());
+  comm_->set_tracer(tracer_.get());
+  network_->set_transfer_observer(
+      [t = tracer_.get()](int src, int dst, std::size_t bytes, sim::Time t0,
+                          sim::Time t1) {
+        t->record_wire(src, dst, static_cast<std::uint64_t>(bytes), t0, t1);
+      });
 }
 
 void World::register_tt(TTBase* tt) { tts_.push_back(tt); }

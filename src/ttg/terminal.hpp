@@ -163,17 +163,35 @@ class Out {
             : ser::protocol_for<Value>();
     const double cpu = comm.send_side_cpu(wire, proto);
     const double delay = w.scheduler(src).charge(cpu);
+    // Trace the message while still inside the sender's body so the
+    // producing task becomes the message node's predecessor.
+    rt::Tracer* tr = w.tracing() ? &w.tracer() : nullptr;
+    std::uint32_t msg = rt::Tracer::kNoNode;
+    if (tr != nullptr) {
+      msg = tr->message_created(sink->consumer_name(), src, dst, wire,
+                                /*splitmd=*/false);
+      tr->add_copies(src, comm.send_copies(proto));
+      tr->add_copies(dst, comm.recv_copies(proto));
+    }
     rt::World* wp = world_;
-    w.engine().after(delay, [wp, &comm, src, dst, wire, buf, sink]() {
-      comm.send_message(src, dst, wire, [wp, dst, buf, sink]() {
+    w.engine().after(delay, [wp, &comm, src, dst, wire, buf, sink, tr, msg]() {
+      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+      comm.send_message(src, dst, wire, [wp, dst, buf, sink, tr, msg]() {
         ser::InputArchive ia(*buf);
         Value v{};
         ia& v;
         std::vector<Key> keys;
         ia& keys;
         wp->run_as(dst, [&]() {
+          // Deliveries run under the message's causality context: tasks
+          // completed by these puts become the message's successors.
+          if (tr != nullptr) {
+            tr->message_delivered(msg, wp->engine().now());
+            tr->set_context(msg);
+          }
           for (std::size_t i = 0; i + 1 < keys.size(); ++i) sink->put_local(keys[i], v);
           sink->put_local_move(keys.back(), std::move(v));
+          if (tr != nullptr) tr->clear_context();
         });
       });
     });
@@ -197,9 +215,18 @@ class Out {
     auto keys_out = std::make_shared<std::vector<Key>>();
     const double cpu = comm.send_side_cpu(payload_bytes, ser::Protocol::SplitMetadata);
     const double delay = w.scheduler(src).charge(cpu);
+    rt::Tracer* tr = w.tracing() ? &w.tracer() : nullptr;
+    std::uint32_t msg = rt::Tracer::kNoNode;
+    if (tr != nullptr) {
+      // Metadata + payload both count toward wire bytes; no staging or
+      // unstaging copies are paid on the splitmd data plane.
+      msg = tr->message_created(sink->consumer_name(), src, dst,
+                                mdbuf->size() + payload_bytes, /*splitmd=*/true);
+    }
     rt::World* wp = world_;
     w.engine().after(delay, [wp, &comm, src, dst, mdbuf, payload_bytes, holder, obj,
-                             keys_out, sink]() {
+                             keys_out, sink, tr, msg]() {
+      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
       comm.send_splitmd(
           src, dst, mdbuf->size(), payload_bytes,
           /*on_metadata=*/
@@ -211,17 +238,22 @@ class Out {
             *obj = SMD::create(m);
           },
           /*on_payload=*/
-          [wp, dst, holder, obj, keys_out, sink]() {
+          [wp, dst, holder, obj, keys_out, sink, tr, msg]() {
             const auto src_span = SMD::payload(*holder);
             const auto dst_span = SMD::payload(*obj);
             TTG_CHECK(src_span.size() == dst_span.size(), "splitmd payload size mismatch");
             if (!src_span.empty())
               std::memcpy(dst_span.data(), src_span.data(), src_span.size());
             wp->run_as(dst, [&]() {
+              if (tr != nullptr) {
+                tr->message_delivered(msg, wp->engine().now());
+                tr->set_context(msg);
+              }
               const auto& keys = *keys_out;
               for (std::size_t i = 0; i + 1 < keys.size(); ++i)
                 sink->put_local(keys[i], *obj);
               sink->put_local_move(keys.back(), std::move(*obj));
+              if (tr != nullptr) tr->clear_context();
             });
           },
           /*on_release=*/[holder]() { /* dropping the ref releases the source */ });
@@ -245,10 +277,28 @@ class Out {
         constexpr std::size_t kCtrlBytes = 64;
         const double cpu = comm.send_side_cpu(kCtrlBytes, ser::Protocol::Trivial);
         const double delay = w.scheduler(me).charge(cpu);
+        rt::Tracer* tr = w.tracing() ? &w.tracer() : nullptr;
+        std::uint32_t msg = rt::Tracer::kNoNode;
+        if (tr != nullptr) {
+          msg = tr->message_created(sink->consumer_name() + "#ctrl", me, dst, kCtrlBytes,
+                                    /*splitmd=*/false);
+          tr->add_copies(me, comm.send_copies(ser::Protocol::Trivial));
+          tr->add_copies(dst, comm.recv_copies(ser::Protocol::Trivial));
+        }
         rt::World* wp = world_;
-        w.engine().after(delay, [wp, &comm, me, dst, sink, key, action]() {
-          comm.send_message(me, dst, kCtrlBytes, [wp, dst, sink, key, action]() {
-            wp->run_as(dst, [&]() { action(sink, key); });
+        w.engine().after(delay, [wp, &comm, me, dst, sink, key, action, tr, msg]() {
+          if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+          comm.send_message(me, dst, kCtrlBytes, [wp, dst, sink, key, action, tr, msg]() {
+            wp->run_as(dst, [&]() {
+              // Stream-size/finalize arrivals can complete a task: keep the
+              // causality context so that task links back to this message.
+              if (tr != nullptr) {
+                tr->message_delivered(msg, wp->engine().now());
+                tr->set_context(msg);
+              }
+              action(sink, key);
+              if (tr != nullptr) tr->clear_context();
+            });
           });
         });
       }

@@ -292,7 +292,8 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
       });
     };
     if (world_.tracing()) {
-      world_.scheduler(rank).submit(prio, cost, name_, std::move(body));
+      world_.scheduler(rank).submit(prio, cost, name_, key_to_string(key),
+                                    std::move(body));
     } else {
       world_.scheduler(rank).submit(prio, cost, std::move(body));
     }

@@ -405,7 +405,13 @@ void trigger_duplicate_input() {
 }
 
 TEST(TtgCoreDeath, DuplicateInputAborts) {
+  // GTEST_FLAG_SET only exists in googletest >= 1.12; fall back to the
+  // classic flag accessor on older releases.
+#ifdef GTEST_FLAG_SET
   GTEST_FLAG_SET(death_test_style, "threadsafe");
+#else
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+#endif
   EXPECT_DEATH(trigger_duplicate_input(), "duplicate input");
 }
 
