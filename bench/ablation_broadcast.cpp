@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     cfg.machine = m;
     cfg.nranks = nodes;
     cfg.optimized_broadcast = optimized;
+    trace.apply_faults(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::cholesky::Options opt;

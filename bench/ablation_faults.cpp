@@ -1,0 +1,110 @@
+// Ablation: makespan under injected faults (resilience study).
+//
+// Sweeps message drop rate x straggler factor over both backends on a
+// fixed tiled-Cholesky workload and reports how gracefully each backend
+// degrades: makespan inflation, retransmissions, re-fetches, and whether
+// every drop was recovered (dead letters must stay zero below drop=1).
+// All fault decisions are seeded, so the table is bit-reproducible.
+#include <string>
+#include <vector>
+
+#include "apps/cholesky/cholesky_ttg.hpp"
+#include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
+#include "ttg/ttg.hpp"
+
+using namespace ttg;
+
+namespace {
+
+struct Cell {
+  double makespan = 0.0;
+  rt::CommStats comm;
+  net::NetStats net;
+};
+
+Cell run_one(const sim::MachineModel& m, int nodes, int n, int bs,
+             rt::BackendKind backend, const sim::FaultPlan& plan,
+             const rt::TraceSession& trace) {
+  auto ghost = linalg::ghost_matrix(n, bs);
+  rt::WorldConfig cfg;
+  cfg.machine = m;
+  cfg.nranks = nodes;
+  cfg.backend = backend;
+  cfg.faults = plan;
+  rt::World world(cfg);
+  trace.attach(world);
+  apps::cholesky::Options opt;
+  opt.collect = false;
+  auto res = apps::cholesky::run(world, ghost, opt);
+  trace.finish(world,
+               std::string(rt::to_string(backend)) + "-" + plan.describe(),
+               res.makespan);
+  return Cell{res.makespan, world.comm().stats(), world.network().stats()};
+}
+
+std::string spec_for(double drop, double straggler) {
+  std::string spec;
+  if (drop > 0.0) spec += "drop=" + support::fmt(drop, 4);
+  if (straggler > 1.0) {
+    if (!spec.empty()) spec += ",";
+    spec += "straggler=0:" + support::fmt(straggler, 1);
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Cli cli("ablation_faults",
+                   "POTRF makespan vs drop rate and straggler factor");
+  cli.option("n", "4096", "matrix dimension");
+  cli.option("bs", "256", "tile size");
+  cli.option("nodes", "8", "simulated cluster size");
+  rt::TraceSession::add_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
+  const int n = static_cast<int>(cli.get_int("n"));
+  const int bs = static_cast<int>(cli.get_int("bs"));
+  const int nodes = static_cast<int>(cli.get_int("nodes"));
+  const std::uint64_t seed = trace.faults().seed;
+  const auto m = sim::hawk();
+
+  bench::preamble("Ablation: fault injection & resilience (POTRF makespan)",
+                  "perfect fabric (no faults)",
+                  std::to_string(n) + "^2, " + std::to_string(bs) + "^2 tiles, " +
+                      std::to_string(nodes) + " nodes, fault seed " +
+                      std::to_string(seed));
+
+  const std::vector<double> drops = {0.0, 0.005, 0.02};
+  const std::vector<double> stragglers = {1.0, 2.0, 4.0};
+
+  for (rt::BackendKind backend : {rt::BackendKind::Parsec, rt::BackendKind::Madness}) {
+    support::Table t(std::string("TTG/") + rt::to_string(backend) +
+                         ": makespan[ms] (x slowdown vs fault-free)",
+                     {"drop", "straggler", "makespan", "slowdown", "retries",
+                      "refetches", "recovered", "dead"});
+    double base = 0.0;
+    for (double drop : drops) {
+      for (double straggler : stragglers) {
+        const auto plan = sim::FaultPlan::parse(spec_for(drop, straggler), seed);
+        const Cell c = run_one(m, nodes, n, bs, backend, plan, trace);
+        if (drop == 0.0 && straggler == 1.0) base = c.makespan;
+        t.add_row({support::fmt(drop, 3), support::fmt(straggler, 1),
+                   support::fmt(c.makespan * 1e3, 3),
+                   base > 0.0 ? support::fmt(c.makespan / base, 2) : "1.00",
+                   std::to_string(c.comm.retries),
+                   std::to_string(c.comm.rma_refetches),
+                   std::to_string(c.comm.recovered_msgs),
+                   std::to_string(c.comm.dead_letters)});
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: makespan grows smoothly with drop rate (every drop is\n"
+      "retransmitted, none dead-letter); a straggler rank stretches the critical\n"
+      "path on both backends; PaRSEC additionally re-fetches splitmd payloads.\n");
+  return 0;
+}

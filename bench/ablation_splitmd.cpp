@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
     cfg.machine = m;
     cfg.nranks = nodes;
     cfg.enable_splitmd = sm;
+    trace.apply_faults(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::fw::Options opt;
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
     cfg.machine = m;
     cfg.nranks = nodes;
     cfg.enable_splitmd = sm;
+    trace.apply_faults(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::mra::Options opt;

@@ -53,6 +53,7 @@ inline int run_fig13(const char* figure, const sim::MachineModel& machine,
       cfg.machine = machine;
       cfg.nranks = nodes;
       cfg.backend = b;
+      trace.apply_faults(cfg);
       rt::World world(cfg);
       trace.attach(world);
       apps::mra::Options opt;

@@ -5,6 +5,8 @@
 // strongly and nearly overlaps (Chameleon slightly trailing); ScaLAPACK
 // and SLATE form a clearly separated slow-growing group.
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "apps/cholesky/cholesky_ttg.hpp"
@@ -19,13 +21,27 @@ using namespace ttg;
 
 namespace {
 
-double ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
-               rt::BackendKind backend, const rt::TraceSession& trace) {
+/// One TTG configuration's deterministic outcome (drives the CI perf gate:
+/// simulated makespan and message counts are bit-reproducible, unlike
+/// wall-clock).
+struct TtgPoint {
+  int nodes = 0;
+  int matrix = 0;
+  const char* backend = "";
+  double gflops = 0.0;
+  double makespan = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t splitmd_sends = 0;
+};
+
+TtgPoint ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
+                 rt::BackendKind backend, const rt::TraceSession& trace) {
   auto ghost = linalg::ghost_matrix(n, bs);
   rt::WorldConfig cfg;
   cfg.machine = m;
   cfg.nranks = nodes;
   cfg.backend = backend;
+  trace.apply_faults(cfg);
   rt::World world(cfg);
   trace.attach(world);
   apps::cholesky::Options opt;
@@ -35,7 +51,32 @@ double ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
                std::string(rt::to_string(backend)) + "-" + std::to_string(nodes) +
                    "nodes",
                res.makespan);
-  return res.gflops;
+  const auto& cs = world.comm().stats();
+  return TtgPoint{nodes,        n,
+                  rt::to_string(backend), res.gflops,
+                  res.makespan, cs.messages,
+                  cs.splitmd_sends};
+}
+
+void write_json(const std::string& path, int per_node, int bs,
+                const std::vector<TtgPoint>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  TTG_REQUIRE(f != nullptr, "cannot open --json output file: " + path);
+  std::fprintf(f, "{\"bench\":\"fig5_potrf_weak\",\"per_node\":%d,\"bs\":%d,", per_node,
+               bs);
+  std::fprintf(f, "\"points\":[");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "%s\n{\"nodes\":%d,\"matrix\":%d,\"backend\":\"%s\","
+                 "\"gflops\":%.17g,\"makespan\":%.17g,\"messages\":%llu,"
+                 "\"splitmd_sends\":%llu}",
+                 i ? "," : "", p.nodes, p.matrix, p.backend, p.gflops, p.makespan,
+                 static_cast<unsigned long long>(p.messages),
+                 static_cast<unsigned long long>(p.splitmd_sends));
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
 }
 
 }  // namespace
@@ -44,6 +85,9 @@ int main(int argc, char** argv) {
   support::Cli cli("fig5_potrf_weak", "POTRF weak scaling on Hawk (Fig. 5)");
   cli.option("per-node", "8192", "submatrix dimension per node (paper: 30000)");
   cli.option("bs", "512", "tile size");
+  cli.option("max-nodes", "64", "largest node count to run (CI uses a small cap)");
+  cli.option("json", "", "write deterministic results (makespan, message counts) "
+                         "as JSON to this path");
   cli.flag("full", "paper-scale submatrix (30k per node; slow)");
   rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -51,6 +95,8 @@ int main(int argc, char** argv) {
   const int per_node = cli.get_flag("full") ? 30000
                                             : static_cast<int>(cli.get_int("per-node"));
   const int bs = static_cast<int>(cli.get_int("bs"));
+  const int max_nodes = static_cast<int>(cli.get_int("max-nodes"));
+  const std::string json_path = cli.get("json");
   const auto m = sim::hawk();
 
   bench::preamble("Fig. 5: POTRF weak scaling (GFLOP/s), Hawk",
@@ -61,13 +107,19 @@ int main(int argc, char** argv) {
   support::Table t("Fig. 5 (GFLOP/s vs nodes)",
                    {"nodes", "matrix", "TTG/PaRSEC", "TTG/MADNESS", "DPLASMA",
                     "Chameleon", "SLATE", "ScaLAPACK"});
+  std::vector<TtgPoint> points;
   for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
+    if (nodes > max_nodes) break;
     const int n =
         static_cast<int>(std::lround(per_node * std::sqrt(static_cast<double>(nodes)) /
                                      bs)) * bs;  // round to whole tiles
     auto ghost = linalg::ghost_matrix(n, bs);
-    const double g_parsec = ttg_run(m, nodes, n, bs, rt::BackendKind::Parsec, trace);
-    const double g_mad = ttg_run(m, nodes, n, bs, rt::BackendKind::Madness, trace);
+    const TtgPoint p_parsec = ttg_run(m, nodes, n, bs, rt::BackendKind::Parsec, trace);
+    const TtgPoint p_mad = ttg_run(m, nodes, n, bs, rt::BackendKind::Madness, trace);
+    points.push_back(p_parsec);
+    points.push_back(p_mad);
+    const double g_parsec = p_parsec.gflops;
+    const double g_mad = p_mad.gflops;
     const double g_dpl = baselines::run_dplasma_cholesky(m, nodes, ghost).gflops;
     const double g_cha =
         baselines::run_chameleon_cholesky(m, nodes, ghost).gflops;
@@ -82,6 +134,10 @@ int main(int argc, char** argv) {
                support::fmt(g_sla, 0), support::fmt(g_sca, 0)});
   }
   t.print();
+  if (!json_path.empty()) {
+    write_json(json_path, per_node, bs, points);
+    std::printf("# json: wrote %s (%zu points)\n", json_path.c_str(), points.size());
+  }
   std::printf(
       "expected shape: task-based group (TTG/PaRSEC ~ DPLASMA >= Chameleon, with\n"
       "TTG/MADNESS close) well above the BSP group (SLATE ~ ScaLAPACK).\n");

@@ -23,6 +23,7 @@ std::string ttg_time(const sim::MachineModel& m, int nodes, int n, int bs,
   cfg.machine = m;
   cfg.nranks = nodes;
   cfg.backend = backend;
+  trace.apply_faults(cfg);
   rt::World world(cfg);
   trace.attach(world);
   apps::fw::Options opt;

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
         cfg.machine = m;
         cfg.nranks = nodes;
         cfg.backend = backend;
+        trace.apply_faults(cfg);
         rt::World world(cfg);
         trace.attach(world);
         apps::fw::Options opt;

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Gate deterministic benchmark results against a checked-in baseline.
+
+Compares a BENCH_ci.json produced by `fig5_potrf_weak --json` against
+ci/BENCH_baseline.json. The simulator is a discrete-event model, so for a
+fixed configuration the makespan and message counts are bit-reproducible;
+any drift is a real behavioral change, not measurement noise. We still
+allow a tolerance on makespan so intentional small scheduling tweaks do
+not force a baseline refresh, but message counts must match exactly.
+
+Exit code 0 = within tolerance, 1 = regression/mismatch, 2 = usage error.
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    with open(path) as f:
+        doc = json.load(f)
+    points = {}
+    for p in doc.get("points", []):
+        key = (p["nodes"], p["backend"])
+        if key in points:
+            sys.exit(f"error: duplicate point {key} in {path}")
+        points[key] = p
+    if not points:
+        sys.exit(f"error: no points in {path}")
+    return doc, points
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly produced BENCH_ci.json")
+    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative makespan increase (default 0.15)")
+    args = ap.parse_args()
+
+    cur_doc, cur = load_points(args.current)
+    base_doc, base = load_points(args.baseline)
+
+    for field in ("per_node", "bs"):
+        if cur_doc.get(field) != base_doc.get(field):
+            sys.exit(f"error: config mismatch on '{field}': "
+                     f"current={cur_doc.get(field)} baseline={base_doc.get(field)} "
+                     "(refresh ci/BENCH_baseline.json)")
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        sys.exit(f"error: current run is missing baseline points: {missing}")
+
+    failures = []
+    print(f"{'nodes':>5} {'backend':>8} {'baseline[s]':>14} {'current[s]':>14} "
+          f"{'ratio':>7}  messages")
+    for key in sorted(base):
+        b, c = base[key], cur[key]
+        ratio = c["makespan"] / b["makespan"] if b["makespan"] > 0 else float("inf")
+        msgs_ok = (c["messages"] == b["messages"]
+                   and c["splitmd_sends"] == b["splitmd_sends"])
+        status = []
+        if ratio > 1.0 + args.tolerance:
+            status.append(f"makespan regressed {100.0 * (ratio - 1.0):.1f}% "
+                          f"(> {100.0 * args.tolerance:.0f}% allowed)")
+        if not msgs_ok:
+            status.append(
+                f"message counts changed: messages {b['messages']}->{c['messages']}, "
+                f"splitmd {b['splitmd_sends']}->{c['splitmd_sends']}")
+        print(f"{key[0]:>5} {key[1]:>8} {b['makespan']:>14.6e} "
+              f"{c['makespan']:>14.6e} {ratio:>7.3f}  "
+              f"{'ok' if not status else '; '.join(status)}")
+        if status:
+            failures.append((key, status))
+
+    extra = sorted(set(cur) - set(base))
+    if extra:
+        print(f"note: current run has points absent from baseline "
+              f"(not gated): {extra}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} point(s) regressed. If the change is "
+              "intentional, refresh the baseline:\n"
+              "  ./build/bench/fig5_potrf_weak --per-node "
+              f"{base_doc['per_node']} --bs {base_doc['bs']} --max-nodes 8 "
+              "--json ci/BENCH_baseline.json")
+        return 1
+    print(f"\nOK: all {len(base)} points within {100.0 * args.tolerance:.0f}% "
+          "of baseline; message counts identical.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

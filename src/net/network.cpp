@@ -33,10 +33,38 @@ bool Network::crosses_bisection(int src, int dst) const {
   return (src < half) != (dst < half);
 }
 
+void Network::configure_faults(const sim::FaultPlan& plan) {
+  TTG_CHECK(stats_.messages == 0, "configure_faults after traffic started");
+  faults_ = plan.enabled() ? std::make_unique<sim::FaultInjector>(plan) : nullptr;
+}
+
 void Network::transfer(int src, int dst, std::size_t nbytes,
                        std::function<void()> on_delivered) {
   stats_.messages += 1;
   stats_.bytes += nbytes;
+  double latency = machine_.net_latency;
+  double wire = machine_.wire_time(nbytes);
+  int deliveries = 1;
+  if (faults_ != nullptr) {
+    latency *= faults_->latency_factor(src, dst);
+    const double bw = faults_->bw_factor(src, dst);
+    if (bw != 1.0) wire /= bw;
+    if (faults_->drop_payload()) {
+      stats_.drops += 1;
+      stats_.dropped_bytes += nbytes;
+      if (fault_observer_) fault_observer_(sim::FaultKind::Drop, src, dst, nbytes);
+      // The packet still left the host — charge the send NIC — but it dies
+      // in the fabric: no bisection/receiver charges, no delivery.
+      send_nic_[src]->submit(wire, [] {});
+      return;
+    }
+    if (faults_->duplicate_payload()) {
+      deliveries = 2;
+      stats_.duplicates += 1;
+      if (fault_observer_)
+        fault_observer_(sim::FaultKind::Duplicate, src, dst, nbytes);
+    }
+  }
   if (observer_) {
     // Wrap delivery so the observer sees the full injection->delivery span.
     const sim::Time injected = engine_.now();
@@ -46,16 +74,18 @@ void Network::transfer(int src, int dst, std::size_t nbytes,
       inner();
     };
   }
-  const double wire = machine_.wire_time(nbytes);
+  // Duplication delivers the same callback twice; share it among copies.
+  auto cb = std::make_shared<std::function<void()>>(std::move(on_delivered));
   const bool cross = crosses_bisection(src, dst);
   // Pipeline: sender NIC -> (bisection) -> propagation latency -> recv NIC.
-  send_nic_[src]->submit(wire, [this, src, dst, nbytes, cross, wire,
-                                on_delivered = std::move(on_delivered)]() mutable {
-    auto deliver = [this, dst, wire, on_delivered = std::move(on_delivered)]() mutable {
-      engine_.after(machine_.net_latency, [this, dst, wire,
-                                           on_delivered = std::move(on_delivered)]() mutable {
-        recv_nic_[dst]->submit(wire, std::move(on_delivered));
-      });
+  send_nic_[src]->submit(wire, [this, src, dst, nbytes, cross, wire, latency,
+                                deliveries, cb]() {
+    auto deliver = [this, dst, wire, latency, deliveries, cb]() {
+      for (int i = 0; i < deliveries; ++i) {
+        engine_.after(latency, [this, dst, wire, cb]() {
+          recv_nic_[dst]->submit(wire, [cb]() { (*cb)(); });
+        });
+      }
     };
     if (cross) {
       const double fabric = static_cast<double>(nbytes) / bisection_bw_;
@@ -99,6 +129,18 @@ void Network::send_rendezvous(int src, int dst, std::size_t nbytes,
 void Network::rma_get(int src, int dst, std::size_t nbytes, std::function<void()> on_done,
                       std::function<void()> on_remote_complete) {
   stats_.rma_gets += 1;
+  if (faults_ != nullptr) {
+    // Delayed RMA completion: the payload lands, but the completion event
+    // reaches the fetching rank late (NIC completion-queue hiccup).
+    const double extra = faults_->rma_extra_delay();
+    if (extra > 0.0) {
+      stats_.rma_delays += 1;
+      if (fault_observer_) fault_observer_(sim::FaultKind::RmaDelay, src, dst, nbytes);
+      on_done = [this, extra, inner = std::move(on_done)]() mutable {
+        engine_.after(extra, std::move(inner));
+      };
+    }
+  }
   // The get request travels dst->src as a control message, then the payload
   // flows src->dst without CPU involvement on either side, then (optionally)
   // a completion notification flows dst->src.

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/machine.hpp"
 #include "sim/resource.hpp"
 
@@ -38,6 +39,11 @@ struct NetStats {
   std::uint64_t control_msgs = 0; ///< RTS/CTS/notify/AM-control messages
   std::uint64_t bytes = 0;        ///< payload bytes on the wire
   std::uint64_t rma_gets = 0;     ///< one-sided fetches
+  // --- fault-injection accounting (zero on an unperturbed fabric) ---
+  std::uint64_t drops = 0;         ///< transfers lost in the fabric
+  std::uint64_t dropped_bytes = 0; ///< payload bytes those drops carried
+  std::uint64_t duplicates = 0;    ///< transfers delivered twice
+  std::uint64_t rma_delays = 0;    ///< delayed RMA completions injected
 };
 
 /// Node count up to which the fabric provides its full (scaled) bisection;
@@ -80,6 +86,19 @@ class Network {
       std::function<void(int, int, std::size_t, sim::Time, sim::Time)>;
   void set_transfer_observer(TransferObserver obs) { observer_ = std::move(obs); }
 
+  /// Arm fault injection for this fabric (call before any traffic). With no
+  /// plan configured every fault branch is skipped, so unperturbed runs are
+  /// bit-identical to a build without the fault layer.
+  void configure_faults(const sim::FaultPlan& plan);
+  [[nodiscard]] bool faults_active() const { return faults_ != nullptr; }
+  [[nodiscard]] const sim::FaultInjector* faults() const { return faults_.get(); }
+
+  /// Observe injected faults: called as (kind, src, dst, bytes) at the
+  /// virtual instant the fault decision is made. The tracer records these
+  /// as first-class events without the network knowing about tracing.
+  using FaultObserver = std::function<void(sim::FaultKind, int, int, std::size_t)>;
+  void set_fault_observer(FaultObserver obs) { fault_observer_ = std::move(obs); }
+
   /// Busy time of rank r's send NIC (utilization accounting for benches).
   [[nodiscard]] sim::Time nic_busy(int rank) const { return send_nic_[rank]->busy_time(); }
 
@@ -98,6 +117,8 @@ class Network {
   double bisection_bw_ = 0.0;
   NetStats stats_;
   TransferObserver observer_;
+  std::unique_ptr<sim::FaultInjector> faults_;
+  FaultObserver fault_observer_;
 };
 
 }  // namespace ttg::net

@@ -20,11 +20,22 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "runtime/trace.hpp"
 #include "serialization/traits.hpp"
 
+namespace ttg::sim {
+class Engine;
+struct FaultPlan;
+}
+namespace ttg::net {
+class Network;
+}
+
 namespace ttg::rt {
+
+class ReliableLink;
 
 /// Statistics a comm engine accumulates over a run.
 struct CommStats {
@@ -32,6 +43,16 @@ struct CommStats {
   std::uint64_t splitmd_sends = 0;  ///< split-metadata transfers
   std::uint64_t local_copies = 0;   ///< local deliveries that paid a copy
   std::uint64_t local_shares = 0;   ///< local deliveries shared zero-copy
+  // --- graceful-degradation accounting (resilience layer; all zero on a
+  // --- perfect fabric or when the plan carries no loss faults) ---
+  std::uint64_t retries = 0;          ///< retransmissions after ack timeout
+  std::uint64_t rma_refetches = 0;    ///< re-issued one-sided gets
+  std::uint64_t resent_bytes = 0;     ///< payload bytes sent again
+  std::uint64_t recovered_msgs = 0;   ///< deliveries that needed >=1 retry
+  std::uint64_t recovered_bytes = 0;  ///< payload bytes those carried
+  std::uint64_t dup_discards = 0;     ///< duplicate deliveries suppressed
+  std::uint64_t dead_letters = 0;     ///< gave up after bounded retries
+  std::uint64_t acks = 0;             ///< acknowledgments sent
 };
 
 /// Backend communication engine: ships already-serialized payloads between
@@ -41,7 +62,7 @@ struct CommStats {
 /// rank context inside the callback.
 class CommEngine {
  public:
-  virtual ~CommEngine() = default;
+  virtual ~CommEngine();  // out-of-line: ReliableLink is incomplete here
 
   [[nodiscard]] virtual const char* name() const = 0;
 
@@ -87,13 +108,27 @@ class CommEngine {
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   CommStats& mutable_stats() { return stats_; }
 
+  /// Turn on loss recovery for this engine's traffic: every payload message
+  /// is acknowledged, retransmitted on timeout with exponential backoff up
+  /// to the plan's retry bound, and splitmd gets are re-fetched. Called by
+  /// the World when its FaultPlan can lose data; without it the fault-free
+  /// protocol (no acks, no timers) is used unchanged.
+  virtual void enable_resilience(const sim::FaultPlan& plan) = 0;
+  [[nodiscard]] bool resilient() const { return reliable_ != nullptr; }
+
   /// Attach an execution tracer (owned by the World): the engine records
   /// message-processing queue waits and RMA latencies into it.
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  void set_tracer(Tracer* tracer);
 
  protected:
+  /// Build the shared ack/timeout/retry machinery (used by engines'
+  /// enable_resilience implementations).
+  void make_reliable(sim::Engine& engine, net::Network& network,
+                     const sim::FaultPlan& plan);
+
   CommStats stats_;
   Tracer* tracer_ = nullptr;
+  std::unique_ptr<ReliableLink> reliable_;
 };
 
 }  // namespace ttg::rt

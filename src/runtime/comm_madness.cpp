@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "runtime/resilience.hpp"
+
 namespace ttg::rt {
 
 namespace {
@@ -36,11 +38,14 @@ double MadnessComm::send_side_cpu(std::size_t bytes, ser::Protocol p) const {
   return am_cpu_ + network_.machine().copy_time(bytes);
 }
 
+void MadnessComm::enable_resilience(const sim::FaultPlan& plan) {
+  make_reliable(engine_, network_, plan);
+}
+
 void MadnessComm::send_message(int src, int dst, std::size_t wire_bytes,
                                std::function<void()> deliver) {
   stats_.messages += 1;
-  network_.send(src, dst, wire_bytes, [this, dst, wire_bytes,
-                                       deliver = std::move(deliver)]() mutable {
+  auto handle = [this, dst, wire_bytes, deliver = std::move(deliver)]() mutable {
     // Everything funnels through the single AM server thread: RMI dispatch
     // plus the buffer -> object deserialization copy.
     const double service = am_cpu_ + network_.machine().copy_time(wire_bytes);
@@ -50,7 +55,14 @@ void MadnessComm::send_message(int src, int dst, std::size_t wire_bytes,
       tracer_->record_server(dst, at, std::max(0.0, server.free_at() - at), service);
     }
     server.submit(service, std::move(deliver));
-  });
+  };
+  if (reliable_) {
+    // Whole-object sends retried end to end: a timeout replays the full
+    // rendezvous handshake (RTS/CTS/payload) for large messages.
+    reliable_->send(src, dst, wire_bytes, std::move(handle));
+  } else {
+    network_.send(src, dst, wire_bytes, std::move(handle));
+  }
 }
 
 }  // namespace ttg::rt

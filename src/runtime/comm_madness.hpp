@@ -46,6 +46,10 @@ class MadnessComm final : public CommEngine {
     TTG_CHECK(false, "MADNESS backend has no splitmd support");
   }
 
+  /// Whole-send (rendezvous) retry: a lost RTS/CTS/payload leg times out
+  /// and the entire handshake is replayed.
+  void enable_resilience(const sim::FaultPlan& plan) override;
+
  private:
   sim::Engine& engine_;
   net::Network& network_;

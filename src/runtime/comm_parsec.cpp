@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "runtime/resilience.hpp"
+
 namespace ttg::rt {
 
 namespace {
@@ -43,21 +45,34 @@ double ParsecComm::send_side_cpu(std::size_t bytes, ser::Protocol p) const {
   return 0.0;
 }
 
+void ParsecComm::process_incoming(int dst, double service,
+                                  std::function<void()> deliver) {
+  // The comm thread handles the AM and performs the single
+  // buffer -> object copy for whole-object protocols.
+  auto& thread = *comm_thread_[static_cast<std::size_t>(dst)];
+  if (tracer_ != nullptr) {
+    const double at = engine_.now();
+    tracer_->record_server(dst, at, std::max(0.0, thread.free_at() - at), service);
+  }
+  thread.submit(service, std::move(deliver));
+}
+
+void ParsecComm::enable_resilience(const sim::FaultPlan& plan) {
+  make_reliable(engine_, network_, plan);
+}
+
 void ParsecComm::send_message(int src, int dst, std::size_t wire_bytes,
                               std::function<void()> deliver) {
   stats_.messages += 1;
-  network_.send(src, dst, wire_bytes, [this, dst, wire_bytes,
-                                       deliver = std::move(deliver)]() mutable {
-    // The comm thread handles the AM and performs the single
-    // buffer -> object copy for whole-object protocols.
+  auto handle = [this, dst, wire_bytes, deliver = std::move(deliver)]() mutable {
     const double service = am_cpu_ + network_.machine().copy_time(wire_bytes);
-    auto& thread = *comm_thread_[static_cast<std::size_t>(dst)];
-    if (tracer_ != nullptr) {
-      const double at = engine_.now();
-      tracer_->record_server(dst, at, std::max(0.0, thread.free_at() - at), service);
-    }
-    thread.submit(service, std::move(deliver));
-  });
+    process_incoming(dst, service, std::move(deliver));
+  };
+  if (reliable_) {
+    reliable_->send(src, dst, wire_bytes, std::move(handle));
+  } else {
+    network_.send(src, dst, wire_bytes, std::move(handle));
+  }
 }
 
 void ParsecComm::send_splitmd(int src, int dst, std::size_t md_bytes,
@@ -66,38 +81,44 @@ void ParsecComm::send_splitmd(int src, int dst, std::size_t md_bytes,
                               std::function<void()> on_release) {
   TTG_CHECK(enable_splitmd_, "splitmd disabled on this world");
   stats_.splitmd_sends += 1;
-  // Stage 1: metadata + registration info ride the eager protocol.
-  network_.send_eager(src, dst, md_bytes, [this, src, dst, payload_bytes,
-                                           on_metadata = std::move(on_metadata),
-                                           on_payload = std::move(on_payload),
-                                           on_release = std::move(on_release)]() mutable {
-    const double md_service = am_cpu_;
-    auto& thread = *comm_thread_[static_cast<std::size_t>(dst)];
-    if (tracer_ != nullptr) {
-      const double at = engine_.now();
-      tracer_->record_server(dst, at, std::max(0.0, thread.free_at() - at), md_service);
-    }
-    thread.submit(
-        md_service, [this, src, dst, payload_bytes, on_metadata = std::move(on_metadata),
-                     on_payload = std::move(on_payload),
-                     on_release = std::move(on_release)]() mutable {
+  // Stage 1: metadata + registration info ride the eager protocol (with
+  // ack/retry when resilience is on — a lost metadata AM stalls the whole
+  // transfer, so it is protected like any other active message).
+  auto on_md_arrived = [this, src, dst, payload_bytes,
+                        on_metadata = std::move(on_metadata),
+                        on_payload = std::move(on_payload),
+                        on_release = std::move(on_release)]() mutable {
+    process_incoming(
+        dst, am_cpu_,
+        [this, src, dst, payload_bytes, on_metadata = std::move(on_metadata),
+         on_payload = std::move(on_payload), on_release = std::move(on_release)]() mutable {
           // Receiver allocates the object from metadata...
           on_metadata();
           // ...then fetches the contiguous payload with a one-sided get.
           // No CPU copy: the data lands in the new object's memory. The
           // sender is notified on completion and releases the source.
+          // Under resilience a stalled get is re-issued after a timeout.
           const double issued = engine_.now();
-          network_.rma_get(
-              src, dst, payload_bytes,
-              [this, src, dst, payload_bytes, issued,
-               on_payload = std::move(on_payload)]() mutable {
-                if (tracer_ != nullptr)
-                  tracer_->record_rma(src, dst, payload_bytes, issued, engine_.now());
-                on_payload();
-              },
-              std::move(on_release));
+          auto landed = [this, src, dst, payload_bytes, issued,
+                         on_payload = std::move(on_payload)]() mutable {
+            if (tracer_ != nullptr)
+              tracer_->record_rma(src, dst, payload_bytes, issued, engine_.now());
+            on_payload();
+          };
+          if (reliable_) {
+            reliable_->rma_fetch(src, dst, payload_bytes, std::move(landed),
+                                 std::move(on_release));
+          } else {
+            network_.rma_get(src, dst, payload_bytes, std::move(landed),
+                             std::move(on_release));
+          }
         });
-  });
+  };
+  if (reliable_) {
+    reliable_->send(src, dst, md_bytes, std::move(on_md_arrived));
+  } else {
+    network_.send_eager(src, dst, md_bytes, std::move(on_md_arrived));
+  }
 }
 
 }  // namespace ttg::rt

@@ -47,7 +47,13 @@ class ParsecComm final : public CommEngine {
                     std::function<void()> on_metadata, std::function<void()> on_payload,
                     std::function<void()> on_release) override;
 
+  /// Ack/retry for active messages, re-fetch for splitmd RMA payloads.
+  void enable_resilience(const sim::FaultPlan& plan) override;
+
  private:
+  /// Receive-side AM handling + delivery, shared by both send paths.
+  void process_incoming(int dst, double service, std::function<void()> deliver);
+
   sim::Engine& engine_;
   net::Network& network_;
   double am_cpu_;

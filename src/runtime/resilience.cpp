@@ -1,0 +1,176 @@
+#include "runtime/resilience.hpp"
+
+#include <algorithm>
+
+namespace ttg::rt {
+
+namespace {
+/// Acknowledgments are tiny control messages (sequence number + flags).
+constexpr std::size_t kAckBytes = 32;
+}  // namespace
+
+// Defined here so unique_ptr<ReliableLink> members in CommEngine see the
+// complete type.
+CommEngine::~CommEngine() = default;
+
+void CommEngine::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (reliable_) reliable_->set_tracer(tracer);
+}
+
+void CommEngine::make_reliable(sim::Engine& engine, net::Network& network,
+                               const sim::FaultPlan& plan) {
+  reliable_ = std::make_unique<ReliableLink>(engine, network, plan, stats_);
+  if (tracer_ != nullptr) reliable_->set_tracer(tracer_);
+}
+
+ReliableLink::ReliableLink(sim::Engine& engine, net::Network& network,
+                           const sim::FaultPlan& plan, CommStats& stats)
+    : engine_(engine), net_(network), plan_(plan), stats_(stats) {}
+
+double ReliableLink::rto(std::size_t bytes, int attempt) const {
+  const auto& m = net_.machine();
+  // Conservative one-attempt estimate: rendezvous handshake latencies plus
+  // three wire passes (sender NIC, fabric, receiver NIC), degraded by the
+  // plan's worst link perturbation so perturbed-but-alive links do not
+  // trigger spurious retransmissions.
+  const double est = 4.0 * m.net_latency * plan_.max_latency_factor() +
+                     3.0 * m.wire_time(bytes) / plan_.min_bw_factor();
+  double t = plan_.rto_base + est;
+  for (int i = 0; i < attempt; ++i) t *= plan_.backoff;
+  return t;
+}
+
+struct ReliableLink::SendState {
+  int src = 0;
+  int dst = 0;
+  std::size_t bytes = 0;
+  std::function<void()> deliver;
+  bool delivered = false;
+  bool acked = false;
+  int attempt = 0;
+  sim::Engine::CancelToken timer;
+};
+
+void ReliableLink::send(int src, int dst, std::size_t bytes,
+                        std::function<void()> deliver) {
+  auto st = std::make_shared<SendState>();
+  st->src = src;
+  st->dst = dst;
+  st->bytes = bytes;
+  st->deliver = std::move(deliver);
+  attempt_send(st);
+}
+
+void ReliableLink::attempt_send(const std::shared_ptr<SendState>& st) {
+  net_.send(st->src, st->dst, st->bytes, [this, st]() {
+    // A copy arrived at dst — possibly a fabric duplicate or a retransmit
+    // racing the original. Deliver exactly once, ack every copy (a lost ack
+    // is recovered by the sender re-sending and us re-acking).
+    if (!st->delivered) {
+      st->delivered = true;
+      if (st->attempt > 0) {
+        stats_.recovered_msgs += 1;
+        stats_.recovered_bytes += st->bytes;
+        if (tracer_ != nullptr)
+          tracer_->record_fault(sim::FaultKind::Recovered, st->src, st->dst, st->bytes,
+                                engine_.now());
+      }
+      st->deliver();
+    } else {
+      stats_.dup_discards += 1;
+    }
+    stats_.acks += 1;
+    net_.send_eager(st->dst, st->src, kAckBytes, [st]() {
+      st->acked = true;
+      sim::Engine::cancel(st->timer);
+    });
+  });
+  st->timer = engine_.after_cancellable(rto(st->bytes, st->attempt), [this, st]() {
+    if (st->acked) return;
+    if (st->attempt + 1 > plan_.max_retries) {
+      stats_.dead_letters += 1;
+      if (tracer_ != nullptr)
+        tracer_->record_fault(sim::FaultKind::DeadLetter, st->src, st->dst, st->bytes,
+                              engine_.now());
+      return;
+    }
+    st->attempt += 1;
+    stats_.retries += 1;
+    stats_.resent_bytes += st->bytes;
+    if (tracer_ != nullptr)
+      tracer_->record_fault(sim::FaultKind::Retry, st->src, st->dst, st->bytes,
+                            engine_.now());
+    attempt_send(st);
+  });
+}
+
+struct ReliableLink::RmaState {
+  int src = 0;
+  int dst = 0;
+  std::size_t bytes = 0;
+  std::function<void()> on_done;
+  std::function<void()> on_remote_complete;
+  bool done = false;
+  bool released = false;
+  int attempt = 0;
+  sim::Engine::CancelToken timer;
+};
+
+void ReliableLink::rma_fetch(int src, int dst, std::size_t bytes,
+                             std::function<void()> on_done,
+                             std::function<void()> on_remote_complete) {
+  auto st = std::make_shared<RmaState>();
+  st->src = src;
+  st->dst = dst;
+  st->bytes = bytes;
+  st->on_done = std::move(on_done);
+  st->on_remote_complete = std::move(on_remote_complete);
+  attempt_rma(st);
+}
+
+void ReliableLink::attempt_rma(const std::shared_ptr<RmaState>& st) {
+  net_.rma_get(
+      st->src, st->dst, st->bytes,
+      [this, st]() {
+        if (st->done) {  // a late original landing after a re-fetch
+          stats_.dup_discards += 1;
+          return;
+        }
+        st->done = true;
+        sim::Engine::cancel(st->timer);
+        if (st->attempt > 0) {
+          stats_.recovered_msgs += 1;
+          stats_.recovered_bytes += st->bytes;
+          if (tracer_ != nullptr)
+            tracer_->record_fault(sim::FaultKind::Recovered, st->src, st->dst,
+                                  st->bytes, engine_.now());
+        }
+        st->on_done();
+      },
+      [st]() {
+        // Release the source exactly once even if several fetches complete.
+        if (st->released) return;
+        st->released = true;
+        if (st->on_remote_complete) st->on_remote_complete();
+      });
+  st->timer = engine_.after_cancellable(rto(st->bytes, st->attempt), [this, st]() {
+    if (st->done) return;
+    if (st->attempt + 1 > plan_.max_retries) {
+      stats_.dead_letters += 1;
+      if (tracer_ != nullptr)
+        tracer_->record_fault(sim::FaultKind::DeadLetter, st->src, st->dst, st->bytes,
+                              engine_.now());
+      return;
+    }
+    st->attempt += 1;
+    stats_.rma_refetches += 1;
+    stats_.resent_bytes += st->bytes;
+    if (tracer_ != nullptr)
+      tracer_->record_fault(sim::FaultKind::RmaRetry, st->src, st->dst, st->bytes,
+                            engine_.now());
+    attempt_rma(st);
+  });
+}
+
+}  // namespace ttg::rt

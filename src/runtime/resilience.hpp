@@ -1,0 +1,77 @@
+// Loss recovery for the comm plane (detection + bounded retry).
+//
+// The simulated fabric can drop, duplicate, or delay transfers once a
+// FaultPlan is armed (sim/fault.hpp). Real backends recover at the
+// communication layer, and so do ours:
+//
+//   * whole-object messages (PaRSEC active messages, MADNESS rendezvous
+//     sends) are acknowledged by the receiver; the sender arms a
+//     retransmission timeout sized from the machine model and the plan's
+//     worst-case link perturbation, backs off exponentially, and resends up
+//     to the plan's retry bound. For MADNESS this re-runs the whole
+//     RTS/CTS/payload rendezvous; for PaRSEC it re-issues the AM.
+//   * splitmd payloads are re-fetched: if the one-sided get has not landed
+//     before the timeout, the receiver issues it again.
+//
+// Duplicates — whether injected by the fabric or created by retransmission
+// racing a late ack — are suppressed at the receiver, so the consumer sees
+// exactly-once delivery. After max_retries unacknowledged attempts the
+// message is dead-lettered (counted, traced, and abandoned).
+//
+// All counters land in the owning engine's CommStats (retries, resent and
+// recovered bytes, duplicate discards, dead letters) and every recovery
+// action is recorded in the Tracer as a first-class fault event.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "net/network.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+
+namespace ttg::rt {
+
+/// Ack/timeout/retry machinery shared by both backend comm engines. One
+/// instance serves every (src, dst) pair of its Network.
+class ReliableLink {
+ public:
+  ReliableLink(sim::Engine& engine, net::Network& network, const sim::FaultPlan& plan,
+               CommStats& stats);
+
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Ship one payload message with at-most-once delivery to `deliver` and
+  /// retransmission on ack timeout. The protocol (eager vs rendezvous) is
+  /// chosen per attempt by the network, exactly as for unreliable sends.
+  void send(int src, int dst, std::size_t bytes, std::function<void()> deliver);
+
+  /// One-sided get with re-fetch on timeout. `on_done` fires exactly once at
+  /// `dst` when a fetch lands; `on_remote_complete` fires at most once at
+  /// `src` when a completion notification arrives.
+  void rma_fetch(int src, int dst, std::size_t bytes, std::function<void()> on_done,
+                 std::function<void()> on_remote_complete);
+
+ private:
+  struct SendState;
+  struct RmaState;
+
+  /// Timeout for attempt `attempt` of a `bytes`-sized transfer: base RTO
+  /// plus a generous wire-time estimate under the plan's worst-case link
+  /// perturbation, doubled per retry by the backoff factor.
+  [[nodiscard]] double rto(std::size_t bytes, int attempt) const;
+
+  void attempt_send(const std::shared_ptr<SendState>& st);
+  void attempt_rma(const std::shared_ptr<RmaState>& st);
+
+  sim::Engine& engine_;
+  net::Network& net_;
+  sim::FaultPlan plan_;
+  CommStats& stats_;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace ttg::rt

@@ -28,10 +28,15 @@ void Scheduler::submit(int priority, double cost, std::string name, std::string 
   submit_node(priority, cost, node, std::move(body));
 }
 
+void Scheduler::set_compute_factor(double f) {
+  TTG_CHECK(f > 0.0, "compute factor must be positive");
+  compute_factor_ = f;
+}
+
 void Scheduler::submit_node(int priority, double cost, std::uint32_t trace_node,
                             std::function<void()> body) {
   TTG_CHECK(cost >= 0.0, "negative task cost");
-  Ready task{priority, next_seq_++, cost, std::move(body), trace_node};
+  Ready task{priority, next_seq_++, cost * compute_factor_, std::move(body), trace_node};
   if (!idle_workers_.empty()) {
     const int worker = idle_workers_.back();
     idle_workers_.pop_back();
@@ -44,6 +49,7 @@ void Scheduler::submit_node(int priority, double cost, std::uint32_t trace_node,
 double Scheduler::charge(double dt) {
   TTG_CHECK(dt >= 0.0, "negative charge");
   if (!in_task_) return 0.0;  // charges outside a task (graph injection) are free
+  dt *= compute_factor_;  // stragglers serialize slower, too
   *charge_accum_ += dt;
   if (tracer_ != nullptr) tracer_->add_charged_cpu(rank_, dt);
   return *charge_accum_;

@@ -47,6 +47,12 @@ class Scheduler {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] bool tracing() const { return tracer_ != nullptr; }
 
+  /// Scale all compute on this rank by `f` (>1 models a straggler: thermal
+  /// throttling, a noisy neighbor, a degraded socket). Applies to task costs
+  /// and in-body charges alike; 1.0 is an exact no-op.
+  void set_compute_factor(double f);
+  [[nodiscard]] double compute_factor() const { return compute_factor_; }
+
   /// Extend the currently-executing task's worker occupancy by `dt` seconds
   /// (serialization copies issued from inside a task body). Returns the
   /// total post-body CPU accumulated *including* this charge, so the caller
@@ -90,6 +96,7 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   std::uint64_t tasks_run_ = 0;
   double busy_ = 0.0;
+  double compute_factor_ = 1.0;
   bool in_task_ = false;
   double* charge_accum_ = nullptr;
   Tracer* tracer_ = nullptr;

@@ -138,6 +138,11 @@ void Tracer::record_wire(int src, int dst, std::uint64_t bytes, double start,
   wire_.push_back(WireTrace{src, dst, bytes, start, end});
 }
 
+void Tracer::record_fault(sim::FaultKind kind, int src, int dst, std::uint64_t bytes,
+                          double t) {
+  faults_.push_back(FaultTrace{kind, src, dst, bytes, t});
+}
+
 void Tracer::clear() {
   ctx_ = kNoNode;
   next_exec_seq_ = 0;
@@ -146,6 +151,7 @@ void Tracer::clear() {
   server_.clear();
   rma_.clear();
   wire_.clear();
+  faults_.clear();
   nodes_.clear();
   counters_.assign(counters_.size(), CommCounters{});
 }
@@ -293,6 +299,25 @@ std::string Tracer::critical_path_report() const {
   }
   os << t.str();
   return os.str();
+}
+
+std::string Tracer::fault_report() const {
+  if (faults_.empty()) return std::string();
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::string, Agg> by_kind;
+  for (const auto& f : faults_) {
+    auto& a = by_kind[sim::to_string(f.kind)];
+    a.count += 1;
+    a.bytes += f.bytes;
+  }
+  support::Table t("fault/recovery events", {"kind", "count", "bytes"});
+  for (const auto& [kind, a] : by_kind) {
+    t.add_row({kind, std::to_string(a.count), std::to_string(a.bytes)});
+  }
+  return t.str();
 }
 
 namespace {
@@ -444,6 +469,15 @@ std::string Tracer::chrome_trace_json() const {
     }
     for (int i = 0; i < lanes.count(); ++i)
       meta(net_pid, i, "thread_name", "wire #" + std::to_string(i));
+  }
+  // Fault/recovery instants on the network process (global scope so they
+  // render as full-height markers in Perfetto).
+  for (const auto& f : faults_) {
+    emit("{\"ph\":\"i\",\"s\":\"p\",\"pid\":" + std::to_string(net_pid) +
+         ",\"tid\":0,\"ts\":" + num(f.t * 1e6) + ",\"name\":\"" +
+         json_escape(std::string(sim::to_string(f.kind))) + " " +
+         std::to_string(f.src) + "\\u2192" + std::to_string(f.dst) +
+         "\",\"args\":{\"bytes\":" + std::to_string(f.bytes) + "}}");
   }
   os << "\n]}\n";
   return os.str();

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.hpp"
+
 namespace ttg::support {
 class Table;
 }
@@ -93,6 +95,16 @@ struct WireTrace {
   std::uint64_t bytes = 0;
   double start = 0.0;  ///< injection into the sender NIC
   double end = 0.0;    ///< delivery out of the receiver NIC
+};
+
+/// One fault-injection or recovery action (drop, duplicate, retry, …);
+/// recorded by the Network (injections) and the ReliableLink (recovery).
+struct FaultTrace {
+  sim::FaultKind kind = sim::FaultKind::Drop;
+  int src = 0;
+  int dst = 0;
+  std::uint64_t bytes = 0;
+  double t = 0.0;  ///< virtual time of the event
 };
 
 /// Per-template aggregate.
@@ -193,6 +205,11 @@ class Tracer {
 
   void record_wire(int src, int dst, std::uint64_t bytes, double start, double end);
 
+  // --- recording: fault injection & recovery ---
+
+  void record_fault(sim::FaultKind kind, int src, int dst, std::uint64_t bytes,
+                    double t);
+
   // --- queries ---
 
   [[nodiscard]] const std::vector<TaskTrace>& records() const { return tasks_; }
@@ -200,6 +217,7 @@ class Tracer {
   [[nodiscard]] const std::vector<ServerTrace>& server_events() const { return server_; }
   [[nodiscard]] const std::vector<RmaTrace>& rma_events() const { return rma_; }
   [[nodiscard]] const std::vector<WireTrace>& wire_events() const { return wire_; }
+  [[nodiscard]] const std::vector<FaultTrace>& fault_events() const { return faults_; }
   [[nodiscard]] std::size_t size() const { return tasks_.size(); }
   void clear();
 
@@ -232,6 +250,10 @@ class Tracer {
   /// The critical path as an aligned text report.
   [[nodiscard]] std::string critical_path_report() const;
 
+  /// Fault/recovery events aggregated by kind as an aligned text report
+  /// (empty string when no fault events were recorded).
+  [[nodiscard]] std::string fault_report() const;
+
   /// Chrome-trace ("traceEvents") JSON: tasks on per-worker tracks grouped
   /// by rank, server/RMA activity on backend tracks, transfers on a
   /// synthetic "network" process. Load in chrome://tracing or Perfetto.
@@ -259,6 +281,7 @@ class Tracer {
   std::vector<ServerTrace> server_;
   std::vector<RmaTrace> rma_;
   std::vector<WireTrace> wire_;
+  std::vector<FaultTrace> faults_;
   std::vector<NodeRef> nodes_;
   std::vector<CommCounters> counters_;
 };

@@ -11,13 +11,25 @@ void TraceSession::add_options(support::Cli& cli) {
              "write a Chrome-trace JSON (chrome://tracing / Perfetto) to this path");
   cli.flag("trace-summary",
            "print per-template, per-rank, and critical-path trace reports");
+  cli.option("fault-seed", "0", "seed for deterministic fault injection");
+  cli.option("fault-spec", "",
+             "fault plan, e.g. \"drop=0.01,straggler=0:2,latency=*:1.5\" "
+             "(empty = no faults)");
 }
 
 TraceSession::TraceSession(const support::Cli& cli)
-    : path_(cli.get("trace")), summary_(cli.get_flag("trace-summary")) {}
+    : path_(cli.get("trace")),
+      summary_(cli.get_flag("trace-summary")),
+      faults_(sim::FaultPlan::parse(
+          cli.get("fault-spec"),
+          static_cast<std::uint64_t>(cli.get_int("fault-seed")))) {}
 
 TraceSession::TraceSession(std::string path, bool summary)
     : path_(std::move(path)), summary_(summary) {}
+
+void TraceSession::apply_faults(WorldConfig& cfg) const {
+  if (faults_.enabled()) cfg.faults = faults_;
+}
 
 void TraceSession::attach(World& world) const {
   if (enabled()) world.enable_tracing();
@@ -49,6 +61,29 @@ void TraceSession::finish(World& world, const std::string& label,
     const double span = makespan >= 0.0 ? makespan : world.engine().now();
     std::printf("%s\n", tracer.breakdown_table(span).str().c_str());
     std::printf("%s\n", tracer.critical_path_report().c_str());
+    if (world.config().faults.enabled()) {
+      std::printf("# faults: %s\n", world.config().faults.describe().c_str());
+      const std::string faults = tracer.fault_report();
+      if (!faults.empty()) std::printf("%s\n", faults.c_str());
+      const auto& ns = world.network().stats();
+      const auto& cs = world.comm().stats();
+      std::printf(
+          "# degradation: drops=%llu dropped_bytes=%llu dups=%llu rma_delays=%llu "
+          "retries=%llu rma_refetches=%llu resent_bytes=%llu recovered=%llu "
+          "recovered_bytes=%llu dup_discards=%llu dead_letters=%llu acks=%llu\n",
+          static_cast<unsigned long long>(ns.drops),
+          static_cast<unsigned long long>(ns.dropped_bytes),
+          static_cast<unsigned long long>(ns.duplicates),
+          static_cast<unsigned long long>(ns.rma_delays),
+          static_cast<unsigned long long>(cs.retries),
+          static_cast<unsigned long long>(cs.rma_refetches),
+          static_cast<unsigned long long>(cs.resent_bytes),
+          static_cast<unsigned long long>(cs.recovered_msgs),
+          static_cast<unsigned long long>(cs.recovered_bytes),
+          static_cast<unsigned long long>(cs.dup_discards),
+          static_cast<unsigned long long>(cs.dead_letters),
+          static_cast<unsigned long long>(cs.acks));
+    }
   }
 }
 

@@ -1,13 +1,17 @@
-// CLI wiring for runtime tracing: `--trace <path>` / `--trace-summary`.
+// CLI wiring for runtime tracing and fault injection:
+// `--trace <path>` / `--trace-summary` / `--fault-seed` / `--fault-spec`.
 //
-// Every bench and example binary declares the two options through
-// add_options(), constructs a TraceSession from the parsed Cli, attaches
-// it to each World it creates, and calls finish() after the run:
+// Every bench and example binary declares the options through
+// add_options(), constructs a TraceSession from the parsed Cli, applies
+// the fault plan to each WorldConfig, attaches the session to each World
+// it creates, and calls finish() after the run:
 //
 //   support::Cli cli(...);
 //   rt::TraceSession::add_options(cli);
 //   ...
 //   rt::TraceSession trace(cli);
+//   rt::WorldConfig cfg;
+//   trace.apply_faults(cfg);
 //   rt::World world(cfg);
 //   trace.attach(world);
 //   ... run, fence ...
@@ -15,9 +19,10 @@
 //
 // finish() writes one Chrome-trace JSON file per traced World (the label
 // disambiguates binaries that run many configurations) and/or prints the
-// per-template summary, the per-rank breakdown, and the critical-path
-// report. With neither flag given, attach()/finish() are no-ops, so the
-// wiring costs nothing on untraced runs.
+// per-template summary, the per-rank breakdown, the critical-path report,
+// and — when faults are armed — the fault/recovery event table plus the
+// comm-plane degradation counters. With no flags given, every call is a
+// no-op, so the wiring costs nothing on plain runs.
 #pragma once
 
 #include <string>
@@ -29,14 +34,24 @@ namespace ttg::rt {
 
 class TraceSession {
  public:
-  /// Declare --trace and --trace-summary on a Cli (call before parse()).
+  /// Declare --trace, --trace-summary, --fault-seed, and --fault-spec on a
+  /// Cli (call before parse()).
   static void add_options(support::Cli& cli);
 
-  /// Read the trace options back from a parsed Cli.
+  /// Read the trace/fault options back from a parsed Cli. Throws
+  /// support::ApiError on a malformed --fault-spec.
   explicit TraceSession(const support::Cli& cli);
   TraceSession(std::string path, bool summary);
 
   [[nodiscard]] bool enabled() const { return !path_.empty() || summary_; }
+
+  /// The fault plan parsed from --fault-spec/--fault-seed (inactive when
+  /// --fault-spec was empty or absent).
+  [[nodiscard]] const sim::FaultPlan& faults() const { return faults_; }
+
+  /// Install the parsed fault plan into a WorldConfig (no-op when no
+  /// --fault-spec was given, so fault-free runs are bit-identical).
+  void apply_faults(WorldConfig& cfg) const;
 
   /// Enable tracing on `world` (no-op when not enabled).
   void attach(World& world) const;
@@ -52,6 +67,7 @@ class TraceSession {
 
   std::string path_;      ///< Chrome-trace output file ("" = no export)
   bool summary_ = false;  ///< print summary/breakdown/critical-path tables
+  sim::FaultPlan faults_; ///< parsed fault plan (inactive unless --fault-spec)
 };
 
 }  // namespace ttg::rt

@@ -37,6 +37,17 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
   for (int r = 0; r < cfg_.nranks; ++r) {
     sched_.push_back(std::make_unique<Scheduler>(engine_, r, workers_));
   }
+  if (cfg_.faults.enabled()) {
+    network_->configure_faults(cfg_.faults);
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      sched_[static_cast<std::size_t>(r)]->set_compute_factor(
+          cfg_.faults.compute_factor(r));
+    }
+    // Arm the comm-plane recovery protocol only when transfers can actually
+    // be lost or delayed; pure perturbation plans (stragglers, slow links)
+    // keep the fault-free wire protocol so no ack traffic is added.
+    if (cfg_.faults.needs_reliability()) comm_->enable_resilience(cfg_.faults);
+  }
 }
 
 World::~World() = default;
@@ -65,6 +76,12 @@ void World::enable_tracing() {
       [t = tracer_.get()](int src, int dst, std::size_t bytes, sim::Time t0,
                           sim::Time t1) {
         t->record_wire(src, dst, static_cast<std::uint64_t>(bytes), t0, t1);
+      });
+  network_->set_fault_observer(
+      [this, t = tracer_.get()](sim::FaultKind kind, int src, int dst,
+                                std::size_t bytes) {
+        t->record_fault(kind, src, dst, static_cast<std::uint64_t>(bytes),
+                        engine_.now());
       });
 }
 

@@ -18,6 +18,7 @@
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/machine.hpp"
 
 namespace ttg::rt {
@@ -39,6 +40,7 @@ struct WorldConfig {
   bool enable_splitmd = true;       ///< allow the split-metadata protocol
   double task_overhead_override = -1.0;  ///< <0 → backend default
   double am_cpu_factor = 1.0;  ///< scales per-message CPU (Chameleon-like profile)
+  sim::FaultPlan faults;       ///< fault-injection plan; default-constructed = off
 };
 
 /// Type-erased base of every template task, for registration and

@@ -6,7 +6,14 @@ namespace ttg::sim {
 
 void Engine::at(Time t, std::function<void()> fn) {
   TTG_CHECK(t >= now_, "event scheduled in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  queue_.push(Event{t, next_seq_++, std::move(fn), nullptr});
+}
+
+Engine::CancelToken Engine::at_cancellable(Time t, std::function<void()> fn) {
+  TTG_CHECK(t >= now_, "event scheduled in the past");
+  auto token = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(fn), token});
+  return token;
 }
 
 Time Engine::run() {
@@ -14,6 +21,7 @@ Time Engine::run() {
     // Move out of the queue before popping: fn may schedule new events.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    if (ev.cancelled && *ev.cancelled) continue;  // as if never scheduled
     now_ = ev.time;
     ++processed_;
     ev.fn();
@@ -25,6 +33,7 @@ Time Engine::run_until(const std::function<bool()>& pred) {
   while (!queue_.empty()) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    if (ev.cancelled && *ev.cancelled) continue;
     now_ = ev.time;
     ++processed_;
     ev.fn();

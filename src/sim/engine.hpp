@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -38,6 +39,22 @@ class Engine {
   /// Schedule `fn` `dt` seconds from now.
   void after(Time dt, std::function<void()> fn) { at(now_ + dt, std::move(fn)); }
 
+  /// Handle to a cancellable event (see at_cancellable).
+  using CancelToken = std::shared_ptr<bool>;
+
+  /// Schedule `fn` like at(), returning a token that can cancel it. A
+  /// cancelled event behaves as if it were never scheduled: it does not run,
+  /// does not advance the clock, and does not count as processed. The
+  /// resilience layer uses this for retransmission timeouts so an acked
+  /// message leaves no trace on the virtual timeline.
+  CancelToken at_cancellable(Time t, std::function<void()> fn);
+  CancelToken after_cancellable(Time dt, std::function<void()> fn) {
+    return at_cancellable(now_ + dt, std::move(fn));
+  }
+  static void cancel(const CancelToken& token) {
+    if (token) *token = true;
+  }
+
   /// Run until the event queue is empty. Returns the final virtual time,
   /// i.e. the makespan of everything scheduled.
   Time run();
@@ -56,6 +73,7 @@ class Engine {
     Time time;
     std::uint64_t seq;  // tie-break: FIFO among simultaneous events
     std::function<void()> fn;
+    CancelToken cancelled;  // null for ordinary (non-cancellable) events
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

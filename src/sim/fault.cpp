@@ -1,0 +1,236 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ttg::sim {
+
+namespace {
+
+// Decision streams: keep each fault dimension's draws independent.
+constexpr std::uint64_t kDropStream = 0xd201;
+constexpr std::uint64_t kDupStream = 0xd202;
+constexpr std::uint64_t kRmaStream = 0xd203;
+
+double parse_double(const std::string& s, const std::string& clause) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    TTG_REQUIRE(pos == s.size(), "trailing characters in fault clause: " + clause);
+    return v;
+  } catch (const support::ApiError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw support::ApiError("bad number '" + s + "' in fault clause: " + clause);
+  }
+}
+
+int parse_rank(const std::string& s, const std::string& clause) {
+  if (s == "*") return -1;
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    TTG_REQUIRE(pos == s.size() && v >= 0, "bad rank '" + s + "' in: " + clause);
+    return v;
+  } catch (const support::ApiError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw support::ApiError("bad rank '" + s + "' in fault clause: " + clause);
+  }
+}
+
+double parse_prob(const std::string& s, const std::string& clause) {
+  const double p = parse_double(s, clause);
+  TTG_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of [0,1] in: " + clause);
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::Drop:
+      return "drop";
+    case FaultKind::Duplicate:
+      return "duplicate";
+    case FaultKind::RmaDelay:
+      return "rma-delay";
+    case FaultKind::Retry:
+      return "retry";
+    case FaultKind::RmaRetry:
+      return "rma-retry";
+    case FaultKind::Recovered:
+      return "recovered";
+    case FaultKind::DeadLetter:
+      return "dead-letter";
+  }
+  return "?";
+}
+
+double FaultPlan::compute_factor(int rank) const {
+  const auto it = straggler.find(rank);
+  return it != straggler.end() ? it->second : straggler_all;
+}
+
+LinkPerturb FaultPlan::link(int src, int dst) const {
+  // Most-specific rule wins (exact endpoints beat one wildcard beats the
+  // global default); among equally specific rules the last parsed wins.
+  const LinkRule* best = nullptr;
+  int best_score = -1;
+  for (const auto& r : links) {
+    if ((r.src != -1 && r.src != src) || (r.dst != -1 && r.dst != dst)) continue;
+    const int score = (r.src != -1 ? 1 : 0) + (r.dst != -1 ? 1 : 0);
+    if (score >= best_score) {
+      best_score = score;
+      best = &r;
+    }
+  }
+  return best != nullptr ? best->perturb : all_links;
+}
+
+double FaultPlan::max_latency_factor() const {
+  double f = all_links.latency_factor;
+  for (const auto& r : links) f = std::max(f, r.perturb.latency_factor);
+  return std::max(f, 1.0);
+}
+
+double FaultPlan::min_bw_factor() const {
+  double f = all_links.bw_factor;
+  for (const auto& r : links) f = std::min(f, r.perturb.bw_factor);
+  return std::min(std::max(f, 1e-6), 1.0);
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (spec.empty()) return plan;
+  plan.active = true;
+
+  std::stringstream ss(spec);
+  std::string clause;
+  while (std::getline(ss, clause, ',')) {
+    if (clause.empty()) continue;
+    const auto eq = clause.find('=');
+    TTG_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < clause.size(),
+                "fault clause is not key=value: " + clause);
+    const std::string key = clause.substr(0, eq);
+    const std::string val = clause.substr(eq + 1);
+
+    auto split_colon = [&clause](const std::string& s) {
+      const auto c = s.find(':');
+      TTG_REQUIRE(c != std::string::npos && c > 0 && c + 1 < s.size(),
+                  "expected A:B value in fault clause: " + clause);
+      return std::pair<std::string, std::string>{s.substr(0, c), s.substr(c + 1)};
+    };
+
+    if (key == "drop") {
+      plan.drop_prob = parse_prob(val, clause);
+    } else if (key == "dup") {
+      plan.dup_prob = parse_prob(val, clause);
+    } else if (key == "straggler") {
+      const auto [rank, factor] = split_colon(val);
+      const double f = parse_double(factor, clause);
+      TTG_REQUIRE(f > 0.0, "straggler factor must be positive: " + clause);
+      const int r = parse_rank(rank, clause);
+      if (r < 0) {
+        plan.straggler_all = f;
+      } else {
+        plan.straggler[r] = f;
+      }
+    } else if (key == "latency" || key == "bw") {
+      // LINK:FACTOR, or a bare factor meaning every link.
+      std::string link = "*";
+      std::string factor = val;
+      if (const auto c = val.find(':'); c != std::string::npos) {
+        link = val.substr(0, c);
+        factor = val.substr(c + 1);
+      }
+      const double f = parse_double(factor, clause);
+      TTG_REQUIRE(f > 0.0, "link factor must be positive: " + clause);
+      int src = -1, dst = -1;
+      if (link != "*") {
+        const auto dash = link.find('-');
+        TTG_REQUIRE(dash != std::string::npos, "link must be SRC-DST or '*': " + clause);
+        src = parse_rank(link.substr(0, dash), clause);
+        dst = parse_rank(link.substr(dash + 1), clause);
+      }
+      if (src == -1 && dst == -1) {
+        (key == "latency" ? plan.all_links.latency_factor : plan.all_links.bw_factor) = f;
+      } else {
+        // Reuse an existing rule for the same endpoints so "latency=0-1:2,
+        // bw=0-1:0.5" perturbs one link both ways.
+        LinkRule* rule = nullptr;
+        for (auto& r : plan.links) {
+          if (r.src == src && r.dst == dst) rule = &r;
+        }
+        if (rule == nullptr) {
+          plan.links.push_back(LinkRule{src, dst, {}});
+          rule = &plan.links.back();
+        }
+        (key == "latency" ? rule->perturb.latency_factor : rule->perturb.bw_factor) = f;
+      }
+    } else if (key == "rma-delay") {
+      const auto [prob, delay] = split_colon(val);
+      plan.rma_delay_prob = parse_prob(prob, clause);
+      plan.rma_delay = parse_double(delay, clause);
+      TTG_REQUIRE(plan.rma_delay >= 0.0, "rma delay must be >= 0: " + clause);
+    } else if (key == "rto") {
+      plan.rto_base = parse_double(val, clause);
+      TTG_REQUIRE(plan.rto_base > 0.0, "rto must be positive: " + clause);
+    } else if (key == "retries") {
+      plan.max_retries = static_cast<int>(parse_double(val, clause));
+      TTG_REQUIRE(plan.max_retries >= 0, "retries must be >= 0: " + clause);
+    } else if (key == "backoff") {
+      plan.backoff = parse_double(val, clause);
+      TTG_REQUIRE(plan.backoff >= 1.0, "backoff must be >= 1: " + clause);
+    } else {
+      throw support::ApiError("unknown fault clause key '" + key + "' in: " + clause);
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (!active) return "no faults";
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (drop_prob > 0.0) os << " drop=" << drop_prob;
+  if (dup_prob > 0.0) os << " dup=" << dup_prob;
+  if (straggler_all != 1.0) os << " straggler=*:" << straggler_all;
+  for (const auto& [r, f] : straggler) os << " straggler=" << r << ":" << f;
+  if (all_links.latency_factor != 1.0) os << " latency=*:" << all_links.latency_factor;
+  if (all_links.bw_factor != 1.0) os << " bw=*:" << all_links.bw_factor;
+  for (const auto& r : links) {
+    auto side = [](int v) { return v < 0 ? std::string("*") : std::to_string(v); };
+    if (r.perturb.latency_factor != 1.0)
+      os << " latency=" << side(r.src) << "-" << side(r.dst) << ":"
+         << r.perturb.latency_factor;
+    if (r.perturb.bw_factor != 1.0)
+      os << " bw=" << side(r.src) << "-" << side(r.dst) << ":" << r.perturb.bw_factor;
+  }
+  if (rma_delay_prob > 0.0)
+    os << " rma-delay=" << rma_delay_prob << ":" << rma_delay;
+  return os.str();
+}
+
+bool FaultInjector::drop_payload() {
+  if (plan_.drop_prob <= 0.0) return false;
+  return support::hash_uniform(plan_.seed, kDropStream, n_drop_++) < plan_.drop_prob;
+}
+
+bool FaultInjector::duplicate_payload() {
+  if (plan_.dup_prob <= 0.0) return false;
+  return support::hash_uniform(plan_.seed, kDupStream, n_dup_++) < plan_.dup_prob;
+}
+
+double FaultInjector::rma_extra_delay() {
+  if (plan_.rma_delay_prob <= 0.0) return 0.0;
+  return support::hash_uniform(plan_.seed, kRmaStream, n_rma_++) < plan_.rma_delay_prob
+             ? plan_.rma_delay
+             : 0.0;
+}
+
+}  // namespace ttg::sim

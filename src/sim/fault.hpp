@@ -1,0 +1,147 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// The paper's evaluation platforms (Hawk, Seawulf) are real machines where
+// stragglers, NIC contention, and lost or late messages happen; the perfect
+// fabric the simulator models by default cannot answer "does the runtime
+// still win when rank 3 runs 2x slow and 1% of messages die?". A FaultPlan
+// describes a perturbation scenario:
+//
+//   * per-rank compute slowdown (stragglers)        -> Scheduler
+//   * per-link latency / bandwidth perturbation     -> Network
+//   * message drop / duplication                    -> Network
+//   * delayed RMA completion                        -> Network (splitmd path)
+//
+// plus the resilience knobs (retransmission timeout, backoff, retry bound)
+// the comm plane uses to recover. Every decision is a pure function of
+// (seed, decision stream, ordinal) via support::hash_uniform, so two runs of
+// the same workload with the same plan perturb bit-identically.
+//
+// Plans are built programmatically or parsed from a compact spec string
+// (the `--fault-spec` grammar, clauses separated by commas):
+//
+//   drop=P              drop each payload transfer with probability P
+//   dup=P               deliver each payload transfer twice with prob. P
+//   straggler=R:F       rank R (or '*') computes F times slower
+//   latency=L:F         link L multiplies its propagation latency by F
+//   bw=L:F              link L achieves fraction F of its bandwidth
+//   rma-delay=P:T       with probability P an RMA get lands T seconds late
+//   rto=T | retries=N | backoff=F    resilience-layer tuning
+//
+// where L is 'S-D' (source-destination rank pair, either side '*') or '*'.
+// Example: "drop=0.01,straggler=3:2.0,latency=*:1.5,rma-delay=0.05:1e-4".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ttg::sim {
+
+/// What kind of perturbation or recovery action occurred (trace/report).
+enum class FaultKind {
+  Drop,        ///< payload transfer vanished in the fabric
+  Duplicate,   ///< payload transfer delivered twice
+  RmaDelay,    ///< one-sided get completion delayed
+  Retry,       ///< comm-plane retransmission after an ack timeout
+  RmaRetry,    ///< splitmd re-fetch after a get timeout
+  Recovered,   ///< delivery that needed at least one retry
+  DeadLetter,  ///< gave up after the bounded retries were exhausted
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// Multiplicative perturbation of one link's latency and bandwidth.
+struct LinkPerturb {
+  double latency_factor = 1.0;  ///< multiplies propagation latency
+  double bw_factor = 1.0;       ///< fraction of nominal bandwidth achieved
+};
+
+/// One declarative fault scenario (see file comment for the grammar).
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< --fault-seed; decorrelates scenarios
+
+  // --- message-level faults ---
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double rma_delay_prob = 0.0;
+  double rma_delay = 0.0;  ///< extra seconds added to a delayed get
+
+  // --- stragglers (compute slowdown factors, 1.0 = nominal) ---
+  double straggler_all = 1.0;
+  std::map<int, double> straggler;  ///< per-rank overrides
+
+  // --- link perturbations ---
+  struct LinkRule {
+    int src = -1;  ///< -1 = any source
+    int dst = -1;  ///< -1 = any destination
+    LinkPerturb perturb;
+  };
+  LinkPerturb all_links;
+  std::vector<LinkRule> links;  ///< most-specific match wins, later ties win
+
+  // --- resilience knobs (used by the comm plane when recovering) ---
+  double rto_base = 5.0e-4;  ///< base retransmission timeout [s]
+  double backoff = 2.0;      ///< timeout multiplier per retry
+  int max_retries = 8;       ///< bounded retries before dead-lettering
+
+  bool active = false;  ///< any clause present (parse sets this)
+
+  [[nodiscard]] bool enabled() const { return active; }
+
+  /// True when the plan can lose or delay in-flight data, i.e. the comm
+  /// plane must run its ack/timeout/retry machinery. Straggler- or
+  /// perturbation-only plans keep the fault-free protocol.
+  [[nodiscard]] bool needs_reliability() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || rma_delay_prob > 0.0;
+  }
+
+  [[nodiscard]] double compute_factor(int rank) const;
+  [[nodiscard]] LinkPerturb link(int src, int dst) const;
+
+  /// Worst-case factors across all links (resilience timeout sizing).
+  [[nodiscard]] double max_latency_factor() const;
+  [[nodiscard]] double min_bw_factor() const;
+
+  /// Parse a spec string (empty -> inactive plan carrying only the seed).
+  /// Throws support::ApiError on malformed clauses.
+  static FaultPlan parse(const std::string& spec, std::uint64_t seed = 0);
+
+  /// Human-readable one-line description for bench preambles.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Runtime decision maker for one simulated world. Owns the per-stream
+/// ordinals; decisions are made in deterministic event order, and each
+/// stream's draws are independent of the others'.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Decide whether the next payload transfer is dropped / duplicated.
+  bool drop_payload();
+  bool duplicate_payload();
+  /// Extra completion delay for the next RMA get (0.0 = on time).
+  double rma_extra_delay();
+
+  [[nodiscard]] double latency_factor(int src, int dst) const {
+    return plan_.link(src, dst).latency_factor;
+  }
+  [[nodiscard]] double bw_factor(int src, int dst) const {
+    return plan_.link(src, dst).bw_factor;
+  }
+  [[nodiscard]] double compute_factor(int rank) const {
+    return plan_.compute_factor(rank);
+  }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t n_drop_ = 0;
+  std::uint64_t n_dup_ = 0;
+  std::uint64_t n_rma_ = 0;
+};
+
+}  // namespace ttg::sim

@@ -26,4 +26,17 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   return p;
 }
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double hash_uniform(std::uint64_t seed, std::uint64_t stream, std::uint64_t n) {
+  const std::uint64_t z = splitmix64(seed ^ splitmix64(stream ^ splitmix64(n)));
+  // Top 53 bits -> [0, 1) with full double precision.
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
 }  // namespace ttg::support

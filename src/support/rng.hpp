@@ -33,4 +33,15 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// SplitMix64 finalizer: one round of the well-mixed 64-bit hash.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+/// Stateless uniform draw in [0, 1) from (seed, stream, n). Unlike an
+/// engine-backed draw, the result depends only on the three inputs, never on
+/// how many draws other streams made — the fault injector uses this so each
+/// perturbation decision is a pure function of (seed, decision kind, ordinal)
+/// and two runs with the same seed and workload perturb identically.
+[[nodiscard]] double hash_uniform(std::uint64_t seed, std::uint64_t stream,
+                                  std::uint64_t n);
+
 }  // namespace ttg::support

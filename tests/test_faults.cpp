@@ -1,0 +1,342 @@
+// Tests of the fault-injection & resilience subsystem: spec grammar,
+// deterministic hash decisions, cancellable engine timers, straggler and
+// link perturbations, drop/duplicate recovery (exactly-once delivery,
+// bounded retries, dead letters), bit-identical reruns under a fixed
+// seed+plan, zero overhead when faults are off, and end-to-end numerical
+// recovery for POTRF and BSPMM under message loss.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/bspmm/bspmm_ttg.hpp"
+#include "apps/cholesky/cholesky_ttg.hpp"
+#include "linalg/kernels.hpp"
+#include "sparse/yukawa_gen.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+using namespace ttg;
+
+// ---------------------------------------------------------------- hashing
+
+TEST(FaultHash, DeterministicAndUniform) {
+  const double a = support::hash_uniform(1, 2, 3);
+  EXPECT_DOUBLE_EQ(a, support::hash_uniform(1, 2, 3));
+  EXPECT_NE(a, support::hash_uniform(1, 2, 4));
+  EXPECT_NE(a, support::hash_uniform(1, 3, 3));
+  EXPECT_NE(a, support::hash_uniform(2, 2, 3));
+  double sum = 0.0;
+  for (std::uint64_t n = 0; n < 4096; ++n) {
+    const double u = support::hash_uniform(7, 11, n);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 4096.0, 0.5, 0.03);  // deterministic, not statistical
+}
+
+// ---------------------------------------------------------------- grammar
+
+TEST(FaultSpec, ParsesFullGrammar) {
+  const auto p = sim::FaultPlan::parse(
+      "drop=0.01,dup=0.02,straggler=*:1.5,straggler=3:2.0,latency=*:1.25,"
+      "latency=0-1:2.0,bw=0-1:0.5,rma-delay=0.05:1e-4,rto=1e-3,retries=4,"
+      "backoff=3",
+      42);
+  EXPECT_TRUE(p.enabled());
+  EXPECT_TRUE(p.needs_reliability());
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_DOUBLE_EQ(p.drop_prob, 0.01);
+  EXPECT_DOUBLE_EQ(p.dup_prob, 0.02);
+  EXPECT_DOUBLE_EQ(p.compute_factor(0), 1.5);  // wildcard
+  EXPECT_DOUBLE_EQ(p.compute_factor(3), 2.0);  // override
+  EXPECT_DOUBLE_EQ(p.link(0, 1).latency_factor, 2.0);  // specific beats global
+  EXPECT_DOUBLE_EQ(p.link(0, 1).bw_factor, 0.5);       // merged into one rule
+  EXPECT_DOUBLE_EQ(p.link(2, 3).latency_factor, 1.25);
+  EXPECT_DOUBLE_EQ(p.link(2, 3).bw_factor, 1.0);
+  EXPECT_DOUBLE_EQ(p.rma_delay_prob, 0.05);
+  EXPECT_DOUBLE_EQ(p.rma_delay, 1e-4);
+  EXPECT_DOUBLE_EQ(p.rto_base, 1e-3);
+  EXPECT_EQ(p.max_retries, 4);
+  EXPECT_DOUBLE_EQ(p.backoff, 3.0);
+  EXPECT_DOUBLE_EQ(p.max_latency_factor(), 2.0);
+  EXPECT_DOUBLE_EQ(p.min_bw_factor(), 0.5);
+  EXPECT_FALSE(p.describe().empty());
+}
+
+TEST(FaultSpec, EmptyIsInactive) {
+  const auto p = sim::FaultPlan::parse("", 1234);
+  EXPECT_FALSE(p.enabled());
+  EXPECT_FALSE(p.needs_reliability());
+  EXPECT_EQ(p.seed, 1234u);  // seed alone does not arm anything
+}
+
+TEST(FaultSpec, PerturbationOnlyPlansNeedNoReliability) {
+  EXPECT_FALSE(sim::FaultPlan::parse("straggler=*:2").needs_reliability());
+  EXPECT_FALSE(sim::FaultPlan::parse("latency=*:2,bw=*:0.5").needs_reliability());
+  EXPECT_TRUE(sim::FaultPlan::parse("drop=0.001").needs_reliability());
+  EXPECT_TRUE(sim::FaultPlan::parse("dup=0.001").needs_reliability());
+  EXPECT_TRUE(sim::FaultPlan::parse("rma-delay=0.5:1e-4").needs_reliability());
+}
+
+TEST(FaultSpec, RejectsMalformedClauses) {
+  EXPECT_THROW(sim::FaultPlan::parse("bogus=1"), support::ApiError);
+  EXPECT_THROW(sim::FaultPlan::parse("drop"), support::ApiError);
+  EXPECT_THROW(sim::FaultPlan::parse("drop=2"), support::ApiError);
+  EXPECT_THROW(sim::FaultPlan::parse("drop=-0.1"), support::ApiError);
+  EXPECT_THROW(sim::FaultPlan::parse("drop=abc"), support::ApiError);
+  EXPECT_THROW(sim::FaultPlan::parse("straggler=2.0"), support::ApiError);
+  EXPECT_THROW(sim::FaultPlan::parse("straggler=0:0"), support::ApiError);
+  EXPECT_THROW(sim::FaultPlan::parse("latency=0:2"), support::ApiError);
+  EXPECT_THROW(sim::FaultPlan::parse("rma-delay=0.5"), support::ApiError);
+  EXPECT_THROW(sim::FaultPlan::parse("backoff=0.5"), support::ApiError);
+  EXPECT_THROW(sim::FaultPlan::parse("retries=-1"), support::ApiError);
+}
+
+// ------------------------------------------------------- cancellable timers
+
+TEST(EngineCancellable, CancelledEventLeavesNoTrace) {
+  sim::Engine e;
+  int ran = 0;
+  e.at(1.0, [&] { ran += 1; });
+  auto token = e.at_cancellable(2.0, [&] { ran += 100; });
+  sim::Engine::cancel(token);
+  const double makespan = e.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(makespan, 1.0);  // cancelled timer did not advance the clock
+  EXPECT_EQ(e.events_processed(), 1u);
+}
+
+TEST(EngineCancellable, UncancelledEventRuns) {
+  sim::Engine e;
+  int ran = 0;
+  e.after_cancellable(0.5, [&] { ran += 1; });
+  e.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.events_processed(), 1u);
+}
+
+// --------------------------------------------------------------- workloads
+
+struct RunOutcome {
+  double makespan = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t tasks = 0;
+  rt::CommStats comm;
+  net::NetStats net;
+  bool resilient = false;
+};
+
+RunOutcome ghost_potrf(rt::BackendKind b, int nranks, int n, int bs,
+                       const sim::FaultPlan& plan = {}) {
+  auto ghost = linalg::ghost_matrix(n, bs);
+  rt::WorldConfig cfg;
+  cfg.machine = sim::hawk();
+  cfg.nranks = nranks;
+  cfg.backend = b;
+  cfg.faults = plan;
+  rt::World world(cfg);
+  apps::cholesky::Options opt;
+  opt.collect = false;
+  auto res = apps::cholesky::run(world, ghost, opt);
+  EXPECT_EQ(world.unfinished(), 0u);
+  return RunOutcome{res.makespan,          world.engine().events_processed(),
+                    res.tasks,             world.comm().stats(),
+                    world.network().stats(), world.comm().resilient()};
+}
+
+// --------------------------------------------------------------- stragglers
+
+TEST(FaultInjection, StragglerStretchesMakespan) {
+  const auto base = ghost_potrf(rt::BackendKind::Parsec, 2, 512, 64);
+  const auto all = ghost_potrf(rt::BackendKind::Parsec, 2, 512, 64,
+                               sim::FaultPlan::parse("straggler=*:2"));
+  const auto one = ghost_potrf(rt::BackendKind::Parsec, 2, 512, 64,
+                               sim::FaultPlan::parse("straggler=0:2"));
+  EXPECT_GT(all.makespan, base.makespan * 1.5);
+  EXPECT_GT(one.makespan, base.makespan);
+  EXPECT_LT(one.makespan, all.makespan + 1e-12);
+  // Pure perturbation: no reliability protocol, no extra traffic.
+  EXPECT_FALSE(all.resilient);
+  EXPECT_EQ(all.comm.acks, 0u);
+  EXPECT_EQ(all.net.drops, 0u);
+}
+
+TEST(FaultInjection, SlowLinksStretchMakespan) {
+  const auto base = ghost_potrf(rt::BackendKind::Madness, 2, 512, 64);
+  const auto slow = ghost_potrf(rt::BackendKind::Madness, 2, 512, 64,
+                                sim::FaultPlan::parse("latency=*:4,bw=*:0.25"));
+  EXPECT_GT(slow.makespan, base.makespan);
+  EXPECT_FALSE(slow.resilient);
+}
+
+// ---------------------------------------------------- zero overhead when off
+
+TEST(FaultInjection, NeutralPlanIsBitIdentical) {
+  const auto base = ghost_potrf(rt::BackendKind::Parsec, 4, 512, 64);
+  // Active plan whose every factor is neutral: same timeline, bit for bit.
+  const auto neutral = ghost_potrf(rt::BackendKind::Parsec, 4, 512, 64,
+                                   sim::FaultPlan::parse("straggler=*:1.0"));
+  EXPECT_DOUBLE_EQ(base.makespan, neutral.makespan);
+  EXPECT_EQ(base.events, neutral.events);
+  EXPECT_EQ(base.tasks, neutral.tasks);
+  EXPECT_FALSE(neutral.resilient);
+  EXPECT_EQ(neutral.net.drops, 0u);
+  EXPECT_EQ(neutral.comm.retries, 0u);
+  EXPECT_EQ(neutral.comm.acks, 0u);
+}
+
+TEST(FaultInjection, SeedWithoutSpecChangesNothing) {
+  const auto base = ghost_potrf(rt::BackendKind::Madness, 2, 512, 64);
+  const auto seeded = ghost_potrf(rt::BackendKind::Madness, 2, 512, 64,
+                                  sim::FaultPlan::parse("", 987654321));
+  EXPECT_DOUBLE_EQ(base.makespan, seeded.makespan);
+  EXPECT_EQ(base.events, seeded.events);
+  EXPECT_FALSE(seeded.resilient);
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(FaultInjection, IdenticalSeedAndPlanAreBitIdentical) {
+  const auto plan = sim::FaultPlan::parse("drop=0.02,straggler=1:1.5", 99);
+  for (rt::BackendKind b : {rt::BackendKind::Parsec, rt::BackendKind::Madness}) {
+    const auto r1 = ghost_potrf(b, 4, 512, 64, plan);
+    const auto r2 = ghost_potrf(b, 4, 512, 64, plan);
+    EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+    EXPECT_EQ(r1.events, r2.events);
+    EXPECT_EQ(r1.tasks, r2.tasks);
+    EXPECT_EQ(r1.net.drops, r2.net.drops);
+    EXPECT_EQ(r1.net.dropped_bytes, r2.net.dropped_bytes);
+    EXPECT_EQ(r1.comm.retries, r2.comm.retries);
+    EXPECT_EQ(r1.comm.resent_bytes, r2.comm.resent_bytes);
+    EXPECT_EQ(r1.comm.recovered_msgs, r2.comm.recovered_msgs);
+    EXPECT_EQ(r1.comm.dup_discards, r2.comm.dup_discards);
+    EXPECT_EQ(r1.comm.acks, r2.comm.acks);
+    EXPECT_EQ(r1.comm.dead_letters, 0u);
+  }
+}
+
+// ------------------------------------------------------ drop/dup recovery
+
+TEST(Resilience, DropsAreRetransmittedAndRecovered) {
+  const auto plan = sim::FaultPlan::parse("drop=0.05", 7);
+  for (rt::BackendKind b : {rt::BackendKind::Parsec, rt::BackendKind::Madness}) {
+    const auto r = ghost_potrf(b, 4, 768, 64, plan);
+    EXPECT_TRUE(r.resilient);
+    EXPECT_GT(r.net.drops, 0u) << rt::to_string(b);
+    EXPECT_GT(r.comm.retries, 0u) << rt::to_string(b);
+    EXPECT_GT(r.comm.recovered_msgs, 0u) << rt::to_string(b);
+    EXPECT_GT(r.comm.acks, 0u);
+    EXPECT_EQ(r.comm.dead_letters, 0u) << rt::to_string(b);
+    // A drop costs virtual time: the perturbed run cannot be faster.
+    const auto base = ghost_potrf(b, 4, 768, 64);
+    EXPECT_GE(r.makespan, base.makespan);
+  }
+}
+
+TEST(Resilience, DuplicatesAreDiscardedExactlyOnce) {
+  sim::Engine probe;  // count deliveries through a raw world
+  rt::WorldConfig cfg;
+  cfg.machine = sim::hawk();
+  cfg.nranks = 2;
+  cfg.faults = sim::FaultPlan::parse("dup=1");
+  rt::World world(cfg);
+  EXPECT_TRUE(world.comm().resilient());
+  int delivered = 0;
+  world.comm().send_message(0, 1, 4096, [&] { delivered += 1; });
+  world.engine().run();
+  EXPECT_EQ(delivered, 1);  // exactly-once despite dup=1
+  EXPECT_GE(world.network().stats().duplicates, 1u);
+  EXPECT_GE(world.comm().stats().dup_discards, 1u);
+  EXPECT_EQ(world.comm().stats().dead_letters, 0u);
+}
+
+TEST(Resilience, TotalLossDeadLettersAfterBoundedRetries) {
+  rt::WorldConfig cfg;
+  cfg.machine = sim::hawk();
+  cfg.nranks = 2;
+  cfg.faults = sim::FaultPlan::parse("drop=1,retries=2,rto=1e-4");
+  rt::World world(cfg);
+  int delivered = 0;
+  world.comm().send_message(0, 1, 4096, [&] { delivered += 1; });
+  world.engine().run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(world.comm().stats().retries, 2u);  // bounded, then gave up
+  EXPECT_EQ(world.comm().stats().dead_letters, 1u);
+  EXPECT_GE(world.network().stats().drops, 3u);  // original + 2 retries
+}
+
+TEST(Resilience, RmaDelayIsInjectedOnSplitmdPath) {
+  const auto plan = sim::FaultPlan::parse("rma-delay=1:2e-4", 5);
+  const auto base = ghost_potrf(rt::BackendKind::Parsec, 2, 512, 128);
+  const auto delayed = ghost_potrf(rt::BackendKind::Parsec, 2, 512, 128, plan);
+  EXPECT_GT(delayed.net.rma_delays, 0u);
+  EXPECT_GT(delayed.makespan, base.makespan);
+  EXPECT_EQ(delayed.comm.dead_letters, 0u);
+}
+
+// ----------------------------------------------- end-to-end numerical recovery
+
+TEST(Recovery, PotrfUnderDropMatchesFaultFreeExactly) {
+  support::Rng rng(42);
+  auto a = linalg::random_spd(rng, 160, 32);
+  const auto ref = linalg::dense_cholesky(a.to_dense());
+  for (rt::BackendKind b : {rt::BackendKind::Parsec, rt::BackendKind::Madness}) {
+    rt::WorldConfig clean_cfg;
+    clean_cfg.machine = sim::hawk();
+    clean_cfg.nranks = 4;
+    clean_cfg.backend = b;
+    rt::World clean(clean_cfg);
+    auto clean_res = apps::cholesky::run(clean, a);
+
+    rt::WorldConfig cfg = clean_cfg;
+    cfg.faults = sim::FaultPlan::parse("drop=0.1", 3);
+    rt::World world(cfg);
+    auto res = apps::cholesky::run(world, a);
+
+    EXPECT_GT(world.network().stats().drops, 0u) << rt::to_string(b);
+    EXPECT_EQ(world.comm().stats().dead_letters, 0u) << rt::to_string(b);
+    // Same arithmetic in the same order: loss recovery must be invisible
+    // to the numerics, not merely close.
+    EXPECT_EQ(res.matrix.to_dense().max_abs_diff(clean_res.matrix.to_dense()), 0.0)
+        << rt::to_string(b);
+    EXPECT_LT(res.matrix.to_dense().max_abs_diff(ref), 1e-9) << rt::to_string(b);
+  }
+}
+
+TEST(Recovery, BspmmUnderDropMatchesReference) {
+  sparse::YukawaParams p;
+  p.natoms = 40;
+  p.max_tile = 64;
+  p.box = 60.0;
+  p.screening_length = 5.0;
+  p.threshold = 1e-3;
+  p.seed = 7;
+  auto a = sparse::yukawa_matrix(p);
+  auto ref = sparse::multiply_reference(a, a);
+
+  rt::WorldConfig cfg;
+  cfg.machine = sim::hawk();
+  cfg.nranks = 4;
+  cfg.faults = sim::FaultPlan::parse("drop=0.05", 11);
+  rt::World world(cfg);
+  auto res = apps::bspmm::run(world, a, a);
+  EXPECT_EQ(world.comm().stats().dead_letters, 0u);
+
+  // The streaming reducer accumulates in arrival order, so retransmitted
+  // contributions may land in a different order than fault-free: compare
+  // with a tolerance, not bit-exactly.
+  double err = 0.0;
+  for (auto [i, j] : ref.nonzeros()) {
+    if (ref.at(i, j).norm() < 1e-300) continue;
+    ASSERT_TRUE(res.c.has(i, j)) << "missing C(" << i << "," << j << ")";
+    err = std::max(err, ref.at(i, j).max_abs_diff(res.c.at(i, j)));
+  }
+  EXPECT_LT(err, 1e-10);
+}
+
+}  // namespace
