@@ -32,6 +32,8 @@ struct TtgPoint {
   double makespan = 0.0;
   std::uint64_t messages = 0;
   std::uint64_t splitmd_sends = 0;
+  std::uint64_t serializations = 0;   ///< archive passes over payloads
+  std::uint64_t serialize_hits = 0;   ///< sends served from the DataCopy cache
 };
 
 TtgPoint ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
@@ -52,10 +54,15 @@ TtgPoint ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
                    "nodes",
                res.makespan);
   const auto& cs = world.comm().stats();
-  return TtgPoint{nodes,        n,
-                  rt::to_string(backend), res.gflops,
-                  res.makespan, cs.messages,
-                  cs.splitmd_sends};
+  return TtgPoint{nodes,
+                  n,
+                  rt::to_string(backend),
+                  res.gflops,
+                  res.makespan,
+                  cs.messages,
+                  cs.splitmd_sends,
+                  cs.serializations,
+                  cs.serialize_hits};
 }
 
 void write_json(const std::string& path, int per_node, int bs,
@@ -70,10 +77,13 @@ void write_json(const std::string& path, int per_node, int bs,
     std::fprintf(f,
                  "%s\n{\"nodes\":%d,\"matrix\":%d,\"backend\":\"%s\","
                  "\"gflops\":%.17g,\"makespan\":%.17g,\"messages\":%llu,"
-                 "\"splitmd_sends\":%llu}",
+                 "\"splitmd_sends\":%llu,\"serializations\":%llu,"
+                 "\"serialize_hits\":%llu}",
                  i ? "," : "", p.nodes, p.matrix, p.backend, p.gflops, p.makespan,
                  static_cast<unsigned long long>(p.messages),
-                 static_cast<unsigned long long>(p.splitmd_sends));
+                 static_cast<unsigned long long>(p.splitmd_sends),
+                 static_cast<unsigned long long>(p.serializations),
+                 static_cast<unsigned long long>(p.serialize_hits));
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);

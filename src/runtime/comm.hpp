@@ -43,6 +43,9 @@ struct CommStats {
   std::uint64_t splitmd_sends = 0;  ///< split-metadata transfers
   std::uint64_t local_copies = 0;   ///< local deliveries that paid a copy
   std::uint64_t local_shares = 0;   ///< local deliveries shared zero-copy
+  // --- data-lifecycle layer (DataCopy serialized-buffer cache) ---
+  std::uint64_t serializations = 0;   ///< archive passes over payload values
+  std::uint64_t serialize_hits = 0;   ///< sends served from the cached buffer
   // --- graceful-degradation accounting (resilience layer; all zero on a
   // --- perfect fabric or when the plan carries no loss faults) ---
   std::uint64_t retries = 0;          ///< retransmissions after ack timeout
@@ -53,6 +56,24 @@ struct CommStats {
   std::uint64_t dup_discards = 0;     ///< duplicate deliveries suppressed
   std::uint64_t dead_letters = 0;     ///< gave up after bounded retries
   std::uint64_t acks = 0;             ///< acknowledgments sent
+};
+
+/// A backend's data-copy semantics, declared in one place (paper Section
+/// II-D) instead of scattered conditionals:
+///
+///   zero_copy_local — the runtime owns data flowing through the graph, so
+///                     local const-reference sends share it instead of
+///                     copying (PaRSEC yes, MADNESS no);
+///   serialize_once  — a payload's serialized form is cached on its DataCopy
+///                     and reused for every destination rank of a broadcast
+///                     and for retransmissions (PaRSEC yes; MADNESS
+///                     re-serializes whole objects per send).
+///
+/// WorldConfig can override either knob for ablation runs
+/// (bench/ablation_copies).
+struct CopyPolicy {
+  bool zero_copy_local = false;
+  bool serialize_once = false;
 };
 
 /// Backend communication engine: ships already-serialized payloads between
@@ -72,13 +93,32 @@ class CommEngine {
   /// True if the backend supports the split-metadata (RMA) protocol.
   [[nodiscard]] virtual bool supports_splitmd() const = 0;
 
+  /// The backend's native data-copy semantics (see CopyPolicy).
+  [[nodiscard]] virtual CopyPolicy default_policy() const = 0;
+
+  /// The policy in effect: the backend default, possibly overridden per
+  /// knob by configure_policy (-1 keeps the default, 0/1 force off/on).
+  [[nodiscard]] const CopyPolicy& policy() const { return policy_; }
+  void configure_policy(int zero_copy_override, int serialize_once_override) {
+    policy_ = default_policy();
+    if (zero_copy_override >= 0) policy_.zero_copy_local = zero_copy_override != 0;
+    if (serialize_once_override >= 0)
+      policy_.serialize_once = serialize_once_override != 0;
+  }
+
   /// True if local sends by const reference can share runtime-owned data
   /// instead of copying (the PaRSEC backend's data-ownership feature).
-  [[nodiscard]] virtual bool zero_copy_local() const = 0;
+  [[nodiscard]] bool zero_copy_local() const { return policy_.zero_copy_local; }
+  /// True if whole-object sends reuse the DataCopy's cached serialized form.
+  [[nodiscard]] bool serialize_once() const { return policy_.serialize_once; }
 
   /// CPU seconds the *sender* pays to stage `bytes` for the wire under the
   /// given protocol (serialization copies). Charged on the sending worker.
   [[nodiscard]] virtual double send_side_cpu(std::size_t bytes, ser::Protocol p) const = 0;
+
+  /// CPU seconds of pure per-message injection overhead (AM issue without
+  /// any staging copy) — what a cache-hit send costs the sender.
+  [[nodiscard]] virtual double per_message_cpu() const = 0;
 
   /// Payload staging copies the sender pays for one whole-object message
   /// under protocol `p` (the copies behind send_side_cpu, as a count).
@@ -105,6 +145,15 @@ class CommEngine {
                             std::function<void()> on_payload,
                             std::function<void()> on_release) = 0;
 
+  /// DataCopy-based send: ship a whole-object message whose payload is a
+  /// cached serialized buffer. `pin` keeps the payload's DataCopy block (and
+  /// with it the buffer) alive until final delivery — or dead-letter — so
+  /// the resilience layer retransmits from the cache instead of
+  /// re-serializing. Routing and receive-side costs are exactly those of
+  /// send_message.
+  void send_payload(int src, int dst, std::size_t wire_bytes,
+                    std::shared_ptr<const void> pin, std::function<void()> deliver);
+
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   CommStats& mutable_stats() { return stats_; }
 
@@ -127,6 +176,7 @@ class CommEngine {
                      const sim::FaultPlan& plan);
 
   CommStats stats_;
+  CopyPolicy policy_;  ///< set by configure_policy (World) / derived ctors
   Tracer* tracer_ = nullptr;
   std::unique_ptr<ReliableLink> reliable_;
 };

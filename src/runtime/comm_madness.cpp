@@ -24,6 +24,7 @@ MadnessComm::MadnessComm(sim::Engine& engine, net::Network& network, double am_c
       am_cpu_(network.machine().am_cpu * am_cpu_factor * kAmServerFactor),
       task_overhead_(task_overhead_override >= 0 ? task_overhead_override
                                                  : kMadnessTaskOverhead) {
+  policy_ = default_policy();
   am_server_.reserve(static_cast<std::size_t>(network.nranks()));
   for (int r = 0; r < network.nranks(); ++r) {
     am_server_.push_back(

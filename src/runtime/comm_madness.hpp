@@ -28,9 +28,15 @@ class MadnessComm final : public CommEngine {
   [[nodiscard]] const char* name() const override { return "madness"; }
   [[nodiscard]] double task_overhead() const override { return task_overhead_; }
   [[nodiscard]] bool supports_splitmd() const override { return false; }
-  [[nodiscard]] bool zero_copy_local() const override { return false; }
+
+  // MADNESS moves whole serialized objects per send: local deliveries copy,
+  // and nothing is cached across the destinations of a broadcast.
+  [[nodiscard]] CopyPolicy default_policy() const override {
+    return {/*zero_copy_local=*/false, /*serialize_once=*/false};
+  }
 
   [[nodiscard]] double send_side_cpu(std::size_t bytes, ser::Protocol p) const override;
+  [[nodiscard]] double per_message_cpu() const override { return am_cpu_; }
 
   // MADNESS serializes whole objects regardless of protocol preference:
   // one staging copy into the AM buffer at the sender, one copy out of the

@@ -21,6 +21,7 @@ ParsecComm::ParsecComm(sim::Engine& engine, net::Network& network, double am_cpu
       task_overhead_(task_overhead_override >= 0 ? task_overhead_override
                                                  : kParsecTaskOverhead),
       enable_splitmd_(enable_splitmd) {
+  policy_ = default_policy();
   comm_thread_.reserve(static_cast<std::size_t>(network.nranks()));
   for (int r = 0; r < network.nranks(); ++r) {
     comm_thread_.push_back(

@@ -25,9 +25,15 @@ class ParsecComm final : public CommEngine {
   [[nodiscard]] const char* name() const override { return "parsec"; }
   [[nodiscard]] double task_overhead() const override { return task_overhead_; }
   [[nodiscard]] bool supports_splitmd() const override { return enable_splitmd_; }
-  [[nodiscard]] bool zero_copy_local() const override { return true; }
+
+  // PaRSEC owns data flowing through the graph: local const-ref sends are
+  // shared, and one serialization is reused across a broadcast's ranks.
+  [[nodiscard]] CopyPolicy default_policy() const override {
+    return {/*zero_copy_local=*/true, /*serialize_once=*/true};
+  }
 
   [[nodiscard]] double send_side_cpu(std::size_t bytes, ser::Protocol p) const override;
+  [[nodiscard]] double per_message_cpu() const override { return am_cpu_; }
 
   // Splitmd and trivially-copyable sends go to the wire straight from
   // object memory; only archive types pay a staging copy. The receive-side

@@ -24,6 +24,18 @@ void CommEngine::make_reliable(sim::Engine& engine, net::Network& network,
   if (tracer_ != nullptr) reliable_->set_tracer(tracer_);
 }
 
+void CommEngine::send_payload(int src, int dst, std::size_t wire_bytes,
+                              std::shared_ptr<const void> pin,
+                              std::function<void()> deliver) {
+  // The pin rides inside the delivery closure: under resilience the
+  // ReliableLink's SendState holds it across every retransmission, so a
+  // retry ships the already-cached serialized bytes instead of paying a
+  // fresh archive pass, and the DataCopy block stays alive until the send
+  // is acknowledged or dead-lettered.
+  send_message(src, dst, wire_bytes,
+               [pin = std::move(pin), deliver = std::move(deliver)]() { deliver(); });
+}
+
 ReliableLink::ReliableLink(sim::Engine& engine, net::Network& network,
                            const sim::FaultPlan& plan, CommStats& stats)
     : engine_(engine), net_(network), plan_(plan), stats_(stats) {}

@@ -47,6 +47,10 @@ class ReliableLink {
   /// Ship one payload message with at-most-once delivery to `deliver` and
   /// retransmission on ack timeout. The protocol (eager vs rendezvous) is
   /// chosen per attempt by the network, exactly as for unreliable sends.
+  /// `deliver` is held in the send state across retries: anything it owns —
+  /// in particular a DataCopy pin with the cached serialized buffer
+  /// (CommEngine::send_payload) — survives until ack or dead-letter, so
+  /// retransmissions never re-serialize.
   void send(int src, int dst, std::size_t bytes, std::function<void()> deliver);
 
   /// One-sided get with re-fetch on timeout. `on_done` fires exactly once at

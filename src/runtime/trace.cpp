@@ -39,6 +39,10 @@ CommCounters Tracer::totals() const {
     t.whole_object_sends += c.whole_object_sends;
     t.serialization_copies += c.serialization_copies;
     t.rma_gets += c.rma_gets;
+    t.data_allocs += c.data_allocs;
+    t.data_releases += c.data_releases;
+    t.payload_serializations += c.payload_serializations;
+    t.serialize_cache_hits += c.serialize_cache_hits;
     t.charged_cpu += c.charged_cpu;
     t.server_wait += c.server_wait;
     t.server_busy += c.server_busy;

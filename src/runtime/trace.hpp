@@ -124,6 +124,11 @@ struct CommCounters {
   std::uint64_t whole_object_sends = 0;  ///< messages serialized whole
   std::uint64_t serialization_copies = 0;  ///< payload staging/unstaging copies
   std::uint64_t rma_gets = 0;
+  // --- data-lifecycle layer (DataCopy handles on this rank) ---
+  std::uint64_t data_allocs = 0;     ///< DataCopy blocks entered the runtime
+  std::uint64_t data_releases = 0;   ///< blocks whose refcount returned to zero
+  std::uint64_t payload_serializations = 0;  ///< archive passes over payloads
+  std::uint64_t serialize_cache_hits = 0;    ///< sends reusing the cached buffer
   double charged_cpu = 0.0;   ///< CPU charged inside task bodies (send copies)
   double server_wait = 0.0;   ///< queueing on the comm/AM server thread
   double server_busy = 0.0;   ///< service time on the comm/AM server thread
@@ -194,6 +199,19 @@ class Tracer {
   /// Payload staging/unstaging copies paid for a message.
   void add_copies(int rank, int n) {
     counters(rank).serialization_copies += static_cast<std::uint64_t>(n);
+  }
+
+  // --- recording: data-lifecycle layer (DataCopy) ---
+
+  /// A payload entered the lifecycle layer on `rank` (refcount 0 -> 1).
+  void record_data_alloc(int rank) { counters(rank).data_allocs += 1; }
+  /// A payload's refcount returned to zero on `rank`.
+  void record_data_release(int rank) { counters(rank).data_releases += 1; }
+  /// An archive pass over a payload (`cache_hit` false) or a send served
+  /// from the cached serialized buffer (`cache_hit` true).
+  void record_serialization(int rank, bool cache_hit) {
+    auto& c = counters(rank);
+    (cache_hit ? c.serialize_cache_hits : c.payload_serializations) += 1;
   }
 
   // --- recording: backend comm engines ---

@@ -33,6 +33,8 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
                                             cfg_.task_overhead_override);
       break;
   }
+  comm_->configure_policy(cfg_.zero_copy_local, cfg_.serialize_once);
+  data_.configure(cfg_.nranks);
   sched_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {
     sched_.push_back(std::make_unique<Scheduler>(engine_, r, workers_));
@@ -57,7 +59,11 @@ sim::Time World::fence() {
     TTG_REQUIRE(tt->executable,
                 "fence() before make_graph_executable on TT '" + tt->name() + "'");
   }
-  return engine_.run();
+  const sim::Time t = engine_.run();
+  // The queue is drained, so every send/broadcast closure has been run (or
+  // cancelled and freed): any DataCopy still alive is a genuine leak.
+  data_.check_no_leaks();
+  return t;
 }
 
 std::size_t World::unfinished() const {

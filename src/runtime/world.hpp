@@ -15,6 +15,7 @@
 
 #include "net/network.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/datacopy.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
 #include "sim/engine.hpp"
@@ -38,6 +39,10 @@ struct WorldConfig {
   BackendKind backend = BackendKind::Parsec;
   bool optimized_broadcast = true;  ///< group broadcast keys by destination rank
   bool enable_splitmd = true;       ///< allow the split-metadata protocol
+  // Data-lifecycle CopyPolicy overrides (bench/ablation_copies): tri-state,
+  // -1 = backend default, 0/1 = force off/on.
+  int zero_copy_local = -1;   ///< share vs copy local const-ref sends
+  int serialize_once = -1;    ///< cache a broadcast's serialized form
   double task_overhead_override = -1.0;  ///< <0 → backend default
   double am_cpu_factor = 1.0;  ///< scales per-message CPU (Chameleon-like profile)
   sim::FaultPlan faults;       ///< fault-injection plan; default-constructed = off
@@ -91,8 +96,14 @@ class World {
 
   /// Drain all outstanding events (tasks, messages); global termination
   /// detection. Returns the virtual time reached — across the whole run,
-  /// i.e. the cumulative makespan after several fences.
+  /// i.e. the cumulative makespan after several fences. Once drained, the
+  /// data-lifecycle layer is audited: every DataCopy refcount must be back
+  /// to zero (throws support::ApiError on a leak).
   sim::Time fence();
+
+  /// Per-rank data-lifecycle accounting (always on).
+  [[nodiscard]] DataTracker& data_tracker() { return data_; }
+  [[nodiscard]] const DataTracker& data_tracker() const { return data_; }
 
   /// Sum of pending task records across all registered template tasks.
   [[nodiscard]] std::size_t unfinished() const;
@@ -120,12 +131,16 @@ class World {
  private:
   WorldConfig cfg_;
   int workers_;
+  // data_ and tracer_ are declared before engine_ on purpose: closures still
+  // queued in the engine at destruction can own DataCopy blocks, and a
+  // block's destructor reports into both.
+  DataTracker data_;
+  std::unique_ptr<Tracer> tracer_;
   sim::Engine engine_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<CommEngine> comm_;
   std::vector<std::unique_ptr<Scheduler>> sched_;
   std::vector<TTBase*> tts_;
-  std::unique_ptr<Tracer> tracer_;
   int current_rank_ = 0;
   double flops_ = 0.0;
 };

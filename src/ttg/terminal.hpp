@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/datacopy.hpp"
 #include "serialization/traits.hpp"
 #include "ttg/edge.hpp"
 #include "ttg/keys.hpp"
@@ -105,6 +106,29 @@ class Out {
     auto& comm = w.comm();
     const bool coalesce = w.config().optimized_broadcast;
 
+    // The payload enters the data-lifecycle layer lazily: the first remote
+    // destination wraps it in a refcounted DataCopy that every message of
+    // this broadcast shares — one live allocation, one serialized form under
+    // the serialize-once policy, regardless of the destination-rank count.
+    // Purely local routing never allocates a handle.
+    rt::DataCopy<Value> data;
+    const Value* payload = &value;
+    auto shared = [&]() -> const rt::DataCopy<Value>& {
+      if (!data) {
+        rt::Tracer* tr = w.tracing() ? &w.tracer() : nullptr;
+        if (moved) {
+          // The caller surrendered the value (rvalue send): move it into
+          // the runtime-owned block instead of copying.
+          data = rt::DataCopy<Value>(w.data_tracker(), tr, comm, me,
+                                     std::move(const_cast<Value&>(value)));
+        } else {
+          data = rt::DataCopy<Value>(w.data_tracker(), tr, comm, me, value);
+        }
+        payload = &data.value();
+      }
+      return data;
+    };
+
     for (auto* sink : edge_->sinks) {
       std::vector<Key> local;
       std::map<int, std::vector<Key>> remote;  // ordered => deterministic
@@ -118,50 +142,61 @@ class Out {
       }
       for (const Key& k : local) {
         // Physical copy always happens (each task owns private inputs);
-        // the virtual cost depends on the backend's data ownership.
+        // the virtual cost depends on the backend's CopyPolicy.
         if (moved || comm.zero_copy_local()) {
           comm.mutable_stats().local_shares += 1;
         } else {
           comm.mutable_stats().local_copies += 1;
-          w.scheduler(me).charge(w.machine().copy_time(detail::local_copy_bytes(value)));
+          w.scheduler(me).charge(
+              w.machine().copy_time(detail::local_copy_bytes(*payload)));
         }
-        sink->put_local(k, value);
+        sink->put_local(k, *payload);
       }
       for (auto& [dst, ks] : remote) {
+        const rt::DataCopy<Value>& dc = shared();
         if (coalesce) {
-          send_remote(sink, me, dst, ks, value);
+          send_remote(sink, me, dst, ks, dc);
         } else {
-          for (const Key& k : ks) send_remote(sink, me, dst, {k}, value);
+          for (const Key& k : ks) send_remote(sink, me, dst, {k}, dc);
         }
       }
     }
   }
 
   void send_remote(InTerminalBase<Key, Value>* sink, int src, int dst,
-                   const std::vector<Key>& ks, const Value& value) const {
+                   const std::vector<Key>& ks, const rt::DataCopy<Value>& data) const {
     auto& w = *world_;
     auto& comm = w.comm();
     if constexpr (ser::is_splitmd_v<Value>) {
       if (comm.supports_splitmd()) {
-        send_splitmd(sink, src, dst, ks, value);
+        send_splitmd(sink, src, dst, ks, data);
         return;
       }
     }
     static_assert(std::is_default_constructible_v<Value>,
                   "remote TTG values must be default-constructible");
-    // Whole-object path: serialize value + piggybacked key list.
-    ser::OutputArchive ar;
-    ar& value;
-    ar& ks;
-    auto buf = std::make_shared<std::vector<std::byte>>(ar.release());
-    const std::size_t wire = ser::wire_size(value, buf->size());
+    // Whole-object path. The value buffer comes from the DataCopy's
+    // serialized cache — one archive pass per broadcast under the
+    // serialize-once policy — and only the piggybacked key list is
+    // serialized per message. Concatenated, the two buffers carry exactly
+    // the bytes of the old single-archive message.
+    bool cache_hit = false;
+    auto vbuf = data.serialized(&cache_hit);
+    ser::OutputArchive kar;
+    kar& ks;
+    auto kbuf = std::make_shared<const std::vector<std::byte>>(kar.release());
+    const std::size_t wire = ser::wire_size(data.value(), vbuf->size() + kbuf->size());
     // Downgrade the protocol label when splitmd exists but the backend
     // cannot use it (MADNESS): costs follow the whole-object path.
     constexpr ser::Protocol proto =
         ser::protocol_for<Value>() == ser::Protocol::SplitMetadata
             ? ser::Protocol::Archive
             : ser::protocol_for<Value>();
-    const double cpu = comm.send_side_cpu(wire, proto);
+    // A cache hit skips the staging pass entirely: the sender pays only the
+    // per-message AM injection CPU (the PaRSEC broadcast win). A miss is
+    // charged the full send-side cost, exactly as before the cache existed.
+    const double cpu =
+        cache_hit ? comm.per_message_cpu() : comm.send_side_cpu(wire, proto);
     const double delay = w.scheduler(src).charge(cpu);
     // Trace the message while still inside the sender's body so the
     // producing task becomes the message node's predecessor.
@@ -170,18 +205,23 @@ class Out {
     if (tr != nullptr) {
       msg = tr->message_created(sink->consumer_name(), src, dst, wire,
                                 /*splitmd=*/false);
-      tr->add_copies(src, comm.send_copies(proto));
+      tr->add_copies(src, cache_hit ? 0 : comm.send_copies(proto));
       tr->add_copies(dst, comm.recv_copies(proto));
     }
     rt::World* wp = world_;
-    w.engine().after(delay, [wp, &comm, src, dst, wire, buf, sink, tr, msg]() {
+    w.engine().after(delay, [wp, &comm, src, dst, wire, vbuf, kbuf, data, sink, tr,
+                             msg]() {
       if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
-      comm.send_message(src, dst, wire, [wp, dst, buf, sink, tr, msg]() {
-        ser::InputArchive ia(*buf);
+      // The pin keeps the DataCopy block (with its cached buffer) alive
+      // across retransmissions; the block is released at final delivery.
+      comm.send_payload(src, dst, wire, data.pin(), [wp, dst, vbuf, kbuf, sink, tr,
+                                                     msg]() {
+        ser::InputArchive ia(*vbuf);
         Value v{};
         ia& v;
         std::vector<Key> keys;
-        ia& keys;
+        ser::InputArchive ka(*kbuf);
+        ka& keys;
         wp->run_as(dst, [&]() {
           // Deliveries run under the message's causality context: tasks
           // completed by these puts become the message's successors.
@@ -198,19 +238,20 @@ class Out {
   }
 
   void send_splitmd(InTerminalBase<Key, Value>* sink, int src, int dst,
-                    const std::vector<Key>& ks, const Value& value) const {
+                    const std::vector<Key>& ks, const rt::DataCopy<Value>& data) const {
     using SMD = ser::SplitMetadata<Value>;
     auto& w = *world_;
     auto& comm = w.comm();
     ser::OutputArchive ar;
-    auto md = SMD::get_metadata(value);
+    auto md = SMD::get_metadata(data.value());
     ar& md;
     ar& ks;
     auto mdbuf = std::make_shared<std::vector<std::byte>>(ar.release());
-    const std::size_t payload_bytes = SMD::payload_bytes(value);
-    // The runtime keeps the source object registered/alive until the
-    // remote completion notification; shared ownership models that.
-    auto holder = std::make_shared<const Value>(value);
+    const std::size_t payload_bytes = SMD::payload_bytes(data.value());
+    // The runtime keeps the source object registered/alive until the remote
+    // completion notification. The refcounted DataCopy models that: every
+    // destination of a broadcast shares the one runtime-owned block (the
+    // old code paid a full per-destination Value copy here).
     auto obj = std::make_shared<Value>();
     auto keys_out = std::make_shared<std::vector<Key>>();
     const double cpu = comm.send_side_cpu(payload_bytes, ser::Protocol::SplitMetadata);
@@ -224,7 +265,7 @@ class Out {
                                 mdbuf->size() + payload_bytes, /*splitmd=*/true);
     }
     rt::World* wp = world_;
-    w.engine().after(delay, [wp, &comm, src, dst, mdbuf, payload_bytes, holder, obj,
+    w.engine().after(delay, [wp, &comm, src, dst, mdbuf, payload_bytes, data, obj,
                              keys_out, sink, tr, msg]() {
       if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
       comm.send_splitmd(
@@ -238,8 +279,8 @@ class Out {
             *obj = SMD::create(m);
           },
           /*on_payload=*/
-          [wp, dst, holder, obj, keys_out, sink, tr, msg]() {
-            const auto src_span = SMD::payload(*holder);
+          [wp, dst, data, obj, keys_out, sink, tr, msg]() {
+            const auto src_span = SMD::payload(data.value());
             const auto dst_span = SMD::payload(*obj);
             TTG_CHECK(src_span.size() == dst_span.size(), "splitmd payload size mismatch");
             if (!src_span.empty())
@@ -256,7 +297,7 @@ class Out {
               if (tr != nullptr) tr->clear_context();
             });
           },
-          /*on_release=*/[holder]() { /* dropping the ref releases the source */ });
+          /*on_release=*/[data]() { /* dropping the handle releases the source */ });
     });
   }
 

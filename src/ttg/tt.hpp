@@ -152,6 +152,10 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
     explicit Slot(TT* tt = nullptr) : tt_(tt) {}
     [[nodiscard]] int owner(const Key& k) const override { return tt_->keymap_(k); }
     void put_local(const Key& k, const value_type& v) override {
+      // Each task owns private inputs: this is the one physical copy every
+      // by-reference delivery pays, accounted in the data-lifecycle layer.
+      tt_->world_.data_tracker().on_input_copy(tt_->world_.rank(),
+                                               rt::detail::payload_bytes(v));
       value_type copy = v;
       tt_->template put<I>(k, std::move(copy));
     }
