@@ -1,52 +1,238 @@
-// Ablation: optimized (rank-coalesced) ttg::broadcast vs per-dependence
-// point-to-point sends — the optimization Section II-A introduced, and the
-// communication difference behind Chameleon's deficit in Figs. 5-6.
+// Ablation: broadcast routing on POTRF fan-out — per-dependence sends
+// (Section II-A's baseline), rank-coalesced flat broadcast (the paper's
+// optimized ttg::broadcast), and the tree-routed collective plane (k-ary
+// spanning-tree store-and-forward) at arities 2 and 4.
+//
+// The tree arms show the root's send NIC unloading (O(arity) injections
+// per broadcast instead of O(R)) and the makespan effect of pipelining
+// the fan-out through interior ranks.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "apps/cholesky/cholesky_ttg.hpp"
+#include "linalg/tile.hpp"
 #include "bench_common.hpp"
 #include "runtime/trace_session.hpp"
 #include "ttg/ttg.hpp"
 
 using namespace ttg;
 
+namespace {
+
+/// One routing arm's deterministic outcome.
+struct Arm {
+  const char* name = "";
+  int optimized = 1;        ///< rank-coalesced broadcast on/off
+  int arity = 0;            ///< 0 = flat, k >= 2 = spanning tree
+  double makespan = 0.0;
+  double max_nic_busy = 0.0;        ///< busiest send NIC (the broadcast roots)
+  std::uint64_t max_nic_sends = 0;  ///< most transfers injected by one rank
+  std::uint64_t wire_transfers = 0; ///< payload-bearing network transfers
+  std::uint64_t messages = 0;       ///< logical AMs (routing-invariant)
+  std::uint64_t splitmd_sends = 0;
+  std::uint64_t broadcast_forwards = 0;
+  std::uint64_t am_batches = 0;
+  std::uint64_t batched_msgs = 0;
+};
+
+/// One arm of the single-root broadcast microbenchmark: rank 0 ships one
+/// 512^2 tile to every other rank; the root's NIC tells the routing story
+/// undiluted (in the POTRF arms every rank is both root and forwarder).
+struct RootArm {
+  const char* name = "";
+  int arity = 0;
+  double completion = 0.0;     ///< virtual time until the last delivery
+  double root_nic_busy = 0.0;  ///< send-NIC busy time of the broadcast root
+  std::uint64_t root_nic_sends = 0;
+  std::uint64_t broadcast_forwards = 0;
+};
+
+void write_json(const std::string& path, int nodes, int nt,
+                const std::vector<RootArm>& roots, const std::vector<Arm>& arms) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  TTG_REQUIRE(f != nullptr, "cannot open --json output file: " + path);
+  std::fprintf(f, "{\"bench\":\"ablation_broadcast\",\"nodes\":%d,\"nt\":%d,", nodes,
+               nt);
+  std::fprintf(f, "\"root_broadcast\":[");
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const auto& a = roots[i];
+    std::fprintf(f,
+                 "%s\n{\"arm\":\"%s\",\"arity\":%d,\"completion\":%.17g,"
+                 "\"root_nic_busy\":%.17g,\"root_nic_sends\":%llu,"
+                 "\"broadcast_forwards\":%llu}",
+                 i ? "," : "", a.name, a.arity, a.completion, a.root_nic_busy,
+                 static_cast<unsigned long long>(a.root_nic_sends),
+                 static_cast<unsigned long long>(a.broadcast_forwards));
+  }
+  std::fprintf(f, "\n],\"arms\":[");
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const auto& a = arms[i];
+    std::fprintf(
+        f,
+        "%s\n{\"arm\":\"%s\",\"optimized\":%d,\"arity\":%d,\"makespan\":%.17g,"
+        "\"max_nic_busy\":%.17g,\"max_nic_sends\":%llu,\"wire_transfers\":%llu,"
+        "\"messages\":%llu,\"splitmd_sends\":%llu,\"broadcast_forwards\":%llu,"
+        "\"am_batches\":%llu,\"batched_msgs\":%llu}",
+        i ? "," : "", a.name, a.optimized, a.arity, a.makespan, a.max_nic_busy,
+        static_cast<unsigned long long>(a.max_nic_sends),
+        static_cast<unsigned long long>(a.wire_transfers),
+        static_cast<unsigned long long>(a.messages),
+        static_cast<unsigned long long>(a.splitmd_sends),
+        static_cast<unsigned long long>(a.broadcast_forwards),
+        static_cast<unsigned long long>(a.am_batches),
+        static_cast<unsigned long long>(a.batched_msgs));
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  support::Cli cli("ablation_broadcast", "optimized broadcast on/off (POTRF)");
-  cli.option("nodes", "16", "node count");
+  support::Cli cli("ablation_broadcast",
+                   "broadcast routing: per-dependence vs flat vs tree (POTRF)");
+  cli.option("nodes", "64", "node count");
   cli.option("nt", "16", "tiles per dimension (tile 512)");
+  cli.option("json", "", "write all arms as JSON to this path");
   rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const rt::TraceSession trace(cli);
   const int nodes = static_cast<int>(cli.get_int("nodes"));
   const int nt = static_cast<int>(cli.get_int("nt"));
+  const std::string json_path = cli.get("json");
   const auto m = sim::hawk();
 
-  bench::preamble("Ablation: optimized ttg::broadcast", "paper Section II-A, Fig. 2",
+  bench::preamble("Ablation: broadcast routing (per-dependence / flat / tree)",
+                  "paper Section II-A, Fig. 2, + tree-routed collective plane",
                   std::to_string(nodes) + " Hawk nodes, " + std::to_string(nt) +
                       "x" + std::to_string(nt) + " tiles of 512^2");
 
-  auto run = [&](bool optimized) {
+  // --- single-root broadcast: the routing effect undiluted ---
+  auto root_run = [&](const char* name, int arity) {
+    rt::WorldConfig cfg;
+    cfg.machine = m;
+    cfg.nranks = nodes;
+    cfg.broadcast_tree_arity = arity;
+    trace.apply_faults(cfg);
+    rt::World world(cfg);
+    trace.attach(world);
+    Edge<Int1, linalg::Tile> in("in"), out_e("out");
+    const int fanout = nodes - 1;
+    auto tt = make_tt(world,
+                      [fanout](const Int1&, linalg::Tile& t,
+                               std::tuple<Out<Int1, linalg::Tile>>& out) {
+                        std::vector<Int1> keys;
+                        for (int i = 1; i <= fanout; ++i) keys.push_back(Int1{i});
+                        ttg::broadcast<0>(keys, t, out);
+                      },
+                      edges(in), edges(out_e), "root-bcast");
+    tt->set_keymap([](const Int1&) { return 0; });
+    auto sink = make_sink(world, out_e, [](const Int1&, linalg::Tile&) {});
+    sink->set_keymap([nodes](const Int1& k) { return k.i % nodes; });
+    make_graph_executable(*tt);
+    make_graph_executable(*sink);
+    tt->invoke(Int1{0}, linalg::Tile(512, 512));
+    world.fence();
+    RootArm a;
+    a.name = name;
+    a.arity = arity;
+    a.completion = world.engine().now();
+    a.root_nic_busy = world.network().nic_busy(0);
+    a.root_nic_sends = world.network().nic_sends(0);
+    a.broadcast_forwards = world.comm().stats().broadcast_forwards;
+    return a;
+  };
+
+  std::vector<RootArm> roots;
+  roots.push_back(root_run("flat", 0));
+  roots.push_back(root_run("tree-k2", 2));
+  roots.push_back(root_run("tree-k4", 4));
+
+  support::Table rt_table(
+      "single-root broadcast: one 512^2 tile, rank 0 -> all " +
+          std::to_string(nodes - 1) + " others",
+      {"arm", "completion [s]", "root nic busy [s]", "root nic sends", "fwds"});
+  for (const auto& a : roots)
+    rt_table.add_row({a.name, support::fmt(a.completion, 5),
+                      support::fmt(a.root_nic_busy, 5),
+                      std::to_string(a.root_nic_sends),
+                      std::to_string(a.broadcast_forwards)});
+  rt_table.print();
+
+  // --- POTRF: routing under real fan-out traffic ---
+  auto run = [&](const char* name, bool optimized, int arity) {
     auto ghost = linalg::ghost_matrix(512 * nt, 512);
     rt::WorldConfig cfg;
     cfg.machine = m;
     cfg.nranks = nodes;
     cfg.optimized_broadcast = optimized;
+    cfg.broadcast_tree_arity = arity;
     trace.apply_faults(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::cholesky::Options opt;
     opt.collect = false;
     auto res = apps::cholesky::run(world, ghost, opt);
-    trace.finish(world, optimized ? "coalesced" : "per-dependence", res.makespan);
-    const auto& st = world.comm().stats();
-    return std::pair<double, std::uint64_t>(res.makespan,
-                                            st.messages + st.splitmd_sends);
+    trace.finish(world, name, res.makespan);
+    Arm a;
+    a.name = name;
+    a.optimized = optimized ? 1 : 0;
+    a.arity = arity;
+    a.makespan = res.makespan;
+    for (int r = 0; r < nodes; ++r) {
+      a.max_nic_busy = std::max(a.max_nic_busy, world.network().nic_busy(r));
+      a.max_nic_sends = std::max(a.max_nic_sends, world.network().nic_sends(r));
+    }
+    const auto& cs = world.comm().stats();
+    a.wire_transfers = world.network().stats().messages;
+    a.messages = cs.messages;
+    a.splitmd_sends = cs.splitmd_sends;
+    a.broadcast_forwards = cs.broadcast_forwards;
+    a.am_batches = cs.am_batches;
+    a.batched_msgs = cs.batched_msgs;
+    return a;
   };
-  auto [t_on, m_on] = run(true);
-  auto [t_off, m_off] = run(false);
 
-  support::Table t("broadcast ablation", {"variant", "time [s]", "wire transfers"});
-  t.add_row({"optimized (coalesced)", support::fmt(t_on, 4), std::to_string(m_on)});
-  t.add_row({"per-dependence sends", support::fmt(t_off, 4), std::to_string(m_off)});
+  std::vector<Arm> arms;
+  arms.push_back(run("per-dependence", /*optimized=*/false, /*arity=*/0));
+  arms.push_back(run("coalesced-flat", /*optimized=*/true, /*arity=*/0));
+  arms.push_back(run("tree-k2", /*optimized=*/true, /*arity=*/2));
+  arms.push_back(run("tree-k4", /*optimized=*/true, /*arity=*/4));
+
+  support::Table t("broadcast routing ablation",
+                   {"arm", "time [s]", "max nic busy [s]", "max nic sends",
+                    "wire transfers", "fwds", "batches"});
+  for (const auto& a : arms)
+    t.add_row({a.name, support::fmt(a.makespan, 4), support::fmt(a.max_nic_busy, 4),
+               std::to_string(a.max_nic_sends), std::to_string(a.wire_transfers),
+               std::to_string(a.broadcast_forwards), std::to_string(a.am_batches)});
   t.print();
-  std::printf("expected: coalescing sends fewer transfers and is no slower.\n");
+
+  const RootArm& rflat = roots[0];
+  const RootArm& rk4 = roots[2];
+  std::printf(
+      "root broadcast, tree-k4 vs flat: root nic busy %.5fs -> %.5fs (%.1fx "
+      "less), completion %.5fs -> %.5fs (%.2fx)\n",
+      rflat.root_nic_busy, rk4.root_nic_busy,
+      rk4.root_nic_busy > 0 ? rflat.root_nic_busy / rk4.root_nic_busy : 0.0,
+      rflat.completion, rk4.completion,
+      rk4.completion > 0 ? rflat.completion / rk4.completion : 0.0);
+  const Arm& flat = arms[1];
+  const Arm& k4 = arms[3];
+  std::printf(
+      "potrf, tree-k4 vs coalesced-flat: makespan %.4fs -> %.4fs (%.2fx)\n",
+      flat.makespan, k4.makespan,
+      k4.makespan > 0 ? flat.makespan / k4.makespan : 0.0);
+  if (!json_path.empty()) {
+    write_json(json_path, nodes, nt, roots, arms);
+    std::printf("# json: wrote %s (%zu+%zu arms)\n", json_path.c_str(), roots.size(),
+                arms.size());
+  }
+  std::printf(
+      "expected: coalescing beats per-dependence; tree routing then unloads\n"
+      "the broadcast root's NIC (fewer injections per broadcast) and improves\n"
+      "makespan further once fan-outs exceed the arity.\n");
   return 0;
 }

@@ -1,6 +1,10 @@
 // Ablation: split-metadata serialization on vs off (PaRSEC backend).
 // Section II-C introduced splitmd to eliminate serialization copies for
 // contiguous payloads; disabling it forces the whole-object path.
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "apps/fw_apsp/fw_ttg.hpp"
 #include "apps/mra/mra_ttg.hpp"
 #include "bench_common.hpp"
@@ -9,13 +13,42 @@
 
 using namespace ttg;
 
+namespace {
+
+/// One (workload, splitmd on/off) pair's deterministic makespans.
+struct Row {
+  std::string workload;
+  double on = 0.0;   ///< makespan with splitmd
+  double off = 0.0;  ///< makespan forced through the whole-object path
+};
+
+void write_json(const std::string& path, int nodes, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  TTG_REQUIRE(f != nullptr, "cannot open --json output file: " + path);
+  std::fprintf(f, "{\"bench\":\"ablation_splitmd\",\"nodes\":%d,\"rows\":[", nodes);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "%s\n{\"workload\":\"%s\",\"splitmd_on\":%.17g,"
+                 "\"splitmd_off\":%.17g,\"ratio\":%.17g}",
+                 i ? "," : "", r.workload.c_str(), r.on, r.off,
+                 r.on > 0 ? r.off / r.on : 0.0);
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   support::Cli cli("ablation_splitmd", "splitmd on/off on comm-bound workloads");
   cli.option("nodes", "16", "node count");
+  cli.option("json", "", "write both workloads' makespans as JSON to this path");
   rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const rt::TraceSession trace(cli);
   const int nodes = static_cast<int>(cli.get_int("nodes"));
+  const std::string json_path = cli.get("json");
   const auto m = sim::hawk();
 
   bench::preamble("Ablation: split-metadata protocol", "paper Section II-C",
@@ -63,6 +96,12 @@ int main(int argc, char** argv) {
   t.add_row({"MRA k=10 x12 fns", support::fmt(mra_on, 4), support::fmt(mra_off, 4),
              support::fmt(mra_off / mra_on, 2)});
   t.print();
+  if (!json_path.empty()) {
+    const std::vector<Row> rows{{"fw-apsp-4096-128", fw_on, fw_off},
+                                {"mra-k10-12fns", mra_on, mra_off}};
+    write_json(json_path, nodes, rows);
+    std::printf("# json: wrote %s (%zu rows)\n", json_path.c_str(), rows.size());
+  }
   std::printf("expected: ratios >= 1 (splitmd removes copies from the data path).\n");
   return 0;
 }

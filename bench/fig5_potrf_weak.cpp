@@ -34,6 +34,9 @@ struct TtgPoint {
   std::uint64_t splitmd_sends = 0;
   std::uint64_t serializations = 0;   ///< archive passes over payloads
   std::uint64_t serialize_hits = 0;   ///< sends served from the DataCopy cache
+  std::uint64_t broadcast_forwards = 0; ///< tree hops re-injected by interior ranks
+  std::uint64_t am_batches = 0;         ///< coalesced eager-AM flushes
+  std::uint64_t batched_msgs = 0;       ///< member AMs those flushes carried
 };
 
 TtgPoint ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
@@ -62,7 +65,10 @@ TtgPoint ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
                   cs.messages,
                   cs.splitmd_sends,
                   cs.serializations,
-                  cs.serialize_hits};
+                  cs.serialize_hits,
+                  cs.broadcast_forwards,
+                  cs.am_batches,
+                  cs.batched_msgs};
 }
 
 void write_json(const std::string& path, int per_node, int bs,
@@ -78,12 +84,16 @@ void write_json(const std::string& path, int per_node, int bs,
                  "%s\n{\"nodes\":%d,\"matrix\":%d,\"backend\":\"%s\","
                  "\"gflops\":%.17g,\"makespan\":%.17g,\"messages\":%llu,"
                  "\"splitmd_sends\":%llu,\"serializations\":%llu,"
-                 "\"serialize_hits\":%llu}",
+                 "\"serialize_hits\":%llu,\"broadcast_forwards\":%llu,"
+                 "\"am_batches\":%llu,\"batched_msgs\":%llu}",
                  i ? "," : "", p.nodes, p.matrix, p.backend, p.gflops, p.makespan,
                  static_cast<unsigned long long>(p.messages),
                  static_cast<unsigned long long>(p.splitmd_sends),
                  static_cast<unsigned long long>(p.serializations),
-                 static_cast<unsigned long long>(p.serialize_hits));
+                 static_cast<unsigned long long>(p.serialize_hits),
+                 static_cast<unsigned long long>(p.broadcast_forwards),
+                 static_cast<unsigned long long>(p.am_batches),
+                 static_cast<unsigned long long>(p.batched_msgs));
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);

@@ -47,6 +47,25 @@ void BM_EngineEvents(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEvents)->Arg(1024)->Arg(16384);
 
+void BM_EngineCancellableEvents(benchmark::State& state) {
+  // The retransmission-timer pattern: arm a cancellable event per message,
+  // cancel half of them (the acked ones), drain the rest. Exercises the
+  // pooled cancel slots and the heap's skip-without-advancing path.
+  for (auto _ : state) {
+    sim::Engine e;
+    const int n = static_cast<int>(state.range(0));
+    std::vector<sim::Engine::CancelToken> tokens;
+    tokens.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      tokens.push_back(e.at_cancellable(static_cast<double>(i), [] {}));
+    for (int i = 0; i < n; i += 2) sim::Engine::cancel(tokens[static_cast<std::size_t>(i)]);
+    e.run();
+    benchmark::DoNotOptimize(e.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EngineCancellableEvents)->Arg(1024)->Arg(16384);
+
 void BM_SchedulerThroughput(benchmark::State& state) {
   for (auto _ : state) {
     rt::WorldConfig cfg;

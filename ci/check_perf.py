@@ -54,9 +54,12 @@ def main():
 
     # Counters gated exactly: any drift is a protocol/copy-semantics change,
     # not noise. serializations/serialize_hits come from the DataCopy layer
-    # (archive passes vs. serialized-buffer cache reuses).
+    # (archive passes vs. serialized-buffer cache reuses);
+    # broadcast_forwards/am_batches/batched_msgs from the collective data
+    # plane (tree hops re-injected by interior ranks, coalesced AM flushes).
     exact_fields = ("messages", "splitmd_sends", "serializations",
-                    "serialize_hits")
+                    "serialize_hits", "broadcast_forwards", "am_batches",
+                    "batched_msgs")
 
     failures = []
     print(f"{'nodes':>5} {'backend':>8} {'baseline[s]':>14} {'current[s]':>14} "

@@ -9,6 +9,7 @@ Network::Network(sim::Engine& engine, const sim::MachineModel& machine, int nran
   TTG_CHECK(nranks >= 1, "network needs at least one rank");
   send_nic_.reserve(static_cast<std::size_t>(nranks));
   recv_nic_.reserve(static_cast<std::size_t>(nranks));
+  nic_sends_.assign(static_cast<std::size_t>(nranks), 0);
   for (int r = 0; r < nranks; ++r) {
     send_nic_.push_back(
         std::make_unique<sim::FifoResource>(engine, "snic" + std::to_string(r)));
@@ -42,6 +43,7 @@ void Network::transfer(int src, int dst, std::size_t nbytes,
                        std::function<void()> on_delivered) {
   stats_.messages += 1;
   stats_.bytes += nbytes;
+  nic_sends_[static_cast<std::size_t>(src)] += 1;
   double latency = machine_.net_latency;
   double wire = machine_.wire_time(nbytes);
   int deliveries = 1;

@@ -102,6 +102,13 @@ class Network {
   /// Busy time of rank r's send NIC (utilization accounting for benches).
   [[nodiscard]] sim::Time nic_busy(int rank) const { return send_nic_[rank]->busy_time(); }
 
+  /// Number of transfers rank r's send NIC injected (payload + control).
+  /// The tree-broadcast tests and ablation use this to show the root's
+  /// injection count dropping from O(R) to O(arity) per broadcast.
+  [[nodiscard]] std::uint64_t nic_sends(int rank) const {
+    return nic_sends_[static_cast<std::size_t>(rank)];
+  }
+
  private:
   /// Charge one payload transfer src->dst through NICs (+ bisection when
   /// the endpoints are in different halves), then fire `on_delivered`.
@@ -113,6 +120,7 @@ class Network {
   sim::MachineModel machine_;
   std::vector<std::unique_ptr<sim::FifoResource>> send_nic_;
   std::vector<std::unique_ptr<sim::FifoResource>> recv_nic_;
+  std::vector<std::uint64_t> nic_sends_;  ///< transfers injected per rank
   std::unique_ptr<sim::FifoResource> bisection_;
   double bisection_bw_ = 0.0;
   NetStats stats_;

@@ -1,0 +1,96 @@
+// Tree-shape helpers plus the CommEngine collective data plane shared by
+// both backends: the logical send_message wrapper and the eager-AM
+// coalescer (flush-window batching of small same-destination AMs into one
+// wire transfer).
+#include "runtime/collective.hpp"
+
+#include <utility>
+
+#include "runtime/comm.hpp"
+#include "sim/engine.hpp"
+
+namespace ttg::rt::collective {
+
+std::vector<int> tree_children(int pos, int nmembers, int arity) {
+  if (arity < 1) arity = 1;
+  std::vector<int> out;
+  const long first = static_cast<long>(pos) * arity + 1;
+  for (long c = first; c < first + arity && c <= nmembers; ++c)
+    out.push_back(static_cast<int>(c));
+  return out;
+}
+
+std::vector<int> tree_subtree(int pos, int nmembers, int arity) {
+  std::vector<int> out;
+  std::vector<int> stack{pos};
+  while (!stack.empty()) {
+    const int p = stack.back();
+    stack.pop_back();
+    if (p > 0) out.push_back(p);
+    const auto kids = tree_children(p, nmembers, arity);
+    // Reverse push so preorder comes out left-to-right.
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+int tree_subtree_size(int pos, int nmembers, int arity) {
+  return static_cast<int>(tree_subtree(pos, nmembers, arity).size());
+}
+
+int tree_depth(int nmembers, int arity) {
+  if (arity < 1) arity = 1;
+  int depth = 0;
+  // The deepest position is nmembers; walk parents back to the root.
+  for (long p = nmembers; p > 0; p = (p - 1) / arity) ++depth;
+  return depth;
+}
+
+}  // namespace ttg::rt::collective
+
+namespace ttg::rt {
+
+void CommEngine::send_message(int src, int dst, std::size_t wire_bytes,
+                              std::function<void()> deliver) {
+  stats_.messages += 1;
+  if (flush_engine_ != nullptr && collective_.am_flush_window > 0.0 &&
+      wire_bytes <= kAmCoalesceMaxBytes && src != dst) {
+    AmBatch& b = batches_[{src, dst}];
+    if (b.window_open) {
+      b.bytes += wire_bytes;
+      b.delivers.push_back(std::move(deliver));
+      return;
+    }
+    // First AM of a burst ships immediately (no added latency) and opens
+    // the window that catches followers to the same destination.
+    b.window_open = true;
+    flush_engine_->after(collective_.am_flush_window,
+                         [this, src, dst]() { flush_batch(src, dst); });
+  }
+  wire_send(src, dst, wire_bytes, std::move(deliver));
+}
+
+void CommEngine::flush_batch(int src, int dst) {
+  const auto it = batches_.find({src, dst});
+  if (it == batches_.end()) return;
+  AmBatch b = std::move(it->second);
+  it->second = AmBatch{};  // window closed, queue empty
+  if (b.delivers.empty()) return;
+  if (b.delivers.size() == 1) {
+    // A lone follower is just a plain (slightly delayed) send.
+    wire_send(src, dst, b.bytes, std::move(b.delivers.front()));
+    return;
+  }
+  stats_.am_batches += 1;
+  stats_.batched_msgs += b.delivers.size();
+  if (tracer_ != nullptr) tracer_->record_am_batch(src, b.delivers.size());
+  // One wire transfer, one receive-side AM handling charge, one ack under
+  // resilience; the member AMs deliver in their send order.
+  const std::size_t total =
+      b.bytes + b.delivers.size() * kAmBatchHeaderBytes;
+  wire_send(src, dst, total, [delivers = std::move(b.delivers)]() {
+    for (const auto& d : delivers) d();
+  });
+}
+
+}  // namespace ttg::rt

@@ -1,0 +1,40 @@
+// Collective routing: spanning-tree shape helpers for tree-routed
+// broadcasts (paper Section II-A's optimized ttg::broadcast, extended the
+// way TaskTorrent and Specx route one-to-many dataflow through intermediate
+// ranks).
+//
+// A coalesced broadcast to M remote destinations is laid out as a
+// heap-shaped k-ary tree over *positions* 0..M: position 0 is the sender
+// (root), positions 1..M are the destinations in ascending-rank order (the
+// order the terminal's per-destination map yields, so the shape is a pure
+// function of the member set and the arity — deterministic and
+// reproducible). The children of position p are positions k*p+1 .. k*p+k,
+// clipped to M; with M <= k the tree degenerates to the flat root-to-all
+// pattern bit-identically.
+//
+// These are pure functions so tests can pin the shape down without running
+// a world.
+#pragma once
+
+#include <vector>
+
+namespace ttg::rt::collective {
+
+/// Child positions of `pos` in the heap-shaped k-ary tree over positions
+/// 0..nmembers (position 0 = root/sender). `arity` < 1 is treated as 1.
+[[nodiscard]] std::vector<int> tree_children(int pos, int nmembers, int arity);
+
+/// All member positions in the subtree rooted at `pos` (including `pos`
+/// itself when > 0), in deterministic preorder. For pos == 0 this is every
+/// member 1..nmembers.
+[[nodiscard]] std::vector<int> tree_subtree(int pos, int nmembers, int arity);
+
+/// Number of members in the subtree rooted at `pos` (pos itself included
+/// when > 0).
+[[nodiscard]] int tree_subtree_size(int pos, int nmembers, int arity);
+
+/// Depth of the deepest member (root = depth 0): the number of serial hops
+/// a tree broadcast takes — O(log_k M).
+[[nodiscard]] int tree_depth(int nmembers, int arity);
+
+}  // namespace ttg::rt::collective

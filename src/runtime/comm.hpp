@@ -20,7 +20,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "runtime/trace.hpp"
 #include "serialization/traits.hpp"
@@ -46,6 +49,10 @@ struct CommStats {
   // --- data-lifecycle layer (DataCopy serialized-buffer cache) ---
   std::uint64_t serializations = 0;   ///< archive passes over payload values
   std::uint64_t serialize_hits = 0;   ///< sends served from the cached buffer
+  // --- collective data plane (tree-routed broadcast + AM coalescing) ---
+  std::uint64_t broadcast_forwards = 0;  ///< interior-hop store-and-forwards
+  std::uint64_t am_batches = 0;          ///< wire transfers carrying >=2 AMs
+  std::uint64_t batched_msgs = 0;        ///< AMs that rode inside batches
   // --- graceful-degradation accounting (resilience layer; all zero on a
   // --- perfect fabric or when the plan carries no loss faults) ---
   std::uint64_t retries = 0;          ///< retransmissions after ack timeout
@@ -75,6 +82,36 @@ struct CopyPolicy {
   bool zero_copy_local = false;
   bool serialize_once = false;
 };
+
+/// A backend's collective-routing semantics, declared per backend like
+/// CopyPolicy (the paper's asymmetry: PaRSEC's comm layer is engineered,
+/// MADNESS ships everything point-to-point through one AM server):
+///
+///   tree_arity      — >= 2 routes a coalesced broadcast along a
+///                     deterministic k-ary spanning tree rooted at the
+///                     sender, interior ranks store-and-forwarding the
+///                     pinned serialized block; 0 or 1 means flat
+///                     root-to-all point-to-point sends.
+///   am_flush_window — > 0 batches small AMs (control messages and payloads
+///                     up to kAmCoalesceMaxBytes) bound for the same
+///                     destination within this window of virtual seconds
+///                     into one wire transfer; <= 0 disables coalescing.
+///
+/// WorldConfig can override either knob for ablation runs
+/// (bench/ablation_broadcast).
+struct CollectivePolicy {
+  int tree_arity = 0;
+  double am_flush_window = 0.0;
+};
+
+/// AMs at or below this wire size are eligible for flush-window coalescing;
+/// bulk payloads always go out as their own transfer.
+inline constexpr std::size_t kAmCoalesceMaxBytes = 4096;
+/// Per-AM framing overhead inside a coalesced batch (offset + length).
+inline constexpr std::size_t kAmBatchHeaderBytes = 16;
+/// Per-subtree routing header a tree-broadcast hop carries for each member
+/// beyond the receiver itself (child rank + key-list length).
+inline constexpr std::size_t kTreeHopHeaderBytes = 16;
 
 /// Backend communication engine: ships already-serialized payloads between
 /// simulated ranks and charges the CPU/NIC costs its real counterpart pays.
@@ -112,6 +149,19 @@ class CommEngine {
   /// True if whole-object sends reuse the DataCopy's cached serialized form.
   [[nodiscard]] bool serialize_once() const { return policy_.serialize_once; }
 
+  /// The backend's native collective-routing semantics (see CollectivePolicy).
+  [[nodiscard]] virtual CollectivePolicy default_collective() const = 0;
+
+  /// The collective policy in effect: the backend default, possibly
+  /// overridden per knob by configure_collective (negative keeps the
+  /// default; arity 0/1 forces flat, window 0 disables coalescing).
+  [[nodiscard]] const CollectivePolicy& collective() const { return collective_; }
+  void configure_collective(int arity_override, double window_override) {
+    collective_ = default_collective();
+    if (arity_override >= 0) collective_.tree_arity = arity_override;
+    if (window_override >= 0.0) collective_.am_flush_window = window_override;
+  }
+
   /// CPU seconds the *sender* pays to stage `bytes` for the wire under the
   /// given protocol (serialization copies). Charged on the sending worker.
   [[nodiscard]] virtual double send_side_cpu(std::size_t bytes, ser::Protocol p) const = 0;
@@ -130,9 +180,12 @@ class CommEngine {
 
   /// Ship a whole-object message of `wire_bytes`; at the destination, charge
   /// receive-side processing (AM handling + deserialization copy) on the
-  /// backend's message-processing resource, then invoke `deliver`.
-  virtual void send_message(int src, int dst, std::size_t wire_bytes,
-                            std::function<void()> deliver) = 0;
+  /// backend's message-processing resource, then invoke `deliver`. Counts
+  /// one *logical* message regardless of routing; when the collective
+  /// policy's flush window is open, small AMs to the same destination may
+  /// ride the wire together as one coalesced transfer (see flush_batch).
+  void send_message(int src, int dst, std::size_t wire_bytes,
+                    std::function<void()> deliver);
 
   /// Split-metadata transfer: eager metadata of `md_bytes`, then a one-sided
   /// fetch of `payload_bytes`. `on_metadata` runs at dst when the metadata
@@ -175,10 +228,35 @@ class CommEngine {
   void make_reliable(sim::Engine& engine, net::Network& network,
                      const sim::FaultPlan& plan);
 
+  /// One wire transfer: the engine-specific transport behind send_message.
+  /// Exactly what the old virtual send_message did, minus the logical
+  /// message count (kept in the wrapper so coalescing cannot change it).
+  virtual void wire_send(int src, int dst, std::size_t wire_bytes,
+                         std::function<void()> deliver) = 0;
+
+  /// Derived ctors hand the base their engine so flush-window timers can be
+  /// armed; without it (or with window <= 0) every AM ships immediately.
+  void set_flush_engine(sim::Engine& engine) { flush_engine_ = &engine; }
+
   CommStats stats_;
   CopyPolicy policy_;  ///< set by configure_policy (World) / derived ctors
+  CollectivePolicy collective_;  ///< set by configure_collective / derived ctors
   Tracer* tracer_ = nullptr;
   std::unique_ptr<ReliableLink> reliable_;
+
+ private:
+  /// Pending coalesced AMs for one (src, dst) pair. The first AM of a burst
+  /// ships immediately and opens the window; followers queue here until the
+  /// window expires and flush_batch ships them as one transfer.
+  struct AmBatch {
+    bool window_open = false;
+    std::size_t bytes = 0;  ///< summed wire bytes of the queued AMs
+    std::vector<std::function<void()>> delivers;
+  };
+  void flush_batch(int src, int dst);
+
+  std::map<std::pair<int, int>, AmBatch> batches_;
+  sim::Engine* flush_engine_ = nullptr;
 };
 
 }  // namespace ttg::rt

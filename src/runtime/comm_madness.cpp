@@ -25,6 +25,8 @@ MadnessComm::MadnessComm(sim::Engine& engine, net::Network& network, double am_c
       task_overhead_(task_overhead_override >= 0 ? task_overhead_override
                                                  : kMadnessTaskOverhead) {
   policy_ = default_policy();
+  collective_ = default_collective();
+  set_flush_engine(engine);
   am_server_.reserve(static_cast<std::size_t>(network.nranks()));
   for (int r = 0; r < network.nranks(); ++r) {
     am_server_.push_back(
@@ -43,9 +45,8 @@ void MadnessComm::enable_resilience(const sim::FaultPlan& plan) {
   make_reliable(engine_, network_, plan);
 }
 
-void MadnessComm::send_message(int src, int dst, std::size_t wire_bytes,
-                               std::function<void()> deliver) {
-  stats_.messages += 1;
+void MadnessComm::wire_send(int src, int dst, std::size_t wire_bytes,
+                            std::function<void()> deliver) {
   auto handle = [this, dst, wire_bytes, deliver = std::move(deliver)]() mutable {
     // Everything funnels through the single AM server thread: RMI dispatch
     // plus the buffer -> object deserialization copy.

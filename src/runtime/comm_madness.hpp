@@ -35,6 +35,12 @@ class MadnessComm final : public CommEngine {
     return {/*zero_copy_local=*/false, /*serialize_once=*/false};
   }
 
+  // MADNESS ships broadcasts flat (point-to-point per destination) and does
+  // not batch AMs — the paper's asymmetry the ablations quantify.
+  [[nodiscard]] CollectivePolicy default_collective() const override {
+    return {/*tree_arity=*/0, /*am_flush_window=*/0.0};
+  }
+
   [[nodiscard]] double send_side_cpu(std::size_t bytes, ser::Protocol p) const override;
   [[nodiscard]] double per_message_cpu() const override { return am_cpu_; }
 
@@ -44,9 +50,6 @@ class MadnessComm final : public CommEngine {
   [[nodiscard]] int send_copies(ser::Protocol) const override { return 1; }
   [[nodiscard]] int recv_copies(ser::Protocol) const override { return 1; }
 
-  void send_message(int src, int dst, std::size_t wire_bytes,
-                    std::function<void()> deliver) override;
-
   void send_splitmd(int, int, std::size_t, std::size_t, std::function<void()>,
                     std::function<void()>, std::function<void()>) override {
     TTG_CHECK(false, "MADNESS backend has no splitmd support");
@@ -55,6 +58,10 @@ class MadnessComm final : public CommEngine {
   /// Whole-send (rendezvous) retry: a lost RTS/CTS/payload leg times out
   /// and the entire handshake is replayed.
   void enable_resilience(const sim::FaultPlan& plan) override;
+
+ protected:
+  void wire_send(int src, int dst, std::size_t wire_bytes,
+                 std::function<void()> deliver) override;
 
  private:
   sim::Engine& engine_;

@@ -22,6 +22,8 @@ ParsecComm::ParsecComm(sim::Engine& engine, net::Network& network, double am_cpu
                                                  : kParsecTaskOverhead),
       enable_splitmd_(enable_splitmd) {
   policy_ = default_policy();
+  collective_ = default_collective();
+  set_flush_engine(engine);
   comm_thread_.reserve(static_cast<std::size_t>(network.nranks()));
   for (int r = 0; r < network.nranks(); ++r) {
     comm_thread_.push_back(
@@ -62,9 +64,8 @@ void ParsecComm::enable_resilience(const sim::FaultPlan& plan) {
   make_reliable(engine_, network_, plan);
 }
 
-void ParsecComm::send_message(int src, int dst, std::size_t wire_bytes,
-                              std::function<void()> deliver) {
-  stats_.messages += 1;
+void ParsecComm::wire_send(int src, int dst, std::size_t wire_bytes,
+                           std::function<void()> deliver) {
   auto handle = [this, dst, wire_bytes, deliver = std::move(deliver)]() mutable {
     const double service = am_cpu_ + network_.machine().copy_time(wire_bytes);
     process_incoming(dst, service, std::move(deliver));

@@ -32,6 +32,12 @@ class ParsecComm final : public CommEngine {
     return {/*zero_copy_local=*/true, /*serialize_once=*/true};
   }
 
+  // PaRSEC's engineered comm layer routes wide broadcasts down a 4-ary
+  // spanning tree and coalesces same-destination AMs within a 1 us window.
+  [[nodiscard]] CollectivePolicy default_collective() const override {
+    return {/*tree_arity=*/4, /*am_flush_window=*/1.0e-6};
+  }
+
   [[nodiscard]] double send_side_cpu(std::size_t bytes, ser::Protocol p) const override;
   [[nodiscard]] double per_message_cpu() const override { return am_cpu_; }
 
@@ -46,15 +52,16 @@ class ParsecComm final : public CommEngine {
     return p == ser::Protocol::SplitMetadata ? 0 : 1;
   }
 
-  void send_message(int src, int dst, std::size_t wire_bytes,
-                    std::function<void()> deliver) override;
-
   void send_splitmd(int src, int dst, std::size_t md_bytes, std::size_t payload_bytes,
                     std::function<void()> on_metadata, std::function<void()> on_payload,
                     std::function<void()> on_release) override;
 
   /// Ack/retry for active messages, re-fetch for splitmd RMA payloads.
   void enable_resilience(const sim::FaultPlan& plan) override;
+
+ protected:
+  void wire_send(int src, int dst, std::size_t wire_bytes,
+                 std::function<void()> deliver) override;
 
  private:
   /// Receive-side AM handling + delivery, shared by both send paths.

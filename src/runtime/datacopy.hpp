@@ -158,6 +158,21 @@ class DataCopy {
     return b.cache;
   }
 
+  /// Account an interior-hop forward of the serialized form (tree-routed
+  /// broadcast): the forwarding rank re-injects the already-built buffer it
+  /// received, so the send is by construction a cache reuse — never an
+  /// archive pass — regardless of the serialize-once policy. Attributed to
+  /// the owning rank like every other cache event, keeping flat and tree
+  /// routing's serialization totals identical (serializations +
+  /// serialize_hits == remote destinations either way).
+  void record_forward_hit() const {
+    TTG_CHECK(b_ != nullptr, "record_forward_hit() on an empty DataCopy");
+    Block& b = *b_;
+    b.comm->mutable_stats().serialize_hits += 1;
+    b.tracker->on_serialize(b.owner, /*cache_hit=*/true);
+    if (b.tracer != nullptr) b.tracer->record_serialization(b.owner, true);
+  }
+
   /// Type-erased ownership share, e.g. for pinning the block (and its
   /// cached buffer) inside the comm layer across retransmissions.
   [[nodiscard]] std::shared_ptr<const void> pin() const { return b_; }

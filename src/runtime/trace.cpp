@@ -43,6 +43,9 @@ CommCounters Tracer::totals() const {
     t.data_releases += c.data_releases;
     t.payload_serializations += c.payload_serializations;
     t.serialize_cache_hits += c.serialize_cache_hits;
+    t.broadcast_forwards += c.broadcast_forwards;
+    t.am_batches += c.am_batches;
+    t.batched_msgs += c.batched_msgs;
     t.charged_cpu += c.charged_cpu;
     t.server_wait += c.server_wait;
     t.server_busy += c.server_busy;
@@ -284,6 +287,19 @@ support::Table Tracer::breakdown_table(double makespan) const {
                std::to_string(c.msg_sends), std::to_string(c.msg_recvs),
                std::to_string(c.bytes_sent), std::to_string(c.bytes_received),
                std::to_string(c.serialization_copies), support::fmt(c.server_wait, 6)});
+  }
+  return t;
+}
+
+support::Table Tracer::forwarding_table() const {
+  support::Table t("collective data plane (tree forwards + AM coalescing)",
+                   {"rank", "fwd sends", "am batches", "batched msgs", "msg sends"});
+  for (int r = 0; r < static_cast<int>(counters_.size()); ++r) {
+    const auto& c = counters_[static_cast<std::size_t>(r)];
+    if (c.broadcast_forwards == 0 && c.am_batches == 0) continue;
+    t.add_row({std::to_string(r), std::to_string(c.broadcast_forwards),
+               std::to_string(c.am_batches), std::to_string(c.batched_msgs),
+               std::to_string(c.msg_sends)});
   }
   return t;
 }

@@ -28,6 +28,7 @@
 // byte-identical traces.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -129,6 +130,10 @@ struct CommCounters {
   std::uint64_t data_releases = 0;   ///< blocks whose refcount returned to zero
   std::uint64_t payload_serializations = 0;  ///< archive passes over payloads
   std::uint64_t serialize_cache_hits = 0;    ///< sends reusing the cached buffer
+  // --- collective data plane (tree-routed broadcast + AM coalescing) ---
+  std::uint64_t broadcast_forwards = 0;  ///< tree hops forwarded from this rank
+  std::uint64_t am_batches = 0;          ///< coalesced wire transfers issued
+  std::uint64_t batched_msgs = 0;        ///< AMs that rode inside those batches
   double charged_cpu = 0.0;   ///< CPU charged inside task bodies (send copies)
   double server_wait = 0.0;   ///< queueing on the comm/AM server thread
   double server_busy = 0.0;   ///< service time on the comm/AM server thread
@@ -213,6 +218,23 @@ class Tracer {
     auto& c = counters(rank);
     (cache_hit ? c.serialize_cache_hits : c.payload_serializations) += 1;
   }
+
+  // --- recording: collective data plane ---
+
+  /// An interior rank of a broadcast spanning tree re-injected the pinned
+  /// serialized block toward one child.
+  void record_forward(int rank) { counters(rank).broadcast_forwards += 1; }
+  /// `n` small AMs bound for the same destination left `rank` as one
+  /// coalesced wire transfer.
+  void record_am_batch(int rank, std::size_t n) {
+    auto& c = counters(rank);
+    c.am_batches += 1;
+    c.batched_msgs += static_cast<std::uint64_t>(n);
+  }
+
+  /// Per-rank collective data-plane table (tree forwards + AM batches) for
+  /// --trace-summary; rows only for ranks with non-zero activity.
+  [[nodiscard]] support::Table forwarding_table() const;
 
   // --- recording: backend comm engines ---
 

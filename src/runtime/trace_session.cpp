@@ -61,6 +61,9 @@ void TraceSession::finish(World& world, const std::string& label,
     const double span = makespan >= 0.0 ? makespan : world.engine().now();
     std::printf("%s\n", tracer.breakdown_table(span).str().c_str());
     std::printf("%s\n", world.data_tracker().memory_table().str().c_str());
+    const auto totals = tracer.totals();
+    if (totals.broadcast_forwards > 0 || totals.am_batches > 0)
+      std::printf("%s\n", tracer.forwarding_table().str().c_str());
     std::printf("%s\n", tracer.critical_path_report().c_str());
     if (world.config().faults.enabled()) {
       std::printf("# faults: %s\n", world.config().faults.describe().c_str());

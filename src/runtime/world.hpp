@@ -43,6 +43,10 @@ struct WorldConfig {
   // -1 = backend default, 0/1 = force off/on.
   int zero_copy_local = -1;   ///< share vs copy local const-ref sends
   int serialize_once = -1;    ///< cache a broadcast's serialized form
+  // Collective-routing CollectivePolicy overrides (bench/ablation_broadcast):
+  // negative = backend default.
+  int broadcast_tree_arity = -1;  ///< 0/1 = flat, k >= 2 = k-ary spanning tree
+  double am_flush_window = -1.0;  ///< 0 = no coalescing, > 0 = window [s]
   double task_overhead_override = -1.0;  ///< <0 → backend default
   double am_cpu_factor = 1.0;  ///< scales per-message CPU (Chameleon-like profile)
   sim::FaultPlan faults;       ///< fault-injection plan; default-constructed = off

@@ -1,27 +1,64 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace ttg::sim {
 
+void Engine::push(Time t, std::function<void()> fn, CancelSlot* slot,
+                  std::uint32_t gen) {
+  queue_.push_back(Event{t, next_seq_++, std::move(fn), slot, gen});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+}
+
+Engine::Event Engine::pop_front() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
+}
+
+CancelSlot* Engine::acquire_slot() {
+  if (!free_slots_.empty()) {
+    CancelSlot* s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return &slots_.back();
+}
+
 void Engine::at(Time t, std::function<void()> fn) {
   TTG_CHECK(t >= now_, "event scheduled in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn), nullptr});
+  push(t, std::move(fn), nullptr, 0);
 }
 
 Engine::CancelToken Engine::at_cancellable(Time t, std::function<void()> fn) {
   TTG_CHECK(t >= now_, "event scheduled in the past");
-  auto token = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, std::move(fn), token});
-  return token;
+  CancelSlot* slot = acquire_slot();
+  push(t, std::move(fn), slot, slot->gen);
+  return CancelToken{slot, slot->gen};
+}
+
+void Engine::cancel(const CancelToken& token) {
+  // A stale token (its event already popped, slot recycled under a newer
+  // generation) must be a no-op: the slot now guards someone else's event.
+  if (token.slot != nullptr && token.slot->gen == token.gen)
+    token.slot->cancelled = true;
 }
 
 Time Engine::run() {
   while (!queue_.empty()) {
-    // Move out of the queue before popping: fn may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (ev.cancelled && *ev.cancelled) continue;  // as if never scheduled
+    Event ev = pop_front();
+    if (ev.slot != nullptr) {
+      const bool skip = ev.slot->cancelled;
+      // Retire the slot: bump the generation so outstanding tokens go stale,
+      // then return it to the pool for the next at_cancellable.
+      ev.slot->gen += 1;
+      ev.slot->cancelled = false;
+      free_slots_.push_back(ev.slot);
+      if (skip) continue;  // as if never scheduled
+    }
     now_ = ev.time;
     ++processed_;
     ev.fn();
@@ -31,9 +68,14 @@ Time Engine::run() {
 
 Time Engine::run_until(const std::function<bool()>& pred) {
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (ev.cancelled && *ev.cancelled) continue;
+    Event ev = pop_front();
+    if (ev.slot != nullptr) {
+      const bool skip = ev.slot->cancelled;
+      ev.slot->gen += 1;
+      ev.slot->cancelled = false;
+      free_slots_.push_back(ev.slot);
+      if (skip) continue;
+    }
     now_ = ev.time;
     ++processed_;
     ev.fn();

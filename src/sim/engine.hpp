@@ -7,12 +7,17 @@
 // bodies execute real C++ code while their *duration* is charged to the
 // virtual clock from a calibrated cost model. Events at equal times are
 // ordered by insertion sequence, making every run bit-reproducible.
+//
+// Hot-path engineering: the queue is a binary heap over a reserved vector
+// (no node allocations, events move -- never copy -- on pop), and
+// cancellable events borrow a pooled cancel slot instead of allocating a
+// shared_ptr flag per timer, so arming and cancelling retransmission
+// timeouts is allocation-free at steady state.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "support/error.hpp"
@@ -22,11 +27,18 @@ namespace ttg::sim {
 /// Virtual time in seconds.
 using Time = double;
 
+/// Pooled cancellation flag for one armed cancellable event. The generation
+/// stamp invalidates tokens left over from a previous occupancy of the slot.
+struct CancelSlot {
+  std::uint32_t gen = 0;
+  bool cancelled = false;
+};
+
 /// The event queue + virtual clock. One Engine underlies one simulated
 /// cluster run; all runtimes, networks, and BSP executors schedule on it.
 class Engine {
  public:
-  Engine() = default;
+  Engine() { queue_.reserve(kInitialQueueCapacity); }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -39,8 +51,14 @@ class Engine {
   /// Schedule `fn` `dt` seconds from now.
   void after(Time dt, std::function<void()> fn) { at(now_ + dt, std::move(fn)); }
 
-  /// Handle to a cancellable event (see at_cancellable).
-  using CancelToken = std::shared_ptr<bool>;
+  /// Handle to a cancellable event (see at_cancellable). Tokens refer to a
+  /// pooled slot plus a generation stamp: cancelling a stale token (whose
+  /// event already ran and returned the slot to the pool) is a safe no-op.
+  struct CancelToken {
+    CancelSlot* slot = nullptr;
+    std::uint32_t gen = 0;
+    [[nodiscard]] explicit operator bool() const { return slot != nullptr; }
+  };
 
   /// Schedule `fn` like at(), returning a token that can cancel it. A
   /// cancelled event behaves as if it were never scheduled: it does not run,
@@ -51,9 +69,7 @@ class Engine {
   CancelToken after_cancellable(Time dt, std::function<void()> fn) {
     return at_cancellable(now_ + dt, std::move(fn));
   }
-  static void cancel(const CancelToken& token) {
-    if (token) *token = true;
-  }
+  static void cancel(const CancelToken& token);
 
   /// Run until the event queue is empty. Returns the final virtual time,
   /// i.e. the makespan of everything scheduled.
@@ -68,12 +84,18 @@ class Engine {
   /// True if no pending events remain.
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
+  /// Cancel slots currently on the free list (for tests of the pool).
+  [[nodiscard]] std::size_t pooled_cancel_slots() const { return free_slots_.size(); }
+
  private:
+  static constexpr std::size_t kInitialQueueCapacity = 1024;
+
   struct Event {
-    Time time;
-    std::uint64_t seq;  // tie-break: FIFO among simultaneous events
+    Time time = 0.0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among simultaneous events
     std::function<void()> fn;
-    CancelToken cancelled;  // null for ordinary (non-cancellable) events
+    CancelSlot* slot = nullptr;  // null for ordinary (non-cancellable) events
+    std::uint32_t gen = 0;       // generation the slot had when this event armed
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -82,10 +104,19 @@ class Engine {
     }
   };
 
+  void push(Time t, std::function<void()> fn, CancelSlot* slot, std::uint32_t gen);
+  /// Pop the earliest event off the heap (moved out, never copied).
+  Event pop_front();
+  CancelSlot* acquire_slot();
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> queue_;  // binary heap ordered by Later
+  // Cancel-slot pool: deque gives stable addresses for outstanding tokens;
+  // slots recycle through free_slots_ when their event pops.
+  std::deque<CancelSlot> slots_;
+  std::vector<CancelSlot*> free_slots_;
 };
 
 }  // namespace ttg::sim

@@ -14,6 +14,14 @@
 //     coalesced into a single message carrying the key list (the optimized
 //     ttg::broadcast the paper introduced) unless the world was configured
 //     with optimized_broadcast = false (the ablation / Chameleon profile).
+//   * when the consumer backend's CollectivePolicy declares a tree arity
+//     (PaRSEC), a coalesced broadcast reaching several remote ranks is
+//     routed down a deterministic k-ary spanning tree rooted at the sender:
+//     interior ranks store-and-forward the pinned serialized DataCopy block
+//     to their children (no deserialize/reserialize on interior hops) while
+//     delivering locally, so the root injects O(arity) transfers instead of
+//     O(R). With <= arity destinations the tree degenerates to the flat
+//     pattern bit-identically.
 #pragma once
 
 #include <cstring>
@@ -21,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/collective.hpp"
 #include "runtime/datacopy.hpp"
 #include "serialization/traits.hpp"
 #include "ttg/edge.hpp"
@@ -151,6 +160,12 @@ class Out {
               w.machine().copy_time(detail::local_copy_bytes(*payload)));
         }
         sink->put_local(k, *payload);
+      }
+      if (coalesce && comm.collective().tree_arity >= 2 && remote.size() >= 2) {
+        // Several remote ranks + a routing backend: ship down the spanning
+        // tree. (A single remote rank is a plain point-to-point send.)
+        send_tree(sink, me, remote, shared());
+        continue;
       }
       for (auto& [dst, ks] : remote) {
         const rt::DataCopy<Value>& dc = shared();
@@ -299,6 +314,312 @@ class Out {
           },
           /*on_release=*/[data]() { /* dropping the handle releases the source */ });
     });
+  }
+
+  // ------------------------------------------------------------------
+  // Tree-routed broadcast (collective data plane).
+  //
+  // Destinations are laid out as a heap-shaped k-ary tree over positions
+  // 0..M (position 0 = sender, members 1..M in ascending-rank order; see
+  // runtime/collective.hpp). The shared TreeState pins the DataCopy block
+  // and carries every member's serialized key list, built once at the
+  // root; each hop's wire payload is the value buffer plus the key lists
+  // of the receiver's whole subtree, so a leaf hop carries exactly the
+  // bytes of the equivalent flat message. Interior ranks re-inject the
+  // pinned block toward their children (a serialize-cache reuse, never an
+  // archive pass) before delivering locally; each hop is an ordinary
+  // payload send, so ReliableLink acks/retransmits protect every edge.
+  // ------------------------------------------------------------------
+
+  /// Shared state of one whole-object tree broadcast.
+  struct WireTreeState {
+    struct Member {
+      int rank = 0;
+      std::shared_ptr<const std::vector<std::byte>> kbuf;  ///< serialized keys
+    };
+    rt::World* world = nullptr;
+    InTerminalBase<Key, Value>* sink = nullptr;
+    int arity = 2;
+    std::vector<Member> members;  ///< tree position p -> members[p-1]
+    rt::DataCopy<Value> data;     ///< pins the block (and cached buffer)
+    std::shared_ptr<const std::vector<std::byte>> vbuf;  ///< serialized value
+  };
+
+  /// Protocol label for tree/flat whole-object sends (splitmd-capable types
+  /// downgrade when the backend routes them through the archive path).
+  static constexpr ser::Protocol tree_proto() {
+    return ser::protocol_for<Value>() == ser::Protocol::SplitMetadata
+               ? ser::Protocol::Archive
+               : ser::protocol_for<Value>();
+  }
+
+  /// Wire bytes of the hop delivering subtree `pos`: the value buffer, the
+  /// key lists of every member in the subtree, and a routing header per
+  /// forwarded member. A leaf (subtree of one) matches the flat message.
+  static std::size_t tree_wire_bytes(const WireTreeState& st, int pos) {
+    const int n = static_cast<int>(st.members.size());
+    std::size_t kbytes = 0;
+    int sub = 0;
+    for (int q : rt::collective::tree_subtree(pos, n, st.arity)) {
+      kbytes += st.members[static_cast<std::size_t>(q) - 1].kbuf->size();
+      ++sub;
+    }
+    const auto routing = static_cast<std::size_t>(sub - 1) * rt::kTreeHopHeaderBytes;
+    return ser::wire_size(st.data.value(), st.vbuf->size() + kbytes) + routing;
+  }
+
+  /// Issue the hop that delivers subtree `pos` from rank `from`, `lag`
+  /// virtual seconds from now. `src_copies` is the staging-copy count to
+  /// attribute to the sender (root cache misses only; forwards re-inject
+  /// the cached buffer with no staging).
+  static void tree_inject(const std::shared_ptr<const WireTreeState>& st, int from,
+                          int pos, double lag, int src_copies) {
+    rt::World* wp = st->world;
+    auto& comm = wp->comm();
+    const int dst = st->members[static_cast<std::size_t>(pos) - 1].rank;
+    const std::size_t wire = tree_wire_bytes(*st, pos);
+    rt::Tracer* tr = wp->tracing() ? &wp->tracer() : nullptr;
+    std::uint32_t msg = rt::Tracer::kNoNode;
+    if (tr != nullptr) {
+      msg = tr->message_created(st->sink->consumer_name(), from, dst, wire,
+                                /*splitmd=*/false);
+      tr->add_copies(from, src_copies);
+      tr->add_copies(dst, comm.recv_copies(tree_proto()));
+    }
+    wp->engine().after(lag, [wp, st, from, dst, wire, pos, tr, msg]() {
+      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+      wp->comm().send_payload(from, dst, wire, st->data.pin(),
+                              [st, pos, tr, msg]() { tree_deliver(st, pos, tr, msg); });
+    });
+  }
+
+  /// Delivery of the hop for tree position `pos`: forward the pinned block
+  /// to the position's children first (store-and-forward — the cached
+  /// buffer is re-injected as-is, paying only per-message injection CPU per
+  /// child, pipelined), then deliver the member's keys locally.
+  static void tree_deliver(const std::shared_ptr<const WireTreeState>& st, int pos,
+                           rt::Tracer* tr, std::uint32_t msg) {
+    rt::World* wp = st->world;
+    const auto& m = st->members[static_cast<std::size_t>(pos) - 1];
+    ser::InputArchive ia(*st->vbuf);
+    Value v{};
+    ia& v;
+    std::vector<Key> keys;
+    ser::InputArchive ka(*m.kbuf);
+    ka& keys;
+    wp->run_as(m.rank, [&]() {
+      // Under the message's causality context: child hops and the tasks
+      // completed by the local puts all become this message's successors.
+      if (tr != nullptr) {
+        tr->message_delivered(msg, wp->engine().now());
+        tr->set_context(msg);
+      }
+      auto& comm = wp->comm();
+      const int n = static_cast<int>(st->members.size());
+      double lag = 0.0;
+      for (int c : rt::collective::tree_children(pos, n, st->arity)) {
+        st->data.record_forward_hit();
+        comm.mutable_stats().broadcast_forwards += 1;
+        if (tr != nullptr) tr->record_forward(m.rank);
+        lag += comm.per_message_cpu();
+        tree_inject(st, m.rank, c, lag, /*src_copies=*/0);
+      }
+      for (std::size_t i = 0; i + 1 < keys.size(); ++i) st->sink->put_local(keys[i], v);
+      st->sink->put_local_move(keys.back(), std::move(v));
+      if (tr != nullptr) tr->clear_context();
+    });
+  }
+
+  /// Root of a tree broadcast: build the shared state (every member's key
+  /// list serialized once, here) and inject the root's child hops. One
+  /// serialized() call per root child keeps the per-destination cache
+  /// accounting identical to flat routing; the remaining destinations are
+  /// covered by record_forward_hit at the interior hops.
+  void send_tree(InTerminalBase<Key, Value>* sink, int src,
+                 const std::map<int, std::vector<Key>>& remote,
+                 const rt::DataCopy<Value>& data) const {
+    auto& w = *world_;
+    auto& comm = w.comm();
+    const int arity = comm.collective().tree_arity;
+    if constexpr (ser::is_splitmd_v<Value>) {
+      if (comm.supports_splitmd()) {
+        send_tree_splitmd(sink, src, arity, remote, data);
+        return;
+      }
+    }
+    static_assert(std::is_default_constructible_v<Value>,
+                  "remote TTG values must be default-constructible");
+    auto st = std::make_shared<WireTreeState>();
+    st->world = world_;
+    st->sink = sink;
+    st->arity = arity;
+    st->members.reserve(remote.size());
+    for (const auto& [dst, ks] : remote) {
+      ser::OutputArchive kar;
+      kar& ks;
+      st->members.push_back(
+          {dst, std::make_shared<const std::vector<std::byte>>(kar.release())});
+    }
+    st->data = data;
+    const int n = static_cast<int>(st->members.size());
+    for (int c : rt::collective::tree_children(0, n, arity)) {
+      bool cache_hit = false;
+      auto vbuf = data.serialized(&cache_hit);
+      if (!st->vbuf) st->vbuf = vbuf;
+      const std::size_t wire = tree_wire_bytes(*st, c);
+      const double cpu =
+          cache_hit ? comm.per_message_cpu() : comm.send_side_cpu(wire, tree_proto());
+      const double delay = w.scheduler(src).charge(cpu);
+      tree_inject(st, src, c, delay,
+                  cache_hit ? 0 : comm.send_copies(tree_proto()));
+    }
+  }
+
+  /// Shared state of one split-metadata tree broadcast. No serialization
+  /// cache is involved (splitmd never archives the payload); members carry
+  /// their flat-identical (metadata, keys) buffer and children RMA-fetch
+  /// the payload from their parent's landed object instead of the root.
+  struct SmdTreeState {
+    struct Member {
+      int rank = 0;
+      std::shared_ptr<std::vector<std::byte>> mdbuf;  ///< archive(md, keys)
+    };
+    rt::World* world = nullptr;
+    InTerminalBase<Key, Value>* sink = nullptr;
+    int arity = 2;
+    std::vector<Member> members;
+    rt::DataCopy<Value> data;  ///< root source object, alive until all hops land
+    std::size_t payload_bytes = 0;
+  };
+
+  /// Metadata bytes of the hop delivering subtree `pos` (member metadata
+  /// buffers of the subtree + a routing header per forwarded member).
+  static std::size_t smd_md_bytes(const SmdTreeState& st, int pos) {
+    const int n = static_cast<int>(st.members.size());
+    std::size_t bytes = 0;
+    int sub = 0;
+    for (int q : rt::collective::tree_subtree(pos, n, st.arity)) {
+      bytes += st.members[static_cast<std::size_t>(q) - 1].mdbuf->size();
+      ++sub;
+    }
+    return bytes + static_cast<std::size_t>(sub - 1) * rt::kTreeHopHeaderBytes;
+  }
+
+  /// Issue the splitmd hop for subtree `pos` from rank `from`; `srcv` is
+  /// the object the child's one-sided get reads (the root's DataCopy value
+  /// or the parent hop's landed object).
+  static void smd_inject(const std::shared_ptr<const SmdTreeState>& st, int from,
+                         int pos, double lag, std::shared_ptr<const Value> srcv) {
+    using SMD = ser::SplitMetadata<Value>;
+    rt::World* wp = st->world;
+    const int dst = st->members[static_cast<std::size_t>(pos) - 1].rank;
+    const std::size_t md_bytes = smd_md_bytes(*st, pos);
+    rt::Tracer* tr = wp->tracing() ? &wp->tracer() : nullptr;
+    std::uint32_t msg = rt::Tracer::kNoNode;
+    if (tr != nullptr) {
+      msg = tr->message_created(st->sink->consumer_name(), from, dst,
+                                md_bytes + st->payload_bytes, /*splitmd=*/true);
+    }
+    auto obj = std::make_shared<Value>();
+    auto keys_out = std::make_shared<std::vector<Key>>();
+    wp->engine().after(lag, [wp, st, from, dst, md_bytes, pos, obj, keys_out,
+                             srcv = std::move(srcv), tr, msg]() {
+      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+      const auto& mm = st->members[static_cast<std::size_t>(pos) - 1];
+      wp->comm().send_splitmd(
+          from, dst, md_bytes, st->payload_bytes,
+          /*on_metadata=*/
+          [mdbuf = mm.mdbuf, obj, keys_out]() {
+            ser::InputArchive ia(*mdbuf);
+            typename SMD::metadata_type m{};
+            ia& m;
+            ia&* keys_out;
+            *obj = SMD::create(m);
+          },
+          /*on_payload=*/
+          [st, pos, obj, keys_out, srcv, tr, msg]() {
+            const auto src_span = SMD::payload(*srcv);
+            const auto dst_span = SMD::payload(*obj);
+            TTG_CHECK(src_span.size() == dst_span.size(),
+                      "splitmd payload size mismatch");
+            if (!src_span.empty())
+              std::memcpy(dst_span.data(), src_span.data(), src_span.size());
+            smd_deliver(st, pos, obj, keys_out, tr, msg);
+          },
+          /*on_release=*/[srcv]() { /* drop the parent's source reference */ });
+    });
+  }
+
+  /// Delivery of a splitmd hop: forward to children first (they fetch the
+  /// payload one-sidedly from this hop's landed object), then deliver
+  /// locally. Interior hops copy on every local put — the landed object
+  /// stays intact as the children's RMA source; leaves move the last key
+  /// exactly like the flat path.
+  static void smd_deliver(const std::shared_ptr<const SmdTreeState>& st, int pos,
+                          const std::shared_ptr<Value>& obj,
+                          const std::shared_ptr<std::vector<Key>>& keys_out,
+                          rt::Tracer* tr, std::uint32_t msg) {
+    rt::World* wp = st->world;
+    const auto& m = st->members[static_cast<std::size_t>(pos) - 1];
+    wp->run_as(m.rank, [&]() {
+      if (tr != nullptr) {
+        tr->message_delivered(msg, wp->engine().now());
+        tr->set_context(msg);
+      }
+      auto& comm = wp->comm();
+      const int n = static_cast<int>(st->members.size());
+      const auto children = rt::collective::tree_children(pos, n, st->arity);
+      double lag = 0.0;
+      for (int c : children) {
+        comm.mutable_stats().broadcast_forwards += 1;
+        if (tr != nullptr) tr->record_forward(m.rank);
+        lag += comm.per_message_cpu();
+        smd_inject(st, m.rank, c, lag, obj);
+      }
+      const auto& keys = *keys_out;
+      if (children.empty()) {
+        for (std::size_t i = 0; i + 1 < keys.size(); ++i)
+          st->sink->put_local(keys[i], *obj);
+        st->sink->put_local_move(keys.back(), std::move(*obj));
+      } else {
+        for (const Key& k : keys) st->sink->put_local(k, *obj);
+      }
+      if (tr != nullptr) tr->clear_context();
+    });
+  }
+
+  /// Root of a splitmd tree broadcast.
+  void send_tree_splitmd(InTerminalBase<Key, Value>* sink, int src, int arity,
+                         const std::map<int, std::vector<Key>>& remote,
+                         const rt::DataCopy<Value>& data) const {
+    using SMD = ser::SplitMetadata<Value>;
+    auto& w = *world_;
+    auto& comm = w.comm();
+    auto st = std::make_shared<SmdTreeState>();
+    st->world = world_;
+    st->sink = sink;
+    st->arity = arity;
+    st->members.reserve(remote.size());
+    auto md = SMD::get_metadata(data.value());
+    for (const auto& [dst, ks] : remote) {
+      ser::OutputArchive ar;
+      ar& md;
+      ar& ks;
+      st->members.push_back(
+          {dst, std::make_shared<std::vector<std::byte>>(ar.release())});
+    }
+    st->data = data;
+    st->payload_bytes = SMD::payload_bytes(data.value());
+    const int n = static_cast<int>(st->members.size());
+    // The root's children read the payload straight out of the pinned
+    // DataCopy value (aliasing share: releasing it releases the state).
+    std::shared_ptr<const Value> rootv(st, &st->data.value());
+    for (int c : rt::collective::tree_children(0, n, arity)) {
+      const double cpu =
+          comm.send_side_cpu(st->payload_bytes, ser::Protocol::SplitMetadata);
+      const double delay = w.scheduler(src).charge(cpu);
+      smd_inject(st, src, c, delay, rootv);
+    }
   }
 
   /// Route a control action (stream size / finalize) to the owner of `key`

@@ -76,6 +76,51 @@ TEST(Engine, SchedulingInPastAborts) {
   e.run();
 }
 
+TEST(Engine, CancelledEventsLeaveNoTrace) {
+  Engine e;
+  int fired = 0;
+  auto t1 = e.at_cancellable(1.0, [&] { ++fired; });
+  auto t2 = e.at_cancellable(2.0, [&] { ++fired; });
+  e.at(3.0, [&] { ++fired; });
+  Engine::cancel(t2);
+  EXPECT_DOUBLE_EQ(e.run(), 3.0);
+  EXPECT_EQ(fired, 2);
+  // A cancelled event does not count as processed.
+  EXPECT_EQ(e.events_processed(), 2u);
+  (void)t1;
+}
+
+TEST(Engine, CancellingOnlyPendingEventsDoesNotAdvanceClock) {
+  Engine e;
+  auto t = e.at_cancellable(7.0, [] { FAIL() << "cancelled event ran"; });
+  Engine::cancel(t);
+  EXPECT_DOUBLE_EQ(e.run(), 0.0);
+  EXPECT_EQ(e.events_processed(), 0u);
+}
+
+TEST(Engine, CancelSlotsRecycleThroughThePool) {
+  Engine e;
+  // Arm/fire a batch of cancellable timers: every slot returns to the pool.
+  for (int i = 0; i < 8; ++i) e.after_cancellable(1.0 + i, [] {});
+  e.run();
+  EXPECT_EQ(e.pooled_cancel_slots(), 8u);
+  // Re-arming draws from the pool instead of growing it.
+  auto t = e.after_cancellable(1.0, [] {});
+  EXPECT_EQ(e.pooled_cancel_slots(), 7u);
+  // A stale token (slot already recycled) is invalidated by the generation
+  // stamp: cancelling it is a no-op for the slot's next occupant.
+  e.run();
+  EXPECT_EQ(e.pooled_cancel_slots(), 8u);
+  auto t2 = e.after_cancellable(1.0, [] {});
+  Engine::cancel(t);  // stale: must not cancel t2's occupancy
+  int fired = 0;
+  Engine::cancel(t2);  // fresh: does cancel
+  e.after(2.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pooled_cancel_slots(), 8u);
+}
+
 TEST(FifoResource, SerializesRequests) {
   Engine e;
   FifoResource r(e, "nic");
