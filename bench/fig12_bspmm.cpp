@@ -5,6 +5,7 @@
 // nodes; the 2D-SUMMA TTG implementation stops scaling at ~128 nodes
 // (communication-dominated), while DBCSR's 2.5D algorithm keeps scaling
 // at 256 thanks to its lower cross-section traffic.
+#include <string>
 #include <vector>
 
 #include "apps/bspmm/bspmm_ttg.hpp"
@@ -16,9 +17,68 @@
 
 using namespace ttg;
 
+namespace {
+
+/// One TTG configuration's deterministic outcome, fig5-shaped so
+/// ci/check_perf.py gates it against ci/BENCH_bspmm_baseline.json.
+struct TtgPoint {
+  int nodes = 0;
+  const char* backend = "";
+  double gflops = 0.0;
+  double makespan = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t splitmd_sends = 0;
+  std::uint64_t serializations = 0;
+  std::uint64_t serialize_hits = 0;
+  std::uint64_t broadcast_forwards = 0;
+  std::uint64_t am_batches = 0;
+  std::uint64_t batched_msgs = 0;
+  std::uint64_t reduce_forwards = 0;
+  std::uint64_t reduce_combines = 0;
+  std::uint64_t intra_node_hops = 0;
+  std::uint64_t inter_node_hops = 0;
+};
+
+void write_json(const std::string& path, int natoms, const std::vector<TtgPoint>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  TTG_REQUIRE(f != nullptr, "cannot open --json output file: " + path);
+  std::fprintf(f, "{\"bench\":\"fig12_bspmm\",\"natoms\":%d,", natoms);
+  std::fprintf(f, "\"points\":[");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "%s\n{\"nodes\":%d,\"backend\":\"%s\",\"gflops\":%.17g,"
+                 "\"makespan\":%.17g,\"messages\":%llu,\"splitmd_sends\":%llu,"
+                 "\"serializations\":%llu,\"serialize_hits\":%llu,"
+                 "\"broadcast_forwards\":%llu,\"am_batches\":%llu,"
+                 "\"batched_msgs\":%llu,\"reduce_forwards\":%llu,"
+                 "\"reduce_combines\":%llu,\"intra_node_hops\":%llu,"
+                 "\"inter_node_hops\":%llu}",
+                 i ? "," : "", p.nodes, p.backend, p.gflops, p.makespan,
+                 static_cast<unsigned long long>(p.messages),
+                 static_cast<unsigned long long>(p.splitmd_sends),
+                 static_cast<unsigned long long>(p.serializations),
+                 static_cast<unsigned long long>(p.serialize_hits),
+                 static_cast<unsigned long long>(p.broadcast_forwards),
+                 static_cast<unsigned long long>(p.am_batches),
+                 static_cast<unsigned long long>(p.batched_msgs),
+                 static_cast<unsigned long long>(p.reduce_forwards),
+                 static_cast<unsigned long long>(p.reduce_combines),
+                 static_cast<unsigned long long>(p.intra_node_hops),
+                 static_cast<unsigned long long>(p.inter_node_hops));
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   support::Cli cli("fig12_bspmm", "block-sparse GEMM strong scaling (Fig. 12)");
   cli.option("natoms", "420", "atoms (paper: 2500)");
+  cli.option("max-nodes", "256", "largest node count to run (CI uses a small cap)");
+  cli.option("json", "", "write deterministic results (makespan, message counts) "
+                         "as JSON to this path");
   cli.flag("full", "paper-scale 2500 atoms (slow)");
   rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -40,9 +100,13 @@ int main(int argc, char** argv) {
                       std::to_string(a.n()) + ", " + std::to_string(a.nnz_tiles()) +
                       " nnz tiles, " + support::fmt_si(flops, 1) + "flops (scaled)");
 
+  const int max_nodes = static_cast<int>(cli.get_int("max-nodes"));
+  const std::string json_path = cli.get("json");
   support::Table t("Fig. 12 (GFLOP/s vs nodes)",
                    {"nodes", "TTG/PaRSEC", "TTG/MADNESS", "DBCSR(2.5D)", "dbcsr c"});
+  std::vector<TtgPoint> points;
   for (int nodes : {8, 16, 32, 64, 128, 256}) {
+    if (nodes > max_nodes) break;
     auto run_ttg = [&](rt::BackendKind b) {
       rt::WorldConfig cfg;
       cfg.machine = m;
@@ -58,6 +122,13 @@ int main(int argc, char** argv) {
                    std::string(rt::to_string(b)) + "-" + std::to_string(nodes) +
                        "nodes",
                    res.makespan);
+      const auto& cs = world.comm().stats();
+      points.push_back(TtgPoint{nodes, rt::to_string(b), res.gflops, res.makespan,
+                                cs.messages, cs.splitmd_sends, cs.serializations,
+                                cs.serialize_hits, cs.broadcast_forwards,
+                                cs.am_batches, cs.batched_msgs, cs.reduce_forwards,
+                                cs.reduce_combines, cs.intra_node_hops,
+                                cs.inter_node_hops});
       return res.gflops;
     };
     auto db = baselines::run_dbcsr(m, nodes, a, a);
@@ -66,6 +137,10 @@ int main(int argc, char** argv) {
                support::fmt(db.gflops, 0), std::to_string(db.replication)});
   }
   t.print();
+  if (!json_path.empty()) {
+    write_json(json_path, p.natoms, points);
+    std::printf("# json: wrote %s (%zu points)\n", json_path.c_str(), points.size());
+  }
   std::printf(
       "expected shape: all series comparable and ~linear to 128 nodes; the 2D\n"
       "TTG variants flatten at 128-256 while DBCSR (2.5D) keeps scaling.\n");

@@ -37,6 +37,10 @@ struct TtgPoint {
   std::uint64_t broadcast_forwards = 0; ///< tree hops re-injected by interior ranks
   std::uint64_t am_batches = 0;         ///< coalesced eager-AM flushes
   std::uint64_t batched_msgs = 0;       ///< member AMs those flushes carried
+  std::uint64_t reduce_forwards = 0;    ///< combined partials sent up reduction trees
+  std::uint64_t reduce_combines = 0;    ///< incoming partials absorbed into accumulators
+  std::uint64_t intra_node_hops = 0;    ///< tree hops whose endpoints share a node
+  std::uint64_t inter_node_hops = 0;    ///< tree hops crossing a node boundary
 };
 
 TtgPoint ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
@@ -68,7 +72,11 @@ TtgPoint ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
                   cs.serialize_hits,
                   cs.broadcast_forwards,
                   cs.am_batches,
-                  cs.batched_msgs};
+                  cs.batched_msgs,
+                  cs.reduce_forwards,
+                  cs.reduce_combines,
+                  cs.intra_node_hops,
+                  cs.inter_node_hops};
 }
 
 void write_json(const std::string& path, int per_node, int bs,
@@ -85,7 +93,9 @@ void write_json(const std::string& path, int per_node, int bs,
                  "\"gflops\":%.17g,\"makespan\":%.17g,\"messages\":%llu,"
                  "\"splitmd_sends\":%llu,\"serializations\":%llu,"
                  "\"serialize_hits\":%llu,\"broadcast_forwards\":%llu,"
-                 "\"am_batches\":%llu,\"batched_msgs\":%llu}",
+                 "\"am_batches\":%llu,\"batched_msgs\":%llu,"
+                 "\"reduce_forwards\":%llu,\"reduce_combines\":%llu,"
+                 "\"intra_node_hops\":%llu,\"inter_node_hops\":%llu}",
                  i ? "," : "", p.nodes, p.matrix, p.backend, p.gflops, p.makespan,
                  static_cast<unsigned long long>(p.messages),
                  static_cast<unsigned long long>(p.splitmd_sends),
@@ -93,7 +103,11 @@ void write_json(const std::string& path, int per_node, int bs,
                  static_cast<unsigned long long>(p.serialize_hits),
                  static_cast<unsigned long long>(p.broadcast_forwards),
                  static_cast<unsigned long long>(p.am_batches),
-                 static_cast<unsigned long long>(p.batched_msgs));
+                 static_cast<unsigned long long>(p.batched_msgs),
+                 static_cast<unsigned long long>(p.reduce_forwards),
+                 static_cast<unsigned long long>(p.reduce_combines),
+                 static_cast<unsigned long long>(p.intra_node_hops),
+                 static_cast<unsigned long long>(p.inter_node_hops));
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);

@@ -104,4 +104,49 @@ void BM_TtgPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_TtgPipeline)->Arg(256)->Arg(2048);
 
+// Host-side cost of driving a 32-rank single-owner streaming reduction
+// through the simulator: Arg = reduction tree arity (0 = flat funnel into
+// the owner, 4 = combined partials at interior ranks). Measures simulator
+// event throughput of the two routings, not simulated time.
+void BM_StreamingReduceFanIn(benchmark::State& state) {
+  const int ranks = 32;
+  const int arity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::WorldConfig cfg;
+    cfg.nranks = ranks;
+    cfg.reduce_tree_arity = arity;
+    rt::World w(cfg);
+    Edge<Int1, Void> start("start");
+    Edge<Int1, long long> stream("stream"), out_e("out");
+    auto prod = make_tt(w,
+                        [](const Int1& k, Void&,
+                           std::tuple<Out<Int1, long long>>& out) {
+                          ttg::send<0>(Int1{0}, static_cast<long long>(k.i + 1),
+                                       out);
+                        },
+                        edges(start), edges(stream), "produce");
+    prod->set_keymap([ranks](const Int1& k) { return k.i % ranks; });
+    auto red = make_tt(w,
+                       [](const Int1& k, long long& sum,
+                          std::tuple<Out<Int1, long long>>& out) {
+                         ttg::send<0>(k, sum, out);
+                       },
+                       edges(stream), edges(out_e), "reduce");
+    red->set_input_reducer<0>([](long long& acc, long long&& v) { acc += v; },
+                              ranks);
+    red->set_keymap([](const Int1&) { return 0; });
+    long long sum = 0;
+    auto sink = make_sink(w, out_e, [&](const Int1&, long long& v) { sum = v; });
+    sink->set_keymap([](const Int1&) { return 0; });
+    make_graph_executable(*prod);
+    make_graph_executable(*red);
+    make_graph_executable(*sink);
+    for (int r = 0; r < ranks; ++r) prod->invoke(Int1{r}, Void{});
+    w.fence();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * ranks);
+}
+BENCHMARK(BM_StreamingReduceFanIn)->Arg(0)->Arg(4);
+
 }  // namespace

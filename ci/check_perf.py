@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Gate deterministic benchmark results against a checked-in baseline.
 
-Compares a BENCH_ci.json produced by `fig5_potrf_weak --json` against
-ci/BENCH_baseline.json. The simulator is a discrete-event model, so for a
-fixed configuration the makespan and message counts are bit-reproducible;
-any drift is a real behavioral change, not measurement noise. We still
-allow a tolerance on makespan so intentional small scheduling tweaks do
-not force a baseline refresh, but message counts must match exactly.
+Compares a BENCH_ci.json produced by `fig5_potrf_weak --json` (against
+ci/BENCH_baseline.json) or `fig12_bspmm --json` (against
+ci/BENCH_bspmm_baseline.json). The simulator is a discrete-event model, so
+for a fixed configuration the makespan and message counts are
+bit-reproducible; any drift is a real behavioral change, not measurement
+noise. We still allow a tolerance on makespan so intentional small
+scheduling tweaks do not force a baseline refresh, but message counts must
+match exactly.
 
 Exit code 0 = within tolerance, 1 = regression/mismatch, 2 = usage error.
 Only the Python standard library is used.
@@ -42,11 +44,14 @@ def main():
     cur_doc, cur = load_points(args.current)
     base_doc, base = load_points(args.baseline)
 
-    for field in ("per_node", "bs"):
+    # Every top-level scalar except the point list is a config field the two
+    # documents must agree on (fig5: bench/per_node/bs; fig12: bench/natoms).
+    config_fields = sorted((set(cur_doc) | set(base_doc)) - {"points"})
+    for field in config_fields:
         if cur_doc.get(field) != base_doc.get(field):
             sys.exit(f"error: config mismatch on '{field}': "
                      f"current={cur_doc.get(field)} baseline={base_doc.get(field)} "
-                     "(refresh ci/BENCH_baseline.json)")
+                     f"(refresh {args.baseline})")
 
     missing = sorted(set(base) - set(cur))
     if missing:
@@ -56,10 +61,15 @@ def main():
     # not noise. serializations/serialize_hits come from the DataCopy layer
     # (archive passes vs. serialized-buffer cache reuses);
     # broadcast_forwards/am_batches/batched_msgs from the collective data
-    # plane (tree hops re-injected by interior ranks, coalesced AM flushes).
+    # plane (tree hops re-injected by interior ranks, coalesced AM flushes);
+    # reduce_forwards/reduce_combines from the tree-routed streaming
+    # reductions (combined partials shipped up / absorbed at interior
+    # ranks); intra/inter_node_hops classify every payload-bearing tree hop
+    # against the topology layout.
     exact_fields = ("messages", "splitmd_sends", "serializations",
                     "serialize_hits", "broadcast_forwards", "am_batches",
-                    "batched_msgs")
+                    "batched_msgs", "reduce_forwards", "reduce_combines",
+                    "intra_node_hops", "inter_node_hops")
 
     failures = []
     print(f"{'nodes':>5} {'backend':>8} {'baseline[s]':>14} {'current[s]':>14} "
@@ -88,11 +98,12 @@ def main():
               f"(not gated): {extra}")
 
     if failures:
+        cfg = " ".join(f"{k}={base_doc[k]}" for k in config_fields
+                       if k != "bench")
         print(f"\nFAIL: {len(failures)} point(s) regressed. If the change is "
-              "intentional, refresh the baseline:\n"
-              "  ./build/bench/fig5_potrf_weak --per-node "
-              f"{base_doc['per_node']} --bs {base_doc['bs']} --max-nodes 8 "
-              "--json ci/BENCH_baseline.json")
+              "intentional, refresh the baseline by re-running "
+              f"{base_doc.get('bench', 'the bench')} --json {args.baseline} "
+              f"with the baseline config ({cfg}).")
         return 1
     print(f"\nOK: all {len(base)} points within {100.0 * args.tolerance:.0f}% "
           "of baseline; message/serialization counts identical.")

@@ -102,6 +102,14 @@ class Network {
   /// Busy time of rank r's send NIC (utilization accounting for benches).
   [[nodiscard]] sim::Time nic_busy(int rank) const { return send_nic_[rank]->busy_time(); }
 
+  /// Busy time of rank r's receive NIC. The owner-side load of a
+  /// many-to-one streaming reduction lands here: flat routing funnels every
+  /// contribution through the owner's receive NIC, tree routing only the
+  /// O(arity) combined partials (bench/ablation_reduce).
+  [[nodiscard]] sim::Time nic_recv_busy(int rank) const {
+    return recv_nic_[static_cast<std::size_t>(rank)]->busy_time();
+  }
+
   /// Number of transfers rank r's send NIC injected (payload + control).
   /// The tree-broadcast tests and ablation use this to show the root's
   /// injection count dropping from O(R) to O(arity) per broadcast.

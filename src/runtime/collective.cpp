@@ -4,6 +4,8 @@
 // wire transfer).
 #include "runtime/collective.hpp"
 
+#include <algorithm>
+#include <map>
 #include <utility>
 
 #include "runtime/comm.hpp"
@@ -44,6 +46,101 @@ int tree_depth(int nmembers, int arity) {
   // The deepest position is nmembers; walk parents back to the root.
   for (long p = nmembers; p > 0; p = (p - 1) / arity) ++depth;
   return depth;
+}
+
+std::vector<int> layout_members(int root_rank, std::vector<int> members,
+                                const Topology& topo) {
+  const int root_node = topo.node_of(root_rank);
+  std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+    const int na = topo.node_of(a);
+    const int nb = topo.node_of(b);
+    if ((na == root_node) != (nb == root_node)) return na == root_node;
+    if (na != nb) return na < nb;
+    return a < b;
+  });
+  return members;
+}
+
+TreeShape build_tree(int root_rank, std::vector<int> members, int arity,
+                     const Topology& topo) {
+  if (arity < 1) arity = 1;
+  members = layout_members(root_rank, std::move(members), topo);
+  TreeShape s;
+  const std::size_t m = members.size();
+  s.ranks.reserve(m + 1);
+  s.ranks.push_back(root_rank);
+  for (int r : members) s.ranks.push_back(r);
+  s.children.assign(m + 1, {});
+  s.parent.assign(m + 1, -1);
+  // Heap-attach the positions of `list` under position `top`: list[idx]'s
+  // parent is `top` for the first `arity` entries, then list[idx/arity - 1].
+  auto attach_heap = [&](int top, const std::vector<int>& list) {
+    for (std::size_t idx = 0; idx < list.size(); ++idx) {
+      const int parent = idx < static_cast<std::size_t>(arity)
+                             ? top
+                             : list[idx / static_cast<std::size_t>(arity) - 1];
+      s.parent[static_cast<std::size_t>(list[idx])] = parent;
+      s.children[static_cast<std::size_t>(parent)].push_back(list[idx]);
+    }
+  };
+  // Top level under the root: the root-node members plus each other node's
+  // leader (its first member in layout order). Remaining group members hang
+  // under their leader. With ranks_per_node <= 1 every group is a
+  // singleton, so `top` is simply positions 1..M — the plain heap.
+  const int root_node = topo.node_of(root_rank);
+  std::vector<int> top;
+  std::map<int, std::vector<int>> groups;  // node -> member positions
+  for (std::size_t i = 0; i < m; ++i) {
+    const int pos = static_cast<int>(i) + 1;
+    const int node = topo.node_of(members[i]);
+    if (node == root_node) {
+      top.push_back(pos);
+    } else {
+      groups[node].push_back(pos);
+    }
+  }
+  for (const auto& [node, positions] : groups) top.push_back(positions.front());
+  std::sort(top.begin(), top.end());  // layout order: root-node first, then leaders
+  attach_heap(0, top);
+  for (const auto& [node, positions] : groups) {
+    const std::vector<int> rest(positions.begin() + 1, positions.end());
+    attach_heap(positions.front(), rest);
+  }
+  return s;
+}
+
+std::vector<int> shape_subtree(const TreeShape& shape, int pos) {
+  std::vector<int> out;
+  std::vector<int> stack{pos};
+  while (!stack.empty()) {
+    const int p = stack.back();
+    stack.pop_back();
+    if (p > 0) out.push_back(p);
+    const auto& kids = shape.children[static_cast<std::size_t>(p)];
+    // Reverse push so preorder comes out left-to-right.
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+int shape_depth(const TreeShape& shape) {
+  int deepest = 0;
+  for (std::size_t p = 1; p < shape.parent.size(); ++p) {
+    int depth = 0;
+    for (int q = static_cast<int>(p); q > 0; q = shape.parent[static_cast<std::size_t>(q)])
+      ++depth;
+    deepest = std::max(deepest, depth);
+  }
+  return deepest;
+}
+
+int pick_arity(const CollectivePolicy& policy, bool reduce, int fan,
+               std::size_t payload_bytes) {
+  const int base = reduce ? policy.reduce_arity : policy.tree_arity;
+  if (!policy.adaptive || base < 2) return base;
+  if (payload_bytes >= 256 * 1024) return 2;
+  if (payload_bytes <= kAmCoalesceMaxBytes && fan >= 8 * base) return 2 * base;
+  return base;
 }
 
 }  // namespace ttg::rt::collective

@@ -1,7 +1,7 @@
 // Collective routing: spanning-tree shape helpers for tree-routed
-// broadcasts (paper Section II-A's optimized ttg::broadcast, extended the
-// way TaskTorrent and Specx route one-to-many dataflow through intermediate
-// ranks).
+// broadcasts and streaming reductions (paper Section II-A's optimized
+// ttg::broadcast, extended the way TaskTorrent and Specx route one-to-many
+// and many-to-one dataflow through intermediate ranks).
 //
 // A coalesced broadcast to M remote destinations is laid out as a
 // heap-shaped k-ary tree over *positions* 0..M: position 0 is the sender
@@ -12,11 +12,27 @@
 // clipped to M; with M <= k the tree degenerates to the flat root-to-all
 // pattern bit-identically.
 //
-// These are pure functions so tests can pin the shape down without running
-// a world.
+// Streaming reductions route the same trees *inverted*: members send
+// combined partial values toward position 0 (the key's owner rank).
+//
+// On top of the pure heap shape sits a topology-aware layout (build_tree):
+// a Topology declares how many consecutive ranks share a node, and the
+// member order is rearranged so each node's ranks form one subtree that is
+// entered by exactly one inter-node edge — subtrees pack onto a node
+// before the route crosses the network. With ranks_per_node <= 1 the
+// layout degenerates to the plain heap over ascending ranks, so default
+// worlds keep the historical (PR-4) shapes bit-identically.
+//
+// These are pure functions so tests can pin shapes down without running a
+// world.
 #pragma once
 
+#include <cstddef>
 #include <vector>
+
+namespace ttg::rt {
+struct CollectivePolicy;  // runtime/comm.hpp
+}
 
 namespace ttg::rt::collective {
 
@@ -36,5 +52,65 @@ namespace ttg::rt::collective {
 /// Depth of the deepest member (root = depth 0): the number of serial hops
 /// a tree broadcast takes — O(log_k M).
 [[nodiscard]] int tree_depth(int nmembers, int arity);
+
+/// Machine model for topology-aware tree layout: `ranks_per_node`
+/// consecutive ranks share a node (the usual block process mapping), so
+/// rank r lives on node r / ranks_per_node. <= 1 means every rank is its
+/// own node (layout reduces to the plain heap over ascending ranks).
+struct Topology {
+  int ranks_per_node = 1;
+  [[nodiscard]] int node_of(int rank) const {
+    return ranks_per_node > 1 ? rank / ranks_per_node : rank;
+  }
+  [[nodiscard]] bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+};
+
+/// An explicit tree over member *positions*: position 0 is the root rank,
+/// positions 1..M are the members in layout order. Built once per
+/// (root, member set, arity, topology) and shared by every hop.
+struct TreeShape {
+  std::vector<int> ranks;                  ///< position -> rank (ranks[0] = root)
+  std::vector<std::vector<int>> children;  ///< position -> child positions
+  std::vector<int> parent;                 ///< position -> parent (parent[0] = -1)
+  [[nodiscard]] int nmembers() const { return static_cast<int>(ranks.size()) - 1; }
+};
+
+/// Topology-aware member order for a tree rooted at `root_rank`: members on
+/// the root's node first, then the remaining members grouped by node
+/// (nodes ascending), ranks ascending within each group. With
+/// ranks_per_node <= 1 this is simply ascending rank order.
+[[nodiscard]] std::vector<int> layout_members(int root_rank, std::vector<int> members,
+                                              const Topology& topo);
+
+/// Build the k-ary tree over `members` rooted at `root_rank`, packing each
+/// node's members into one subtree: the root-node group and the leader
+/// (lowest-rank member) of every other node hang as a heap under the root;
+/// a group's remaining members hang as a heap under their leader. Exactly
+/// one inter-node edge enters each non-root node's group. With
+/// ranks_per_node <= 1 every group is a singleton, and the shape is the
+/// plain position heap over ascending ranks (identical to tree_children).
+[[nodiscard]] TreeShape build_tree(int root_rank, std::vector<int> members, int arity,
+                                   const Topology& topo);
+
+/// All member positions in the subtree rooted at `pos` of an explicit
+/// shape (pos itself included when > 0), in deterministic preorder.
+[[nodiscard]] std::vector<int> shape_subtree(const TreeShape& shape, int pos);
+
+/// Depth of the deepest member of an explicit shape (root = depth 0).
+[[nodiscard]] int shape_depth(const TreeShape& shape);
+
+/// Adaptive arity selection (CollectivePolicy::adaptive): derive the tree
+/// arity for one collective from its fan (destination count for a
+/// broadcast, contributor bound for a reduction) and payload size.
+/// Bandwidth-bound payloads (>= 256 KB) prefer a deep binary tree (better
+/// hop pipelining); latency-bound coalescable AMs (<= kAmCoalesceMaxBytes)
+/// with a wide fan (>= 8x the base arity) double the arity to cut depth.
+/// With `adaptive` off — both backends' default — returns the policy's
+/// static arity unchanged. Reductions must pass a *static* payload hint
+/// (sizeof the value type): every rank derives the tree independently, so
+/// the inputs must be rank-invariant; broadcast roots may use the actual
+/// serialized size since the root alone decides the shape.
+[[nodiscard]] int pick_arity(const CollectivePolicy& policy, bool reduce, int fan,
+                             std::size_t payload_bytes);
 
 }  // namespace ttg::rt::collective

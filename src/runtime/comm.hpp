@@ -53,6 +53,12 @@ struct CommStats {
   std::uint64_t broadcast_forwards = 0;  ///< interior-hop store-and-forwards
   std::uint64_t am_batches = 0;          ///< wire transfers carrying >=2 AMs
   std::uint64_t batched_msgs = 0;        ///< AMs that rode inside batches
+  // --- reduction trees (many-to-one streaming terminals) ---
+  std::uint64_t reduce_forwards = 0;  ///< combined partials sent up reduction trees
+  std::uint64_t reduce_combines = 0;  ///< incoming partials absorbed into accumulators
+  // --- topology-aware layout: payload-bearing tree hops split by locality ---
+  std::uint64_t intra_node_hops = 0;  ///< tree hops whose endpoints share a node
+  std::uint64_t inter_node_hops = 0;  ///< tree hops crossing a node boundary
   // --- graceful-degradation accounting (resilience layer; all zero on a
   // --- perfect fabric or when the plan carries no loss faults) ---
   std::uint64_t retries = 0;          ///< retransmissions after ack timeout
@@ -96,12 +102,24 @@ struct CopyPolicy {
 ///                     up to kAmCoalesceMaxBytes) bound for the same
 ///                     destination within this window of virtual seconds
 ///                     into one wire transfer; <= 0 disables coalescing.
+///   reduce_arity    — >= 2 routes many-to-one streaming reductions up the
+///                     inverted k-ary tree: contributing ranks fold values
+///                     into a local partial and send one combined value per
+///                     subtree toward the key's owner; 0 or 1 keeps the
+///                     flat contribution-to-owner sends.
+///   adaptive        — derive the per-collective arity from fan and payload
+///                     size via collective::pick_arity instead of using the
+///                     static arities (off by default on both backends so
+///                     baselines stay bit-identical; WorldConfig can force
+///                     it on for ablations).
 ///
-/// WorldConfig can override either knob for ablation runs
-/// (bench/ablation_broadcast).
+/// WorldConfig can override any knob for ablation runs
+/// (bench/ablation_broadcast, bench/ablation_reduce).
 struct CollectivePolicy {
   int tree_arity = 0;
   double am_flush_window = 0.0;
+  int reduce_arity = 0;
+  bool adaptive = false;
 };
 
 /// AMs at or below this wire size are eligible for flush-window coalescing;
@@ -154,12 +172,17 @@ class CommEngine {
 
   /// The collective policy in effect: the backend default, possibly
   /// overridden per knob by configure_collective (negative keeps the
-  /// default; arity 0/1 forces flat, window 0 disables coalescing).
+  /// default; arity 0/1 forces flat, window 0 disables coalescing,
+  /// adaptive 0/1 forces the arity-selection hook off/on).
   [[nodiscard]] const CollectivePolicy& collective() const { return collective_; }
-  void configure_collective(int arity_override, double window_override) {
+  void configure_collective(int arity_override, double window_override,
+                            int reduce_arity_override = -1,
+                            int adaptive_override = -1) {
     collective_ = default_collective();
     if (arity_override >= 0) collective_.tree_arity = arity_override;
     if (window_override >= 0.0) collective_.am_flush_window = window_override;
+    if (reduce_arity_override >= 0) collective_.reduce_arity = reduce_arity_override;
+    if (adaptive_override >= 0) collective_.adaptive = adaptive_override != 0;
   }
 
   /// CPU seconds the *sender* pays to stage `bytes` for the wire under the

@@ -35,10 +35,12 @@ class MadnessComm final : public CommEngine {
     return {/*zero_copy_local=*/false, /*serialize_once=*/false};
   }
 
-  // MADNESS ships broadcasts flat (point-to-point per destination) and does
-  // not batch AMs — the paper's asymmetry the ablations quantify.
+  // MADNESS ships broadcasts flat (point-to-point per destination), does
+  // not batch AMs, and funnels every streaming contribution straight to the
+  // owner — the paper's asymmetry the ablations quantify.
   [[nodiscard]] CollectivePolicy default_collective() const override {
-    return {/*tree_arity=*/0, /*am_flush_window=*/0.0};
+    return {/*tree_arity=*/0, /*am_flush_window=*/0.0, /*reduce_arity=*/0,
+            /*adaptive=*/false};
   }
 
   [[nodiscard]] double send_side_cpu(std::size_t bytes, ser::Protocol p) const override;

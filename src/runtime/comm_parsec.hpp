@@ -33,9 +33,13 @@ class ParsecComm final : public CommEngine {
   }
 
   // PaRSEC's engineered comm layer routes wide broadcasts down a 4-ary
-  // spanning tree and coalesces same-destination AMs within a 1 us window.
+  // spanning tree, coalesces same-destination AMs within a 1 us window,
+  // and combines streaming reductions up the inverted 4-ary tree. Arity
+  // adaptation stays off by default (opt in via WorldConfig) so baseline
+  // shapes are static.
   [[nodiscard]] CollectivePolicy default_collective() const override {
-    return {/*tree_arity=*/4, /*am_flush_window=*/1.0e-6};
+    return {/*tree_arity=*/4, /*am_flush_window=*/1.0e-6, /*reduce_arity=*/4,
+            /*adaptive=*/false};
   }
 
   [[nodiscard]] double send_side_cpu(std::size_t bytes, ser::Protocol p) const override;

@@ -46,6 +46,10 @@ CommCounters Tracer::totals() const {
     t.broadcast_forwards += c.broadcast_forwards;
     t.am_batches += c.am_batches;
     t.batched_msgs += c.batched_msgs;
+    t.reduce_forwards += c.reduce_forwards;
+    t.reduce_combines += c.reduce_combines;
+    t.intra_node_hops += c.intra_node_hops;
+    t.inter_node_hops += c.inter_node_hops;
     t.charged_cpu += c.charged_cpu;
     t.server_wait += c.server_wait;
     t.server_busy += c.server_busy;
@@ -292,12 +296,18 @@ support::Table Tracer::breakdown_table(double makespan) const {
 }
 
 support::Table Tracer::forwarding_table() const {
-  support::Table t("collective data plane (tree forwards + AM coalescing)",
-                   {"rank", "fwd sends", "am batches", "batched msgs", "msg sends"});
+  support::Table t("collective data plane (tree broadcast + reduction + AM coalescing)",
+                   {"rank", "bcast fwds", "reduce fwds", "combines", "intra hops",
+                    "inter hops", "am batches", "batched msgs", "msg sends"});
   for (int r = 0; r < static_cast<int>(counters_.size()); ++r) {
     const auto& c = counters_[static_cast<std::size_t>(r)];
-    if (c.broadcast_forwards == 0 && c.am_batches == 0) continue;
+    if (c.broadcast_forwards == 0 && c.am_batches == 0 && c.reduce_forwards == 0 &&
+        c.reduce_combines == 0) {
+      continue;
+    }
     t.add_row({std::to_string(r), std::to_string(c.broadcast_forwards),
+               std::to_string(c.reduce_forwards), std::to_string(c.reduce_combines),
+               std::to_string(c.intra_node_hops), std::to_string(c.inter_node_hops),
                std::to_string(c.am_batches), std::to_string(c.batched_msgs),
                std::to_string(c.msg_sends)});
   }

@@ -134,6 +134,12 @@ struct CommCounters {
   std::uint64_t broadcast_forwards = 0;  ///< tree hops forwarded from this rank
   std::uint64_t am_batches = 0;          ///< coalesced wire transfers issued
   std::uint64_t batched_msgs = 0;        ///< AMs that rode inside those batches
+  // --- reduction tree (many-to-one streaming combine) ---
+  std::uint64_t reduce_forwards = 0;  ///< combined partials sent up from here
+  std::uint64_t reduce_combines = 0;  ///< incoming partials absorbed here
+  // --- machine-topology split of payload-bearing tree hops ---
+  std::uint64_t intra_node_hops = 0;  ///< hops staying on the sender's node
+  std::uint64_t inter_node_hops = 0;  ///< hops crossing the network
   double charged_cpu = 0.0;   ///< CPU charged inside task bodies (send copies)
   double server_wait = 0.0;   ///< queueing on the comm/AM server thread
   double server_busy = 0.0;   ///< service time on the comm/AM server thread
@@ -230,6 +236,19 @@ class Tracer {
     auto& c = counters(rank);
     c.am_batches += 1;
     c.batched_msgs += static_cast<std::uint64_t>(n);
+  }
+
+  /// An interior rank of a reduction tree sent its combined partial up
+  /// toward the owner.
+  void record_reduce_forward(int rank) { counters(rank).reduce_forwards += 1; }
+  /// A rank absorbed one incoming combined partial (fold or init-move)
+  /// from a reduction-tree child.
+  void record_reduce_combine(int rank) { counters(rank).reduce_combines += 1; }
+  /// A payload-bearing tree hop left `rank`; `intra` says whether both
+  /// endpoints share a machine node (collective::Topology).
+  void record_tree_hop(int rank, bool intra) {
+    auto& c = counters(rank);
+    (intra ? c.intra_node_hops : c.inter_node_hops) += 1;
   }
 
   /// Per-rank collective data-plane table (tree forwards + AM batches) for

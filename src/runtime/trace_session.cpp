@@ -62,7 +62,8 @@ void TraceSession::finish(World& world, const std::string& label,
     std::printf("%s\n", tracer.breakdown_table(span).str().c_str());
     std::printf("%s\n", world.data_tracker().memory_table().str().c_str());
     const auto totals = tracer.totals();
-    if (totals.broadcast_forwards > 0 || totals.am_batches > 0)
+    if (totals.broadcast_forwards > 0 || totals.am_batches > 0 ||
+        totals.reduce_forwards > 0 || totals.reduce_combines > 0)
       std::printf("%s\n", tracer.forwarding_table().str().c_str());
     std::printf("%s\n", tracer.critical_path_report().c_str());
     if (world.config().faults.enabled()) {

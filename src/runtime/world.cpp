@@ -34,7 +34,8 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
       break;
   }
   comm_->configure_policy(cfg_.zero_copy_local, cfg_.serialize_once);
-  comm_->configure_collective(cfg_.broadcast_tree_arity, cfg_.am_flush_window);
+  comm_->configure_collective(cfg_.broadcast_tree_arity, cfg_.am_flush_window,
+                              cfg_.reduce_tree_arity, cfg_.collective_adaptive);
   data_.configure(cfg_.nranks);
   sched_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {

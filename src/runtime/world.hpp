@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "runtime/collective.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/datacopy.hpp"
 #include "runtime/scheduler.hpp"
@@ -43,10 +44,15 @@ struct WorldConfig {
   // -1 = backend default, 0/1 = force off/on.
   int zero_copy_local = -1;   ///< share vs copy local const-ref sends
   int serialize_once = -1;    ///< cache a broadcast's serialized form
-  // Collective-routing CollectivePolicy overrides (bench/ablation_broadcast):
-  // negative = backend default.
+  // Collective-routing CollectivePolicy overrides (bench/ablation_broadcast,
+  // bench/ablation_reduce): negative = backend default.
   int broadcast_tree_arity = -1;  ///< 0/1 = flat, k >= 2 = k-ary spanning tree
   double am_flush_window = -1.0;  ///< 0 = no coalescing, > 0 = window [s]
+  int reduce_tree_arity = -1;     ///< 0/1 = flat, k >= 2 = k-ary reduction tree
+  int collective_adaptive = -1;   ///< 0/1 = force pick_arity adaptation off/on
+  // Machine topology for tree layout: consecutive ranks sharing a node are
+  // packed into the same subtree before a route crosses the network.
+  int ranks_per_node = 1;  ///< <= 1: every rank is its own node
   double task_overhead_override = -1.0;  ///< <0 → backend default
   double am_cpu_factor = 1.0;  ///< scales per-message CPU (Chameleon-like profile)
   sim::FaultPlan faults;       ///< fault-injection plan; default-constructed = off
@@ -79,6 +85,10 @@ class World {
   [[nodiscard]] const sim::MachineModel& machine() const { return cfg_.machine; }
   [[nodiscard]] const WorldConfig& config() const { return cfg_; }
   [[nodiscard]] CommEngine& comm() { return *comm_; }
+  /// Machine topology used for tree layout (collective::build_tree).
+  [[nodiscard]] collective::Topology topology() const {
+    return collective::Topology{cfg_.ranks_per_node > 1 ? cfg_.ranks_per_node : 1};
+  }
   [[nodiscard]] int nranks() const { return cfg_.nranks; }
   [[nodiscard]] int workers_per_rank() const { return workers_; }
 

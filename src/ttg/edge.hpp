@@ -41,6 +41,14 @@ class InTerminalBase {
   /// Close the stream for task `key` at its current length.
   virtual void finalize_stream_local(const Key& key) = 0;
 
+  /// True when this streaming terminal combines contributions up a
+  /// reduction tree: output terminals then fold every contribution into the
+  /// *contributing* rank's partial accumulator (a local put), and the
+  /// consumer's tree layer relays combined values toward each key's owner
+  /// (see the reduce_* protocol in ttg/tt.hpp). Non-streaming terminals and
+  /// flat-policy backends return false and route point-to-point as before.
+  [[nodiscard]] virtual bool stream_reduces_via_tree() const { return false; }
+
   [[nodiscard]] virtual rt::World& world() const = 0;
   [[nodiscard]] virtual const std::string& consumer_name() const = 0;
 };

@@ -22,6 +22,14 @@
 //     delivering locally, so the root injects O(arity) transfers instead of
 //     O(R). With <= arity destinations the tree degenerates to the flat
 //     pattern bit-identically.
+//   * tree layout is topology-aware: with ranks_per_node > 1 the members of
+//     one node form a contiguous subtree under a single leader, so each
+//     route crosses the network once per node (collective::build_tree).
+//   * streaming inputs whose consumer combines contributions up a reduction
+//     tree (stream_reduces_via_tree) are folded into the *sending* rank's
+//     partial accumulator instead of being routed to the key's owner; the
+//     consumer's reduce layer (ttg/tt.hpp) then relays one combined partial
+//     per subtree toward the owner along the inverted spanning tree.
 #pragma once
 
 #include <cstring>
@@ -47,6 +55,19 @@ std::size_t local_copy_bytes(const V& v) {
   } else {
     return sizeof(V);
   }
+}
+
+/// Classify one payload-bearing tree hop as intra- or inter-node (machine
+/// topology accounting shared by the broadcast and reduction planes).
+inline void record_tree_hop(rt::World& w, int from, int dst) {
+  const bool intra = w.topology().same_node(from, dst);
+  auto& stats = w.comm().mutable_stats();
+  if (intra) {
+    stats.intra_node_hops += 1;
+  } else {
+    stats.inter_node_hops += 1;
+  }
+  if (w.tracing()) w.tracer().record_tree_hop(from, intra);
 }
 }  // namespace detail
 
@@ -139,6 +160,23 @@ class Out {
     };
 
     for (auto* sink : edge_->sinks) {
+      if (sink->stream_reduces_via_tree()) {
+        // Tree-reducing streaming sink: every contribution folds into the
+        // *current* rank's partial accumulator (ttg/tt.hpp reduce layer);
+        // nothing is routed to the key's owner here. Cost accounting is
+        // exactly the flat local-delivery path.
+        for (const Key& k : keys) {
+          if (moved || comm.zero_copy_local()) {
+            comm.mutable_stats().local_shares += 1;
+          } else {
+            comm.mutable_stats().local_copies += 1;
+            w.scheduler(me).charge(
+                w.machine().copy_time(detail::local_copy_bytes(*payload)));
+          }
+          sink->put_local(k, *payload);
+        }
+        continue;
+      }
       std::vector<Key> local;
       std::map<int, std::vector<Key>> remote;  // ordered => deterministic
       for (const Key& k : keys) {
@@ -319,16 +357,17 @@ class Out {
   // ------------------------------------------------------------------
   // Tree-routed broadcast (collective data plane).
   //
-  // Destinations are laid out as a heap-shaped k-ary tree over positions
-  // 0..M (position 0 = sender, members 1..M in ascending-rank order; see
-  // runtime/collective.hpp). The shared TreeState pins the DataCopy block
-  // and carries every member's serialized key list, built once at the
-  // root; each hop's wire payload is the value buffer plus the key lists
-  // of the receiver's whole subtree, so a leaf hop carries exactly the
-  // bytes of the equivalent flat message. Interior ranks re-inject the
-  // pinned block toward their children (a serialize-cache reuse, never an
-  // archive pass) before delivering locally; each hop is an ordinary
-  // payload send, so ReliableLink acks/retransmits protect every edge.
+  // Destinations are laid out as a topology-aware k-ary tree over positions
+  // 0..M (position 0 = sender; see collective::build_tree — with one rank
+  // per node this is the plain heap over ascending-rank members). The
+  // shared TreeState pins the DataCopy block and carries every member's
+  // serialized key list, built once at the root; each hop's wire payload is
+  // the value buffer plus the key lists of the receiver's whole subtree, so
+  // a leaf hop carries exactly the bytes of the equivalent flat message.
+  // Interior ranks re-inject the pinned block toward their children (a
+  // serialize-cache reuse, never an archive pass) before delivering
+  // locally; each hop is an ordinary payload send, so ReliableLink
+  // acks/retransmits protect every edge.
   // ------------------------------------------------------------------
 
   /// Shared state of one whole-object tree broadcast.
@@ -339,9 +378,9 @@ class Out {
     };
     rt::World* world = nullptr;
     InTerminalBase<Key, Value>* sink = nullptr;
-    int arity = 2;
-    std::vector<Member> members;  ///< tree position p -> members[p-1]
-    rt::DataCopy<Value> data;     ///< pins the block (and cached buffer)
+    rt::collective::TreeShape shape;  ///< positions: 0 = sender, p -> members[p-1]
+    std::vector<Member> members;      ///< tree position p -> members[p-1]
+    rt::DataCopy<Value> data;         ///< pins the block (and cached buffer)
     std::shared_ptr<const std::vector<std::byte>> vbuf;  ///< serialized value
   };
 
@@ -357,10 +396,9 @@ class Out {
   /// key lists of every member in the subtree, and a routing header per
   /// forwarded member. A leaf (subtree of one) matches the flat message.
   static std::size_t tree_wire_bytes(const WireTreeState& st, int pos) {
-    const int n = static_cast<int>(st.members.size());
     std::size_t kbytes = 0;
     int sub = 0;
-    for (int q : rt::collective::tree_subtree(pos, n, st.arity)) {
+    for (int q : rt::collective::shape_subtree(st.shape, pos)) {
       kbytes += st.members[static_cast<std::size_t>(q) - 1].kbuf->size();
       ++sub;
     }
@@ -378,6 +416,7 @@ class Out {
     auto& comm = wp->comm();
     const int dst = st->members[static_cast<std::size_t>(pos) - 1].rank;
     const std::size_t wire = tree_wire_bytes(*st, pos);
+    detail::record_tree_hop(*wp, from, dst);
     rt::Tracer* tr = wp->tracing() ? &wp->tracer() : nullptr;
     std::uint32_t msg = rt::Tracer::kNoNode;
     if (tr != nullptr) {
@@ -415,9 +454,8 @@ class Out {
         tr->set_context(msg);
       }
       auto& comm = wp->comm();
-      const int n = static_cast<int>(st->members.size());
       double lag = 0.0;
-      for (int c : rt::collective::tree_children(pos, n, st->arity)) {
+      for (int c : st->shape.children[static_cast<std::size_t>(pos)]) {
         st->data.record_forward_hit();
         comm.mutable_stats().broadcast_forwards += 1;
         if (tr != nullptr) tr->record_forward(m.rank);
@@ -440,7 +478,13 @@ class Out {
                  const rt::DataCopy<Value>& data) const {
     auto& w = *world_;
     auto& comm = w.comm();
-    const int arity = comm.collective().tree_arity;
+    // Adaptive (opt-in) arity: the root knows the fan and the payload size,
+    // and the shape ships with the broadcast, so a dynamic hint is safe here
+    // (reductions must use a static hint — see TT::reduce_arity).
+    const int arity =
+        rt::collective::pick_arity(comm.collective(), /*reduce=*/false,
+                                   static_cast<int>(remote.size()),
+                                   detail::local_copy_bytes(data.value()));
     if constexpr (ser::is_splitmd_v<Value>) {
       if (comm.supports_splitmd()) {
         send_tree_splitmd(sink, src, arity, remote, data);
@@ -452,17 +496,20 @@ class Out {
     auto st = std::make_shared<WireTreeState>();
     st->world = world_;
     st->sink = sink;
-    st->arity = arity;
+    std::vector<int> dsts;
+    dsts.reserve(remote.size());
+    for (const auto& [dst, ks] : remote) dsts.push_back(dst);
+    st->shape = rt::collective::build_tree(src, std::move(dsts), arity, w.topology());
     st->members.reserve(remote.size());
-    for (const auto& [dst, ks] : remote) {
+    for (std::size_t p = 1; p < st->shape.ranks.size(); ++p) {
+      const int dst = st->shape.ranks[p];
       ser::OutputArchive kar;
-      kar& ks;
+      kar& remote.at(dst);
       st->members.push_back(
           {dst, std::make_shared<const std::vector<std::byte>>(kar.release())});
     }
     st->data = data;
-    const int n = static_cast<int>(st->members.size());
-    for (int c : rt::collective::tree_children(0, n, arity)) {
+    for (int c : st->shape.children[0]) {
       bool cache_hit = false;
       auto vbuf = data.serialized(&cache_hit);
       if (!st->vbuf) st->vbuf = vbuf;
@@ -486,7 +533,7 @@ class Out {
     };
     rt::World* world = nullptr;
     InTerminalBase<Key, Value>* sink = nullptr;
-    int arity = 2;
+    rt::collective::TreeShape shape;  ///< positions: 0 = sender, p -> members[p-1]
     std::vector<Member> members;
     rt::DataCopy<Value> data;  ///< root source object, alive until all hops land
     std::size_t payload_bytes = 0;
@@ -495,10 +542,9 @@ class Out {
   /// Metadata bytes of the hop delivering subtree `pos` (member metadata
   /// buffers of the subtree + a routing header per forwarded member).
   static std::size_t smd_md_bytes(const SmdTreeState& st, int pos) {
-    const int n = static_cast<int>(st.members.size());
     std::size_t bytes = 0;
     int sub = 0;
-    for (int q : rt::collective::tree_subtree(pos, n, st.arity)) {
+    for (int q : rt::collective::shape_subtree(st.shape, pos)) {
       bytes += st.members[static_cast<std::size_t>(q) - 1].mdbuf->size();
       ++sub;
     }
@@ -514,6 +560,7 @@ class Out {
     rt::World* wp = st->world;
     const int dst = st->members[static_cast<std::size_t>(pos) - 1].rank;
     const std::size_t md_bytes = smd_md_bytes(*st, pos);
+    detail::record_tree_hop(*wp, from, dst);
     rt::Tracer* tr = wp->tracing() ? &wp->tracer() : nullptr;
     std::uint32_t msg = rt::Tracer::kNoNode;
     if (tr != nullptr) {
@@ -567,8 +614,7 @@ class Out {
         tr->set_context(msg);
       }
       auto& comm = wp->comm();
-      const int n = static_cast<int>(st->members.size());
-      const auto children = rt::collective::tree_children(pos, n, st->arity);
+      const auto& children = st->shape.children[static_cast<std::size_t>(pos)];
       double lag = 0.0;
       for (int c : children) {
         comm.mutable_stats().broadcast_forwards += 1;
@@ -598,23 +644,26 @@ class Out {
     auto st = std::make_shared<SmdTreeState>();
     st->world = world_;
     st->sink = sink;
-    st->arity = arity;
+    std::vector<int> dsts;
+    dsts.reserve(remote.size());
+    for (const auto& [dst, ks] : remote) dsts.push_back(dst);
+    st->shape = rt::collective::build_tree(src, std::move(dsts), arity, w.topology());
     st->members.reserve(remote.size());
     auto md = SMD::get_metadata(data.value());
-    for (const auto& [dst, ks] : remote) {
+    for (std::size_t p = 1; p < st->shape.ranks.size(); ++p) {
+      const int dst = st->shape.ranks[p];
       ser::OutputArchive ar;
       ar& md;
-      ar& ks;
+      ar& remote.at(dst);
       st->members.push_back(
           {dst, std::make_shared<std::vector<std::byte>>(ar.release())});
     }
     st->data = data;
     st->payload_bytes = SMD::payload_bytes(data.value());
-    const int n = static_cast<int>(st->members.size());
     // The root's children read the payload straight out of the pinned
     // DataCopy value (aliasing share: releasing it releases the state).
     std::shared_ptr<const Value> rootv(st, &st->data.value());
-    for (int c : rt::collective::tree_children(0, n, arity)) {
+    for (int c : st->shape.children[0]) {
       const double cpu =
           comm.send_side_cpu(st->payload_bytes, ser::Protocol::SplitMetadata);
       const double delay = w.scheduler(src).charge(cpu);

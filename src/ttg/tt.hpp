@@ -20,8 +20,11 @@
 
 #include <array>
 #include <bitset>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <unordered_map>
@@ -58,6 +61,7 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
       return static_cast<int>(support::hash_value(k) % static_cast<std::uint64_t>(n));
     };
     stream_size_.fill(-1);
+    init_reduce(std::make_index_sequence<kNumIn>{});
     connect_inputs(ins, std::make_index_sequence<kNumIn>{});
     connect_outputs(outs, std::make_index_sequence<kNumOut>{});
     world_.register_tt(this);
@@ -113,7 +117,7 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
   [[nodiscard]] std::size_t pending_records() const override {
     std::size_t n = 0;
     for (const auto& m : records_) n += m.size();
-    return n;
+    return n + reduce_pending(std::make_index_sequence<kNumIn>{});
   }
   [[nodiscard]] std::uint64_t tasks_executed() const override { return executed_; }
   [[nodiscard]] int keymap(const Key& k) const { return keymap_(k); }
@@ -168,6 +172,9 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
     void finalize_stream_local(const Key& k) override {
       tt_->template finalize_stream<I>(k);
     }
+    [[nodiscard]] bool stream_reduces_via_tree() const override {
+      return tt_->template reduce_tree_active<I>();
+    }
     [[nodiscard]] rt::World& world() const override { return tt_->world_; }
     [[nodiscard]] const std::string& consumer_name() const override { return tt_->name_; }
 
@@ -217,6 +224,13 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
   template <std::size_t I>
   void put(const Key& key, std::tuple_element_t<I, input_values>&& v) {
     static_assert(I < kNumIn);
+    if (reduce_tree_active<I>()) {
+      // Tree-reducing stream: fold into the *current* rank's partial (the
+      // contribution may arrive on any rank — see Out::route); the combined
+      // value reaches the owner's task record via stream_complete.
+      reduce_put<I>(key, std::move(v));
+      return;
+    }
     Record& rec = record(key);
     TTG_CHECK(!rec.done[I], "input terminal " + std::to_string(I) + " of '" + name_ +
                                 "' received a message for an already-satisfied task " +
@@ -250,6 +264,10 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
   template <std::size_t I>
   void set_stream_size(const Key& key, std::int64_t n) {
     TTG_REQUIRE(is_stream_[I], "set_size on a non-streaming terminal of '" + name_ + "'");
+    if (reduce_tree_active<I>()) {
+      reduce_set_target<I>(key, n);
+      return;
+    }
     Record& rec = record(key);
     TTG_CHECK(!rec.done[I], "stream size set after completion");
     TTG_CHECK(rec.received[I] <= n, "stream size below already-received count");
@@ -263,11 +281,536 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
   template <std::size_t I>
   void finalize_stream(const Key& key) {
     TTG_REQUIRE(is_stream_[I], "finalize on a non-streaming terminal of '" + name_ + "'");
+    if (reduce_tree_active<I>()) {
+      reduce_finalize<I>(key);
+      return;
+    }
     Record& rec = record(key);
     TTG_CHECK(!rec.done[I], "stream finalized twice");
     rec.target[I] = rec.received[I];
     rec.done[I] = true;
     maybe_fire(key);
+  }
+
+  // ------------------------------------------------------------------
+  // Tree-routed streaming reductions (count-then-collect protocol).
+  //
+  // When the consumer backend declares a reduction arity (CollectivePolicy
+  // ::reduce_arity, overridable per world) and the world is wide enough
+  // ((nranks - 1) > arity), a streaming terminal stops routing every
+  // contribution to the key's owner. Instead:
+  //
+  //   * contributions fold into the *contributing* rank's partial value
+  //     (Out::route delivers them locally — see terminal.hpp);
+  //   * all ranks form the inverted topology-aware k-ary tree rooted at
+  //     the key's owner (collective::build_tree), and each rank eagerly
+  //     relays its cumulative subtree contribution *count* to its parent
+  //     (64-byte AMs, merged monotone-max so reordered or retransmitted
+  //     relays are harmless);
+  //   * when the owner's count view reaches the declared stream size the
+  //     counts are provably final (the view is a lower bound on real
+  //     contributions that reaches the target only once every relay chain
+  //     has drained), and a Collect wave walks down the non-empty
+  //     subtrees; finalize() instead sends a Close wave down *all* edges,
+  //     whose replies carry the authoritative final counts;
+  //   * each collected rank folds its local partial with its children's
+  //     combined partials in a deterministic order (local value first,
+  //     then children by ascending child slot — reproducible under
+  //     arbitrary arrival order, including fault-induced retransmits) and
+  //     sends ONE combined partial up: the owner receives O(arity)
+  //     messages and reduce calls per key instead of O(nranks).
+  //
+  // Every hop is an ordinary payload/AM send through the comm engine, so
+  // ReliableLink acks/retransmits protect reduction traffic exactly like
+  // broadcasts, and partials live in leak-checked DataCopy blocks.
+  // ------------------------------------------------------------------
+
+  /// Per-(rank, key) state of one reduction subtree.
+  template <typename V>
+  struct ReduceRec {
+    V value{};  ///< this subtree's combined partial (valid when has_value)
+    bool has_value = false;
+    std::int64_t local = 0;         ///< contributions folded on this rank
+    std::int64_t reported_cum = 0;  ///< largest cum relayed to the parent
+    std::int64_t target = -1;       ///< owner only: declared stream size
+    std::vector<std::int64_t> child_cum;      ///< per child: counted view
+    std::vector<std::optional<V>> child_val;  ///< buffered child partials
+    std::vector<bool> replied;                ///< per child: wave reply seen
+    bool closed = false;      ///< no further local contributions accepted
+    bool collecting = false;  ///< sized Collect wave (vs finalize Close wave)
+    bool done = false;        ///< tombstone: absorbs stale count relays
+    int pending = 0;          ///< child replies still outstanding
+  };
+
+  /// Reduction tree over *all* ranks rooted at a key's owner, cached per
+  /// (owner, arity) — a pure function of the world, shared by every key.
+  struct ReduceShape {
+    rt::collective::TreeShape shape;
+    std::vector<int> pos_of_rank;  ///< rank -> tree position
+  };
+
+  /// Reduction arity for slot I. The adaptive hint must be rank-invariant
+  /// (every rank derives the tree independently), so it is the static
+  /// sizeof of the value type, never a measured payload size.
+  template <std::size_t I>
+  [[nodiscard]] int reduce_arity() const {
+    using V = std::tuple_element_t<I, input_values>;
+    return rt::collective::pick_arity(world_.comm().collective(), /*reduce=*/true,
+                                      world_.nranks() - 1, sizeof(V));
+  }
+
+  /// Tree reduction runs for streaming slot I iff the backend declares an
+  /// arity >= 2 and the world is wide enough that the tree differs from
+  /// the flat fan-in; otherwise the historical flat path runs untouched
+  /// (bit-identical degeneracy).
+  template <std::size_t I>
+  [[nodiscard]] bool reduce_tree_active() const {
+    if (!is_stream_[I]) return false;
+    const int arity = reduce_arity<I>();
+    return arity >= 2 && (world_.nranks() - 1) > arity;
+  }
+
+  template <std::size_t I>
+  const ReduceShape& reduce_shape(int owner) {
+    const int arity = reduce_arity<I>();
+    auto it = reduce_shapes_.find({owner, arity});
+    if (it == reduce_shapes_.end()) {
+      std::vector<int> members;
+      members.reserve(static_cast<std::size_t>(world_.nranks() - 1));
+      for (int r = 0; r < world_.nranks(); ++r)
+        if (r != owner) members.push_back(r);
+      ReduceShape rs;
+      rs.shape = rt::collective::build_tree(owner, std::move(members), arity,
+                                            world_.topology());
+      rs.pos_of_rank.assign(static_cast<std::size_t>(world_.nranks()), -1);
+      for (std::size_t p = 0; p < rs.shape.ranks.size(); ++p)
+        rs.pos_of_rank[static_cast<std::size_t>(rs.shape.ranks[p])] =
+            static_cast<int>(p);
+      it = reduce_shapes_.emplace(std::make_pair(owner, arity), std::move(rs)).first;
+    }
+    return it->second;
+  }
+
+  /// The current rank's reduction record for `key` (created on demand with
+  /// child bookkeeping sized from the tree shape).
+  template <std::size_t I>
+  auto& rrec(const Key& key, int owner, const ReduceShape& rs) {
+    auto& map = std::get<I>(reduce_)[static_cast<std::size_t>(world_.rank())];
+    auto it = map.find(key);
+    if (it == map.end()) {
+      ReduceRec<std::tuple_element_t<I, input_values>> rec;
+      const int pos = rs.pos_of_rank[static_cast<std::size_t>(world_.rank())];
+      const auto& ch = rs.shape.children[static_cast<std::size_t>(pos)];
+      rec.child_cum.assign(ch.size(), 0);
+      rec.child_val.resize(ch.size());
+      rec.replied.assign(ch.size(), false);
+      if (world_.rank() == owner) rec.target = stream_size_[I];
+      it = map.emplace(key, std::move(rec)).first;
+    }
+    return it->second;
+  }
+
+  template <typename R>
+  [[nodiscard]] static std::int64_t reduce_view(const R& rec) {
+    std::int64_t s = rec.local;
+    for (const std::int64_t c : rec.child_cum) s += c;
+    return s;
+  }
+
+  [[nodiscard]] static int slot_in_parent(const ReduceShape& rs, int pos) {
+    const int pp = rs.shape.parent[static_cast<std::size_t>(pos)];
+    const auto& ch = rs.shape.children[static_cast<std::size_t>(pp)];
+    for (std::size_t i = 0; i < ch.size(); ++i)
+      if (ch[i] == pos) return static_cast<int>(i);
+    TTG_CHECK(false, "tree position missing from its parent's child list");
+    return -1;
+  }
+
+  /// A contribution (put) on the current rank for a tree-reduced stream.
+  template <std::size_t I>
+  void reduce_put(const Key& key, std::tuple_element_t<I, input_values>&& v) {
+    const int me = world_.rank();
+    const int owner = keymap_(key);
+    const ReduceShape& rs = reduce_shape<I>(owner);
+    auto& rec = rrec<I>(key, owner, rs);
+    TTG_CHECK(!rec.closed, "stream overflow on '" + name_ +
+                               "' (contribution after the reduction closed)");
+    if (!rec.has_value) {
+      rec.value = std::move(v);
+      rec.has_value = true;
+    } else {
+      std::get<I>(reducers_)(rec.value, std::move(v));
+    }
+    ++rec.local;
+    if (me == owner) {
+      owner_progress<I>(key, rec, rs);
+    } else {
+      relay_count<I>(key, rec, rs);
+    }
+  }
+
+  /// Eagerly relay this subtree's cumulative count to the parent whenever
+  /// it grows. Cumulative + monotone-max merging makes duplicates and
+  /// reordering (AM coalescing, retransmits) harmless.
+  template <std::size_t I>
+  void relay_count(const Key& key,
+                   ReduceRec<std::tuple_element_t<I, input_values>>& rec,
+                   const ReduceShape& rs) {
+    if (rec.closed) return;  // a wave reply now carries the final count
+    const std::int64_t cum = reduce_view(rec);
+    if (cum <= rec.reported_cum) return;
+    rec.reported_cum = cum;
+    const int me = world_.rank();
+    const int pos = rs.pos_of_rank[static_cast<std::size_t>(me)];
+    const int parent = rs.shape.ranks[static_cast<std::size_t>(
+        rs.shape.parent[static_cast<std::size_t>(pos)])];
+    const int slot = slot_in_parent(rs, pos);
+    reduce_ctrl(me, parent,
+                [this, key, slot, cum]() { this->template on_count<I>(key, slot, cum); });
+  }
+
+  template <std::size_t I>
+  void on_count(const Key& key, int slot, std::int64_t cum) {
+    const int me = world_.rank();
+    const int owner = keymap_(key);
+    const ReduceShape& rs = reduce_shape<I>(owner);
+    auto& rec = rrec<I>(key, owner, rs);
+    if (rec.closed) {
+      // Stale or superseded relay racing the wave. Under a sized Collect
+      // the recorded view is provably final, so a larger count means more
+      // contributions than the stream declared.
+      TTG_CHECK(!rec.collecting ||
+                    cum <= rec.child_cum[static_cast<std::size_t>(slot)],
+                "stream overflow on '" + name_ + "' (count beyond declared size)");
+      return;
+    }
+    if (cum <= rec.child_cum[static_cast<std::size_t>(slot)]) return;  // stale
+    rec.child_cum[static_cast<std::size_t>(slot)] = cum;
+    if (me == owner) {
+      owner_progress<I>(key, rec, rs);
+    } else {
+      relay_count<I>(key, rec, rs);
+    }
+  }
+
+  /// Owner: launch the Collect wave the instant the count view reaches the
+  /// declared size (at which point conservation proves the counts final).
+  template <std::size_t I>
+  void owner_progress(const Key& key,
+                      ReduceRec<std::tuple_element_t<I, input_values>>& rec,
+                      const ReduceShape& rs) {
+    if (rec.closed || rec.target < 0) return;
+    const std::int64_t total = reduce_view(rec);
+    TTG_CHECK(total <= rec.target, "stream overflow on '" + name_ + "'");
+    if (total < rec.target) return;
+    rec.closed = true;
+    rec.collecting = true;
+    start_collect<I>(key, rec, rs);
+  }
+
+  template <std::size_t I>
+  void start_collect(const Key& key,
+                     ReduceRec<std::tuple_element_t<I, input_values>>& rec,
+                     const ReduceShape& rs) {
+    const int me = world_.rank();
+    const int pos = rs.pos_of_rank[static_cast<std::size_t>(me)];
+    const auto& ch = rs.shape.children[static_cast<std::size_t>(pos)];
+    rec.pending = 0;
+    for (std::size_t c = 0; c < ch.size(); ++c) {
+      if (rec.child_cum[c] == 0) {
+        rec.replied[c] = true;  // nothing to collect from an empty subtree
+        continue;
+      }
+      ++rec.pending;
+      const int child = rs.shape.ranks[static_cast<std::size_t>(ch[c])];
+      reduce_ctrl(me, child, [this, key]() { this->template on_collect<I>(key); });
+    }
+    if (rec.pending == 0) finish_subtree<I>(key, rec, rs);
+  }
+
+  template <std::size_t I>
+  void on_collect(const Key& key) {
+    const int owner = keymap_(key);
+    const ReduceShape& rs = reduce_shape<I>(owner);
+    auto& rec = rrec<I>(key, owner, rs);
+    TTG_CHECK(!rec.closed, "collect wave reached an already-closed subtree");
+    rec.closed = true;
+    rec.collecting = true;
+    start_collect<I>(key, rec, rs);
+  }
+
+  /// Owner: finalize() closes the stream at its current global length. The
+  /// Close wave must visit *every* edge (counts may still be in flight);
+  /// replies carry each subtree's authoritative final count.
+  template <std::size_t I>
+  void reduce_finalize(const Key& key) {
+    const int owner = keymap_(key);
+    TTG_CHECK(world_.rank() == owner, "finalize must run on the key's owner");
+    const ReduceShape& rs = reduce_shape<I>(owner);
+    auto& rec = rrec<I>(key, owner, rs);
+    TTG_CHECK(!rec.closed, "stream finalized twice on '" + name_ + "'");
+    rec.closed = true;
+    start_close<I>(key, rec, rs);
+  }
+
+  template <std::size_t I>
+  void start_close(const Key& key,
+                   ReduceRec<std::tuple_element_t<I, input_values>>& rec,
+                   const ReduceShape& rs) {
+    const int me = world_.rank();
+    const int pos = rs.pos_of_rank[static_cast<std::size_t>(me)];
+    const auto& ch = rs.shape.children[static_cast<std::size_t>(pos)];
+    rec.pending = static_cast<int>(ch.size());
+    for (const int cpos : ch) {
+      const int child = rs.shape.ranks[static_cast<std::size_t>(cpos)];
+      reduce_ctrl(me, child, [this, key]() { this->template on_close<I>(key); });
+    }
+    if (rec.pending == 0) finish_subtree<I>(key, rec, rs);
+  }
+
+  template <std::size_t I>
+  void on_close(const Key& key) {
+    const int owner = keymap_(key);
+    const ReduceShape& rs = reduce_shape<I>(owner);
+    auto& rec = rrec<I>(key, owner, rs);
+    TTG_CHECK(!rec.closed, "close wave reached an already-closed subtree");
+    rec.closed = true;
+    start_close<I>(key, rec, rs);
+  }
+
+  /// Owner: set_argstream_size for one key (runs on the owner).
+  template <std::size_t I>
+  void reduce_set_target(const Key& key, std::int64_t n) {
+    const int owner = keymap_(key);
+    TTG_CHECK(world_.rank() == owner, "stream size must be set on the key's owner");
+    const ReduceShape& rs = reduce_shape<I>(owner);
+    auto& rec = rrec<I>(key, owner, rs);
+    TTG_CHECK(!rec.closed, "stream size set after completion");
+    rec.target = n;
+    owner_progress<I>(key, rec, rs);
+  }
+
+  /// A child's combined partial landed here (Collect/Close reply).
+  template <std::size_t I>
+  void on_partial(const Key& key, int slot, std::int64_t cum,
+                  std::tuple_element_t<I, input_values>&& v) {
+    const int owner = keymap_(key);
+    const ReduceShape& rs = reduce_shape<I>(owner);
+    auto& rec = rrec<I>(key, owner, rs);
+    world_.comm().mutable_stats().reduce_combines += 1;
+    if (world_.tracing()) world_.tracer().record_reduce_combine(world_.rank());
+    TTG_CHECK(!rec.replied[static_cast<std::size_t>(slot)],
+              "duplicate combined partial from one subtree");
+    TTG_CHECK(cum >= rec.child_cum[static_cast<std::size_t>(slot)],
+              "final subtree count below the relayed view");
+    rec.child_cum[static_cast<std::size_t>(slot)] = cum;  // authoritative
+    rec.child_val[static_cast<std::size_t>(slot)] = std::move(v);
+    child_replied<I>(key, rec, rs, slot);
+  }
+
+  /// Close reply from a subtree that never saw a contribution.
+  template <std::size_t I>
+  void on_final_zero(const Key& key, int slot) {
+    const int owner = keymap_(key);
+    const ReduceShape& rs = reduce_shape<I>(owner);
+    auto& rec = rrec<I>(key, owner, rs);
+    TTG_CHECK(!rec.replied[static_cast<std::size_t>(slot)], "duplicate close reply");
+    TTG_CHECK(rec.child_cum[static_cast<std::size_t>(slot)] == 0,
+              "empty close reply from a subtree that relayed contributions");
+    child_replied<I>(key, rec, rs, slot);
+  }
+
+  template <std::size_t I>
+  void child_replied(const Key& key,
+                     ReduceRec<std::tuple_element_t<I, input_values>>& rec,
+                     const ReduceShape& rs, int slot) {
+    rec.replied[static_cast<std::size_t>(slot)] = true;
+    TTG_CHECK(rec.pending > 0, "reduction reply without an open wave");
+    if (--rec.pending == 0) finish_subtree<I>(key, rec, rs);
+  }
+
+  /// All expected children replied: fold deterministically and either
+  /// complete the task record (owner) or send ONE combined partial up.
+  template <std::size_t I>
+  void finish_subtree(const Key& key,
+                      ReduceRec<std::tuple_element_t<I, input_values>>& rec,
+                      const ReduceShape& rs) {
+    using V = std::tuple_element_t<I, input_values>;
+    // Deterministic fold order: the local value first, then the children's
+    // partials by ascending child slot — independent of arrival order, so
+    // reruns (including fault-induced retransmits) are bit-identical.
+    for (auto& cv : rec.child_val) {
+      if (!cv) continue;
+      if (!rec.has_value) {
+        rec.value = std::move(*cv);
+        rec.has_value = true;
+      } else {
+        std::get<I>(reducers_)(rec.value, std::move(*cv));
+      }
+      cv.reset();
+    }
+    const std::int64_t cum = reduce_view(rec);
+    const int me = world_.rank();
+    const int owner = keymap_(key);
+    rec.done = true;
+    if (me == owner) {
+      if (rec.collecting)
+        TTG_CHECK(cum == rec.target, "collected total != declared stream size");
+      V out = rec.has_value ? std::move(rec.value) : V{};
+      rec.has_value = false;
+      stream_complete<I>(key, std::move(out), cum);
+      return;
+    }
+    const int pos = rs.pos_of_rank[static_cast<std::size_t>(me)];
+    const int parent = rs.shape.ranks[static_cast<std::size_t>(
+        rs.shape.parent[static_cast<std::size_t>(pos)])];
+    const int slot = slot_in_parent(rs, pos);
+    if (cum == 0) {
+      reduce_ctrl(me, parent,
+                  [this, key, slot]() { this->template on_final_zero<I>(key, slot); });
+      return;
+    }
+    TTG_CHECK(rec.has_value, "non-empty subtree without a combined value");
+    world_.comm().mutable_stats().reduce_forwards += 1;
+    if (world_.tracing()) world_.tracer().record_reduce_forward(me);
+    detail::record_tree_hop(world_, me, parent);
+    V out = std::move(rec.value);
+    rec.has_value = false;
+    reduce_send_partial<I>(me, parent, key, slot, cum, std::move(out));
+  }
+
+  /// Owner: deliver the fully-combined value into the ordinary task record
+  /// as if `total` flat contributions had arrived (then fire as usual).
+  template <std::size_t I>
+  void stream_complete(const Key& key, std::tuple_element_t<I, input_values>&& v,
+                       std::int64_t total) {
+    Record& rec = record(key);
+    TTG_CHECK(!rec.done[I], "reduced stream completed an already-satisfied input");
+    std::get<I>(rec.vals) = std::move(v);
+    rec.received[I] = total;
+    rec.target[I] = total;
+    rec.done[I] = true;
+    maybe_fire(key);
+  }
+
+  /// 64-byte reduction-control AM (Count/Collect/Close/FinalZero), charged
+  /// and traced exactly like Out::control's stream-control messages; rides
+  /// the AM coalescer and ReliableLink like any other control traffic.
+  void reduce_ctrl(int from, int to, std::function<void()> action) {
+    auto& w = world_;
+    auto& comm = w.comm();
+    constexpr std::size_t kCtrlBytes = 64;
+    const double cpu = comm.send_side_cpu(kCtrlBytes, ser::Protocol::Trivial);
+    const double delay = w.scheduler(from).charge(cpu);
+    rt::Tracer* tr = w.tracing() ? &w.tracer() : nullptr;
+    std::uint32_t msg = rt::Tracer::kNoNode;
+    if (tr != nullptr) {
+      msg = tr->message_created(name_ + "#rtree", from, to, kCtrlBytes,
+                                /*splitmd=*/false);
+      tr->add_copies(from, comm.send_copies(ser::Protocol::Trivial));
+      tr->add_copies(to, comm.recv_copies(ser::Protocol::Trivial));
+    }
+    rt::World* wp = &world_;
+    w.engine().after(delay, [wp, from, to, action = std::move(action), tr, msg]() {
+      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+      wp->comm().send_message(from, to, kCtrlBytes, [wp, to, action, tr, msg]() {
+        wp->run_as(to, [&]() {
+          // Count/Collect/Close arrivals can complete a reduction (and a
+          // task): keep the causality context so it links to this message.
+          if (tr != nullptr) {
+            tr->message_delivered(msg, wp->engine().now());
+            tr->set_context(msg);
+          }
+          action();
+          if (tr != nullptr) tr->clear_context();
+        });
+      });
+    });
+  }
+
+  /// Ship one combined partial (value + {key, child slot, final count}) up
+  /// the tree. The value lives in a leak-checked DataCopy pinned across
+  /// retransmissions. Partials always take the whole-object archive path,
+  /// never split-metadata: a combined partial is a *reducer output*, and a
+  /// type's SplitMetadata describes single contributions only (e.g. MRA
+  /// compress batches merge under reduction into shapes their RMA protocol
+  /// cannot express).
+  template <std::size_t I>
+  void reduce_send_partial(int from, int to, const Key& key, int slot,
+                           std::int64_t cum,
+                           std::tuple_element_t<I, input_values>&& value) {
+    using V = std::tuple_element_t<I, input_values>;
+    auto& w = world_;
+    auto& comm = w.comm();
+    rt::Tracer* tr = w.tracing() ? &w.tracer() : nullptr;
+    rt::DataCopy<V> data(w.data_tracker(), tr, comm, from, std::move(value));
+    static_assert(std::is_default_constructible_v<V>,
+                  "remote TTG values must be default-constructible");
+    bool cache_hit = false;
+    auto vbuf = data.serialized(&cache_hit);  // a fresh partial: always a miss
+    ser::OutputArchive har;
+    har& key;
+    har& slot;
+    har& cum;
+    auto hbuf = std::make_shared<const std::vector<std::byte>>(har.release());
+    const std::size_t wire = ser::wire_size(data.value(), vbuf->size() + hbuf->size());
+    constexpr ser::Protocol proto =
+        ser::protocol_for<V>() == ser::Protocol::SplitMetadata
+            ? ser::Protocol::Archive
+            : ser::protocol_for<V>();
+    const double cpu =
+        cache_hit ? comm.per_message_cpu() : comm.send_side_cpu(wire, proto);
+    const double delay = w.scheduler(from).charge(cpu);
+    std::uint32_t msg = rt::Tracer::kNoNode;
+    if (tr != nullptr) {
+      msg = tr->message_created(name_ + "#rtree", from, to, wire, /*splitmd=*/false);
+      tr->add_copies(from, cache_hit ? 0 : comm.send_copies(proto));
+      tr->add_copies(to, comm.recv_copies(proto));
+    }
+    rt::World* wp = &world_;
+    w.engine().after(delay, [this, wp, from, to, wire, vbuf, hbuf, data, tr, msg]() {
+      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+      wp->comm().send_payload(from, to, wire, data.pin(),
+                              [this, wp, to, vbuf, hbuf, tr, msg]() {
+        using VV = std::tuple_element_t<I, input_values>;
+        ser::InputArchive ia(*vbuf);
+        VV v{};
+        ia& v;
+        ser::InputArchive ha(*hbuf);
+        Key k{};
+        int slot2 = 0;
+        std::int64_t cum2 = 0;
+        ha& k;
+        ha& slot2;
+        ha& cum2;
+        wp->run_as(to, [&]() {
+          if (tr != nullptr) {
+            tr->message_delivered(msg, wp->engine().now());
+            tr->set_context(msg);
+          }
+          this->template on_partial<I>(k, slot2, cum2, std::move(v));
+          if (tr != nullptr) tr->clear_context();
+        });
+      });
+    });
+  }
+
+  /// Live (non-tombstoned) reduction records, counted into pending_records
+  /// so an incomplete reduction shows up as unfinished work after fence().
+  template <std::size_t... Is>
+  [[nodiscard]] std::size_t reduce_pending(std::index_sequence<Is...>) const {
+    std::size_t n = 0;
+    auto count = [&n](const auto& per_rank) {
+      for (const auto& m : per_rank)
+        for (const auto& kv : m) n += kv.second.done ? 0 : 1;
+    };
+    (count(std::get<Is>(reduce_)), ...);
+    return n;
+  }
+
+  template <std::size_t... Is>
+  void init_reduce(std::index_sequence<Is...>) {
+    (std::get<Is>(reduce_).resize(static_cast<std::size_t>(world_.nranks())), ...);
   }
 
   void maybe_fire(const Key& key) {
@@ -327,6 +870,13 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
   std::function<double(const Key&, const InV&...)> costmap_;
   std::vector<std::unordered_map<Key, Record, KeyHash<Key>>> records_;
   std::tuple<std::function<void(InV&, InV&&)>...> reducers_;
+  // Tree-reduction state: per slot, per rank, per key. Tombstoned (done)
+  // records are kept so stale count relays can be absorbed after the wave;
+  // they are excluded from pending_records and hold no payload.
+  template <typename V>
+  using ReduceMap = std::unordered_map<Key, ReduceRec<V>, KeyHash<Key>>;
+  std::tuple<std::vector<ReduceMap<InV>>...> reduce_;
+  std::map<std::pair<int, int>, ReduceShape> reduce_shapes_;  ///< (owner, arity)
   std::array<bool, kSlots> is_stream_{};
   std::array<std::int64_t, kSlots> stream_size_{};
   std::tuple<std::shared_ptr<detail::EdgeImpl<Key, InV>>...> in_edges_;
