@@ -66,10 +66,16 @@ def main():
     # reductions (combined partials shipped up / absorbed at interior
     # ranks); intra/inter_node_hops classify every payload-bearing tree hop
     # against the topology layout.
+    # jobs/job_messages/job_splitmd/cache_hits/cache_misses come from the
+    # multi-tenant serving bench (serve_jobs): per-job attributed traffic
+    # and the template-graph instantiation cache. Fields absent from both
+    # documents compare equal, so older benches are unaffected.
     exact_fields = ("messages", "splitmd_sends", "serializations",
                     "serialize_hits", "broadcast_forwards", "am_batches",
                     "batched_msgs", "reduce_forwards", "reduce_combines",
-                    "intra_node_hops", "inter_node_hops")
+                    "intra_node_hops", "inter_node_hops", "jobs",
+                    "job_messages", "job_splitmd", "cache_hits",
+                    "cache_misses")
 
     failures = []
     print(f"{'nodes':>5} {'backend':>8} {'baseline[s]':>14} {'current[s]':>14} "

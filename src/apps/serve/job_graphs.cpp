@@ -1,0 +1,612 @@
+#include "apps/serve/job_graphs.hpp"
+
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "graph/fw_kernels.hpp"
+#include "linalg/dist.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/matrix_gen.hpp"
+#include "support/rng.hpp"
+#include "ttg/ttg.hpp"
+
+namespace ttg::apps::serve {
+namespace {
+
+using linalg::Tile;
+using linalg::TiledMatrix;
+
+/// Tiled Cholesky with the exact apps/cholesky wiring (edges, kernels,
+/// keymaps, priority/cost maps, injection order), rebuilt as a restartable
+/// instance: the INITIATOR reads the per-run matrix member instead of a
+/// caller-owned matrix, and RESULT records tile norms + counts arrivals.
+class PotrfServeGraph final : public JobGraph {
+ public:
+  PotrfServeGraph(rt::World& world, rt::GraphKey key)
+      : JobGraph(std::move(key)),
+        world_(world),
+        n_(static_cast<int>(key_.params[0])),
+        bs_(static_cast<int>(key_.params[1])),
+        nt_((n_ + bs_ - 1) / bs_) {
+    TTG_REQUIRE(n_ > 0 && bs_ > 0, "potrf job graph needs n > 0 and block > 0");
+    const auto* mach = &world_.machine();
+    const linalg::BlockCyclic2D dist = linalg::BlockCyclic2D::make(world_.nranks());
+    const int nt = nt_;
+
+    Edge<Int1, Tile> to_potrf("to_potrf");
+    Edge<Int2, Tile> potrf_trsm("potrf_trsm");
+    Edge<Int2, Tile> to_trsm("to_trsm");
+    Edge<Int2, Tile> trsm_syrk("trsm_syrk");
+    Edge<Int2, Tile> to_syrk("to_syrk");
+    Edge<Int3, Tile> trsm_gemm_row("trsm_gemm_row");
+    Edge<Int3, Tile> trsm_gemm_col("trsm_gemm_col");
+    Edge<Int3, Tile> to_gemm("to_gemm");
+    Edge<Int2, Tile> result("result");
+
+    auto potrf_fn = [nt](const Int1& key, Tile& tile_kk,
+                         std::tuple<Out<Int2, Tile>, Out<Int2, Tile>>& out) {
+      const int k = key.i;
+      TTG_CHECK(linalg::potrf(tile_kk), "matrix is not SPD");
+      std::vector<Int2> trsm_ids;
+      for (int m = k + 1; m < nt; ++m) trsm_ids.push_back(Int2{m, k});
+      ttg::send<0>(Int2{k, k}, tile_kk, out);
+      ttg::broadcast<1>(trsm_ids, tile_kk, out);
+    };
+    auto potrf_tt = make_tt(world_, potrf_fn, edges(to_potrf),
+                            edges(result, potrf_trsm), "POTRF");
+
+    auto trsm_fn = [nt](const Int2& key, Tile& tile_kk, Tile& tile_mk,
+                        std::tuple<Out<Int2, Tile>, Out<Int2, Tile>,
+                                   Out<Int3, Tile>, Out<Int3, Tile>>& out) {
+      const auto [m, k] = key;
+      linalg::trsm(tile_kk, tile_mk);
+      std::vector<Int3> row_ids, col_ids;
+      for (int n = k + 1; n < m; ++n) row_ids.push_back(Int3{m, n, k});
+      for (int i = m + 1; i < nt; ++i) col_ids.push_back(Int3{i, m, k});
+      ttg::broadcast<0, 1, 2, 3>(
+          std::make_tuple(Int2{m, k}, Int2{k, m}, row_ids, col_ids), tile_mk, out);
+    };
+    auto trsm_tt =
+        make_tt(world_, trsm_fn, edges(potrf_trsm, to_trsm),
+                edges(result, trsm_syrk, trsm_gemm_row, trsm_gemm_col), "TRSM");
+
+    auto syrk_fn = [](const Int2& key, Tile& l_mk, Tile& c_mm,
+                      std::tuple<Out<Int1, Tile>, Out<Int2, Tile>>& out) {
+      const auto [k, m] = key;
+      linalg::syrk(l_mk, c_mm);
+      if (k == m - 1) {
+        ttg::send<0>(Int1{m}, std::move(c_mm), out);
+      } else {
+        ttg::send<1>(Int2{k + 1, m}, std::move(c_mm), out);
+      }
+    };
+    auto syrk_tt = make_tt(world_, syrk_fn, edges(trsm_syrk, to_syrk),
+                           edges(to_potrf, to_syrk), "SYRK");
+
+    auto gemm_fn = [](const Int3& key, Tile& l_mk, Tile& l_nk, Tile& c_mn,
+                      std::tuple<Out<Int2, Tile>, Out<Int3, Tile>>& out) {
+      const auto [m, n, k] = key;
+      linalg::gemm_nt(c_mn, l_mk, l_nk);
+      if (k == n - 1) {
+        ttg::send<0>(Int2{m, n}, std::move(c_mn), out);
+      } else {
+        ttg::send<1>(Int3{m, n, k + 1}, std::move(c_mn), out);
+      }
+    };
+    auto gemm_tt = make_tt(world_, gemm_fn,
+                           edges(trsm_gemm_row, trsm_gemm_col, to_gemm),
+                           edges(to_trsm, to_gemm), "GEMM");
+
+    auto result_tt = make_sink(
+        world_, result,
+        [this](const Int2& key, Tile& t) {
+          result_[{key.i, key.j}] = t.norm();
+          finish_one();
+        },
+        "RESULT");
+
+    potrf_tt->set_keymap([dist](const Int1& k) { return dist.owner(k.i, k.i); });
+    trsm_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+    syrk_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.j, k.j); });
+    gemm_tt->set_keymap([dist](const Int3& k) { return dist.owner(k.i, k.j); });
+    result_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+
+    potrf_tt->set_priomap([nt](const Int1& k) { return 3 * (nt - k.i); });
+    trsm_tt->set_priomap([nt](const Int2& k) { return 2 * (nt - k.j); });
+    syrk_tt->set_priomap([nt](const Int2& k) { return nt - k.i; });
+    gemm_tt->set_priomap([nt](const Int3& k) { return nt - k.k; });
+
+    potrf_tt->set_costmap([mach](const Int1&, const Tile& t) {
+      return linalg::potrf_time(*mach, t.rows());
+    });
+    trsm_tt->set_costmap([mach](const Int2&, const Tile& lkk, const Tile& amk) {
+      (void)lkk;
+      return linalg::trsm_time(*mach, amk.rows(), amk.cols());
+    });
+    syrk_tt->set_costmap([mach](const Int2&, const Tile& l, const Tile& c) {
+      return linalg::syrk_time(*mach, c.rows(), l.cols());
+    });
+    gemm_tt->set_costmap(
+        [mach](const Int3&, const Tile& a_, const Tile& b_, const Tile& c_) {
+          (void)b_;
+          return linalg::gemm_time(*mach, c_.rows(), c_.cols(), a_.cols());
+        });
+
+    auto init_fn = [this](const Int2& key,
+                          std::tuple<Out<Int1, Tile>, Out<Int2, Tile>,
+                                     Out<Int2, Tile>, Out<Int3, Tile>>& out) {
+      const auto [m, n] = key;
+      Tile t = a_.tile(m, n);
+      if (m == 0 && n == 0) {
+        ttg::send<0>(Int1{0}, std::move(t), out);
+      } else if (m == n) {
+        ttg::send<2>(Int2{0, m}, std::move(t), out);
+      } else if (n == 0) {
+        ttg::send<1>(Int2{m, 0}, std::move(t), out);
+      } else {
+        ttg::send<3>(Int3{m, n, 0}, std::move(t), out);
+      }
+    };
+    auto init_tt = make_tt<Int2>(world_, init_fn, std::tuple<>{},
+                                 edges(to_potrf, to_trsm, to_syrk, to_gemm),
+                                 "INITIATOR");
+    init_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+
+    rt::make_graph_executable(*potrf_tt);
+    rt::make_graph_executable(*trsm_tt);
+    rt::make_graph_executable(*syrk_tt);
+    rt::make_graph_executable(*gemm_tt);
+    rt::make_graph_executable(*result_tt);
+    rt::make_graph_executable(*init_tt);
+
+    tts_ = {potrf_tt.get(), trsm_tt.get(),   syrk_tt.get(),
+            gemm_tt.get(),  result_tt.get(), init_tt.get()};
+    auto* potrf_raw = potrf_tt.get();
+    mutate_ = [potrf_raw, dist]() {
+      potrf_raw->set_keymap([dist](const Int1& k) { return dist.owner(k.i, k.i); });
+    };
+    auto* init_raw = init_tt.get();
+    inject_ = [this, init_raw]() {
+      for (int m = 0; m < nt_; ++m)
+        for (int n = 0; n <= m; ++n) init_raw->invoke(Int2{m, n});
+    };
+    hold_.push_back(std::shared_ptr<void>(std::move(potrf_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(trsm_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(syrk_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(gemm_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(result_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(init_tt)));
+  }
+
+  void start(std::uint64_t seed, std::function<void()> on_done) override {
+    begin_run(nt_ * (nt_ + 1) / 2, std::move(on_done));
+    support::Rng rng(seed);
+    a_ = linalg::random_spd(rng, n_, bs_);
+    inject_();
+  }
+
+ private:
+  rt::World& world_;
+  int n_;
+  int bs_;
+  int nt_;
+  TiledMatrix a_;  ///< this run's input (regenerated by start())
+  std::function<void()> inject_;
+};
+
+/// Route tile (i,j) into FW round `k` (or to RESULT when rounds are done);
+/// identical to the apps/fw_apsp router.
+template <typename OutTuple>
+void fw_route(int i, int j, int k, int nt, Tile&& t, OutTuple& out) {
+  if (k == nt) {
+    ttg::send<4>(Int2{i, j}, std::move(t), out);
+  } else if (i == k && j == k) {
+    ttg::send<0>(Int1{k}, std::move(t), out);
+  } else if (i == k) {
+    ttg::send<1>(Int2{j, k}, std::move(t), out);
+  } else if (j == k) {
+    ttg::send<2>(Int2{i, k}, std::move(t), out);
+  } else {
+    ttg::send<3>(Int3{i, j, k}, std::move(t), out);
+  }
+}
+
+/// Floyd-Warshall APSP with the exact apps/fw_apsp wiring, restartable:
+/// the per-run adjacency matrix is a member and RESULT counts nt^2 tiles.
+class FwServeGraph final : public JobGraph {
+ public:
+  FwServeGraph(rt::World& world, rt::GraphKey key)
+      : JobGraph(std::move(key)),
+        world_(world),
+        n_(static_cast<int>(key_.params[0])),
+        bs_(static_cast<int>(key_.params[1])),
+        nt_((n_ + bs_ - 1) / bs_) {
+    TTG_REQUIRE(n_ > 0 && bs_ > 0, "fw job graph needs n > 0 and block > 0");
+    const auto* mach = &world_.machine();
+    const auto dist = linalg::BlockCyclic2D::make(world_.nranks());
+    const int nt = nt_;
+
+    Edge<Int1, Tile> to_a("to_a");
+    Edge<Int2, Tile> to_b("to_b");
+    Edge<Int2, Tile> to_c("to_c");
+    Edge<Int3, Tile> to_d("to_d");
+    Edge<Int2, Tile> a_to_b("a_to_b");
+    Edge<Int2, Tile> a_to_c("a_to_c");
+    Edge<Int3, Tile> b_to_d("b_to_d");
+    Edge<Int3, Tile> c_to_d("c_to_d");
+    Edge<Int2, Tile> result("result");
+
+    using Out5 = std::tuple<Out<Int1, Tile>, Out<Int2, Tile>, Out<Int2, Tile>,
+                            Out<Int3, Tile>, Out<Int2, Tile>>;
+
+    auto a_fn = [nt](const Int1& key, Tile& w,
+                     std::tuple<Out<Int1, Tile>, Out<Int2, Tile>, Out<Int2, Tile>,
+                                Out<Int3, Tile>, Out<Int2, Tile>, Out<Int2, Tile>,
+                                Out<Int2, Tile>>& out) {
+      const int k = key.i;
+      graph::fw_a(w);
+      std::vector<Int2> row_ids, col_ids;
+      for (int j = 0; j < nt; ++j) {
+        if (j == k) continue;
+        row_ids.push_back(Int2{j, k});
+        col_ids.push_back(Int2{j, k});
+      }
+      ttg::broadcast<5>(row_ids, w, out);
+      ttg::broadcast<6>(col_ids, w, out);
+      auto sub = std::tie(std::get<0>(out), std::get<1>(out), std::get<2>(out),
+                          std::get<3>(out), std::get<4>(out));
+      fw_route(k, k, k + 1, nt, std::move(w), sub);
+    };
+
+    auto b_fn = [nt](const Int2& key, Tile& a_kk, Tile& w,
+                     std::tuple<Out<Int1, Tile>, Out<Int2, Tile>, Out<Int2, Tile>,
+                                Out<Int3, Tile>, Out<Int2, Tile>,
+                                Out<Int3, Tile>>& out) {
+      const auto [j, k] = key;
+      graph::fw_b(w, a_kk);
+      std::vector<Int3> d_ids;
+      for (int i = 0; i < nt; ++i)
+        if (i != k) d_ids.push_back(Int3{i, j, k});
+      ttg::broadcast<5>(d_ids, w, out);
+      auto sub = std::tie(std::get<0>(out), std::get<1>(out), std::get<2>(out),
+                          std::get<3>(out), std::get<4>(out));
+      fw_route(k, j, k + 1, nt, std::move(w), sub);
+    };
+
+    auto c_fn = [nt](const Int2& key, Tile& a_kk, Tile& w,
+                     std::tuple<Out<Int1, Tile>, Out<Int2, Tile>, Out<Int2, Tile>,
+                                Out<Int3, Tile>, Out<Int2, Tile>,
+                                Out<Int3, Tile>>& out) {
+      const auto [i, k] = key;
+      graph::fw_c(w, a_kk);
+      std::vector<Int3> d_ids;
+      for (int j = 0; j < nt; ++j)
+        if (j != k) d_ids.push_back(Int3{i, j, k});
+      ttg::broadcast<5>(d_ids, w, out);
+      auto sub = std::tie(std::get<0>(out), std::get<1>(out), std::get<2>(out),
+                          std::get<3>(out), std::get<4>(out));
+      fw_route(i, k, k + 1, nt, std::move(w), sub);
+    };
+
+    auto d_fn = [nt](const Int3& key, Tile& w_kj, Tile& w_ik, Tile& w, Out5& out) {
+      const auto [i, j, k] = key;
+      graph::fw_d(w, w_ik, w_kj);
+      fw_route(i, j, k + 1, nt, std::move(w), out);
+    };
+
+    auto a_tt = make_tt(world_, a_fn, edges(to_a),
+                        edges(to_a, to_b, to_c, to_d, result, a_to_b, a_to_c),
+                        "FW_A");
+    auto b_tt = make_tt(world_, b_fn, edges(a_to_b, to_b),
+                        edges(to_a, to_b, to_c, to_d, result, b_to_d), "FW_B");
+    auto c_tt = make_tt(world_, c_fn, edges(a_to_c, to_c),
+                        edges(to_a, to_b, to_c, to_d, result, c_to_d), "FW_C");
+    auto d_tt = make_tt(world_, d_fn, edges(b_to_d, c_to_d, to_d),
+                        edges(to_a, to_b, to_c, to_d, result), "FW_D");
+
+    a_tt->set_keymap([dist](const Int1& k) { return dist.owner(k.i, k.i); });
+    b_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.j, k.i); });
+    c_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+    d_tt->set_keymap([dist](const Int3& k) { return dist.owner(k.i, k.j); });
+
+    a_tt->set_priomap([nt](const Int1& k) { return 3 * (nt - k.i); });
+    b_tt->set_priomap([nt](const Int2& k) { return 2 * (nt - k.j); });
+    c_tt->set_priomap([nt](const Int2& k) { return 2 * (nt - k.j); });
+    d_tt->set_priomap([nt](const Int3& k) { return nt - k.k; });
+
+    a_tt->set_costmap([mach](const Int1&, const Tile& w) {
+      return graph::fw_time(*mach, w.rows(), w.cols(), w.rows());
+    });
+    b_tt->set_costmap([mach](const Int2&, const Tile& a, const Tile& w) {
+      return graph::fw_time(*mach, w.rows(), w.cols(), a.rows());
+    });
+    c_tt->set_costmap([mach](const Int2&, const Tile& a, const Tile& w) {
+      return graph::fw_time(*mach, w.rows(), w.cols(), a.rows());
+    });
+    d_tt->set_costmap(
+        [mach](const Int3&, const Tile& r, const Tile& c, const Tile& w) {
+          (void)c;
+          return graph::fw_time(*mach, w.rows(), w.cols(), r.rows());
+        });
+
+    auto result_tt = make_sink(
+        world_, result,
+        [this](const Int2& key, Tile& t) {
+          result_[{key.i, key.j}] = t.norm();
+          finish_one();
+        },
+        "RESULT");
+    result_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+
+    auto init_fn = [this, nt](const Int2& key, Out5& out) {
+      Tile t = w0_.tile(key.i, key.j);
+      fw_route(key.i, key.j, 0, nt, std::move(t), out);
+    };
+    auto init_tt = make_tt<Int2>(world_, init_fn, std::tuple<>{},
+                                 edges(to_a, to_b, to_c, to_d, result),
+                                 "INITIATOR");
+    init_tt->set_keymap([dist](const Int2& k) { return dist.owner(k.i, k.j); });
+
+    rt::make_graph_executable(*a_tt);
+    rt::make_graph_executable(*b_tt);
+    rt::make_graph_executable(*c_tt);
+    rt::make_graph_executable(*d_tt);
+    rt::make_graph_executable(*result_tt);
+    rt::make_graph_executable(*init_tt);
+
+    tts_ = {a_tt.get(),      b_tt.get(), c_tt.get(),
+            d_tt.get(),      result_tt.get(), init_tt.get()};
+    auto* a_raw = a_tt.get();
+    mutate_ = [a_raw, dist]() {
+      a_raw->set_keymap([dist](const Int1& k) { return dist.owner(k.i, k.i); });
+    };
+    auto* init_raw = init_tt.get();
+    inject_ = [this, init_raw]() {
+      for (int i = 0; i < nt_; ++i)
+        for (int j = 0; j < nt_; ++j) init_raw->invoke(Int2{i, j});
+    };
+    hold_.push_back(std::shared_ptr<void>(std::move(a_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(b_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(c_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(d_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(result_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(init_tt)));
+  }
+
+  void start(std::uint64_t seed, std::function<void()> on_done) override {
+    begin_run(nt_ * nt_, std::move(on_done));
+    support::Rng rng(seed);
+    w0_ = linalg::random_adjacency(rng, n_, bs_);
+    inject_();
+  }
+
+ private:
+  rt::World& world_;
+  int n_;
+  int bs_;
+  int nt_;
+  TiledMatrix w0_;
+  std::function<void()> inject_;
+};
+
+/// Compact block-sparse matmul C = A * B with a streaming tile_add
+/// reduction per output tile (the bspmm accumulation pattern, without the
+/// app's coordinator pipeline). The sparsity masks are regenerated per run
+/// from the job's seed, so each run's task set differs — exactly the
+/// serving scenario where one compiled graph hosts many differently-shaped
+/// jobs.
+///
+/// Streaming-terminal records are tombstoned per key once a reduction
+/// closes, so a key cannot be reused by a later run. Each run therefore
+/// stamps a fresh epoch into the i-component of its keys (i' = epoch*nt+i);
+/// the keymaps unpack `i' % nt`, keeping placement (and thus scheduling
+/// behavior) epoch-invariant.
+class BspmmServeGraph final : public JobGraph {
+ public:
+  BspmmServeGraph(rt::World& world, rt::GraphKey key)
+      : JobGraph(std::move(key)),
+        world_(world),
+        nt_(static_cast<int>(key_.params[0])),
+        bs_(static_cast<int>(key_.params[1])),
+        density_(key_.params[2] > 0
+                     ? static_cast<double>(key_.params[2]) / 100.0
+                     : 0.4) {
+    TTG_REQUIRE(nt_ > 0 && bs_ > 0, "bspmm job graph needs nt > 0 and block > 0");
+    const auto* mach = &world_.machine();
+    const auto dist = linalg::BlockCyclic2D::make(world_.nranks());
+    const int nt = nt_;
+
+    Edge<Int3, Tile> a_to_mm("a_to_mm");
+    Edge<Int3, Tile> b_to_mm("b_to_mm");
+    Edge<Int2, Tile> mm_to_c("mm_to_c");
+    Edge<Int2, Tile> c_result("c_result");
+
+    // READ_A(i', k): broadcast A(i,k) to MM(i,j,k) for every stored B(k,j).
+    auto init_a_fn = [this, nt](const Int2& key, std::tuple<Out<Int3, Tile>>& out) {
+      const int i = key.i % nt;
+      const int k = key.j;
+      std::vector<Int3> ids;
+      for (int j = 0; j < nt; ++j)
+        if (b_mask_[static_cast<std::size_t>(k * nt + j)])
+          ids.push_back(Int3{key.i, j, k});
+      Tile t = a_tiles_.at({i, k});
+      ttg::broadcast<0>(ids, t, out);
+    };
+    auto init_a_tt = make_tt<Int2>(world_, init_a_fn, std::tuple<>{},
+                                   edges(a_to_mm), "READ_A");
+
+    // READ_B(k', j): broadcast B(k,j) to MM(i,j,k) for every stored A(i,k).
+    auto init_b_fn = [this, nt](const Int2& key, std::tuple<Out<Int3, Tile>>& out) {
+      const int k = key.i % nt;
+      const int j = key.j;
+      const int epoch_base = key.i - k;
+      std::vector<Int3> ids;
+      for (int i = 0; i < nt; ++i)
+        if (a_mask_[static_cast<std::size_t>(i * nt + k)])
+          ids.push_back(Int3{epoch_base + i, j, k});
+      Tile t = b_tiles_.at({k, j});
+      ttg::broadcast<0>(ids, t, out);
+    };
+    auto init_b_tt = make_tt<Int2>(world_, init_b_fn, std::tuple<>{},
+                                   edges(b_to_mm), "READ_B");
+
+    // MM(i', j, k): one tile product, streamed into C(i,j)'s reduction.
+    auto mm_fn = [](const Int3& key, Tile& at, Tile& bt,
+                    std::tuple<Out<Int2, Tile>>& out) {
+      Tile c(at.rows(), bt.cols());
+      linalg::gemm_nn_acc(c, at, bt);
+      ttg::send<0>(Int2{key.i, key.j}, std::move(c), out);
+    };
+    auto mm_tt = make_tt(world_, mm_fn, edges(a_to_mm, b_to_mm),
+                         edges(mm_to_c), "MULTIPLY");
+
+    // C_REDUCE(i', j): streaming tile_add fold over the key's products;
+    // per-key stream sizes are declared by start() from the run's masks.
+    auto red_fn = [](const Int2& key, Tile& acc, std::tuple<Out<Int2, Tile>>& out) {
+      ttg::send<0>(key, std::move(acc), out);
+    };
+    auto red_tt = make_tt(world_, red_fn, edges(mm_to_c), edges(c_result),
+                          "C_REDUCE");
+    red_tt->set_input_reducer<0>(
+        [](Tile& acc, Tile&& v) { linalg::tile_add(acc, v); });
+
+    auto sink_tt = make_sink(
+        world_, c_result,
+        [this, nt](const Int2& key, Tile& t) {
+          result_[{key.i % nt, key.j}] = t.norm();
+          finish_one();
+        },
+        "C_RESULT");
+
+    auto unpack_owner = [dist, nt](const Int2& k) {
+      return dist.owner(k.i % nt, k.j);
+    };
+    init_a_tt->set_keymap(unpack_owner);
+    init_b_tt->set_keymap(unpack_owner);
+    mm_tt->set_keymap([dist, nt](const Int3& k) {
+      return dist.owner(k.i % nt, k.j);
+    });
+    red_tt->set_keymap(unpack_owner);
+    sink_tt->set_keymap(unpack_owner);
+
+    mm_tt->set_costmap([mach](const Int3&, const Tile& at, const Tile& bt) {
+      return linalg::gemm_time(*mach, at.rows(), bt.cols(), at.cols());
+    });
+
+    rt::make_graph_executable(*init_a_tt);
+    rt::make_graph_executable(*init_b_tt);
+    rt::make_graph_executable(*mm_tt);
+    rt::make_graph_executable(*red_tt);
+    rt::make_graph_executable(*sink_tt);
+
+    tts_ = {init_a_tt.get(), init_b_tt.get(), mm_tt.get(), red_tt.get(),
+            sink_tt.get()};
+    auto* mm_raw = mm_tt.get();
+    mutate_ = [mm_raw, dist, nt]() {
+      mm_raw->set_keymap([dist, nt](const Int3& k) {
+        return dist.owner(k.i % nt, k.j);
+      });
+    };
+    auto* red_raw = red_tt.get();
+    set_size_ = [red_raw](const Int2& k, std::int64_t n) {
+      red_raw->set_argstream_size<0>(k, n);
+    };
+    auto* ia_raw = init_a_tt.get();
+    auto* ib_raw = init_b_tt.get();
+    inject_ = [this, ia_raw, ib_raw]() {
+      const int base = epoch_ * nt_;
+      for (int i = 0; i < nt_; ++i)
+        for (int k = 0; k < nt_; ++k)
+          if (a_mask_[static_cast<std::size_t>(i * nt_ + k)])
+            ia_raw->invoke(Int2{base + i, k});
+      for (int k = 0; k < nt_; ++k)
+        for (int j = 0; j < nt_; ++j)
+          if (b_mask_[static_cast<std::size_t>(k * nt_ + j)])
+            ib_raw->invoke(Int2{base + k, j});
+    };
+    hold_.push_back(std::shared_ptr<void>(std::move(init_a_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(init_b_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(mm_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(red_tt)));
+    hold_.push_back(std::shared_ptr<void>(std::move(sink_tt)));
+  }
+
+  void start(std::uint64_t seed, std::function<void()> on_done) override {
+    const int nt = nt_;
+    epoch_ += 1;
+    support::Rng rng(seed);
+    a_mask_.assign(static_cast<std::size_t>(nt) * nt, 0);
+    b_mask_.assign(static_cast<std::size_t>(nt) * nt, 0);
+    for (int i = 0; i < nt; ++i)
+      for (int k = 0; k < nt; ++k)
+        a_mask_[static_cast<std::size_t>(i * nt + k)] =
+            (i == k || rng.bernoulli(density_)) ? 1 : 0;
+    for (int k = 0; k < nt; ++k)
+      for (int j = 0; j < nt; ++j)
+        b_mask_[static_cast<std::size_t>(k * nt + j)] =
+            (k == j || rng.bernoulli(density_)) ? 1 : 0;
+    a_tiles_.clear();
+    b_tiles_.clear();
+    for (int i = 0; i < nt; ++i)
+      for (int k = 0; k < nt; ++k)
+        if (a_mask_[static_cast<std::size_t>(i * nt + k)])
+          a_tiles_.emplace(std::make_pair(i, k), linalg::random_tile(rng, bs_, bs_));
+    for (int k = 0; k < nt; ++k)
+      for (int j = 0; j < nt; ++j)
+        if (b_mask_[static_cast<std::size_t>(k * nt + j)])
+          b_tiles_.emplace(std::make_pair(k, j), linalg::random_tile(rng, bs_, bs_));
+
+    // Every C(i,j) with at least one product gets a declared stream size.
+    const int base = epoch_ * nt;
+    std::vector<std::pair<Int2, std::int64_t>> sizes;
+    for (int i = 0; i < nt; ++i) {
+      for (int j = 0; j < nt; ++j) {
+        std::int64_t cnt = 0;
+        for (int k = 0; k < nt; ++k)
+          if (a_mask_[static_cast<std::size_t>(i * nt + k)] &&
+              b_mask_[static_cast<std::size_t>(k * nt + j)])
+            ++cnt;
+        if (cnt > 0) sizes.emplace_back(Int2{base + i, j}, cnt);
+      }
+    }
+    begin_run(static_cast<int>(sizes.size()), std::move(on_done));
+    for (const auto& [k2, cnt] : sizes) set_size_(k2, cnt);
+    inject_();
+  }
+
+ private:
+  rt::World& world_;
+  int nt_;
+  int bs_;
+  double density_;
+  int epoch_ = 0;  ///< run counter; packed into key i-components
+  std::vector<char> a_mask_, b_mask_;  ///< this run's sparsity (row-major)
+  std::map<std::pair<int, int>, Tile> a_tiles_, b_tiles_;
+  std::function<void(const Int2&, std::int64_t)> set_size_;
+  std::function<void()> inject_;
+};
+
+}  // namespace
+
+std::shared_ptr<JobGraph> make_graph(rt::World& world, const rt::GraphKey& key) {
+  if (key.kind == "potrf") return std::make_shared<PotrfServeGraph>(world, key);
+  if (key.kind == "fw") return std::make_shared<FwServeGraph>(world, key);
+  if (key.kind == "bspmm") return std::make_shared<BspmmServeGraph>(world, key);
+  TTG_CHECK(false, "unknown job graph kind '" + key.kind + "'");
+  return nullptr;
+}
+
+std::shared_ptr<JobGraph> acquire_graph(rt::World& world, const rt::GraphKey& key) {
+  return world.jobs().cache().acquire<JobGraph>(
+      key, [&world, &key]() { return make_graph(world, key); });
+}
+
+void release_graph(rt::World& world, std::shared_ptr<JobGraph> g) {
+  TTG_CHECK(g != nullptr && !g->running(),
+            "releasing a null or still-running job graph");
+  const rt::GraphKey key = g->key();
+  world.jobs().cache().release<JobGraph>(key, std::move(g));
+}
+
+}  // namespace ttg::apps::serve

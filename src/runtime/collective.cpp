@@ -150,6 +150,11 @@ namespace ttg::rt {
 void CommEngine::send_message(int src, int dst, std::size_t wire_bytes,
                               std::function<void()> deliver) {
   stats_.messages += 1;
+  {
+    JobCommStats& js = job_stats_[current_job()];
+    js.messages += 1;
+    js.wire_bytes += static_cast<std::uint64_t>(wire_bytes);
+  }
   if (flush_engine_ != nullptr && collective_.am_flush_window > 0.0 &&
       wire_bytes <= kAmCoalesceMaxBytes && src != dst) {
     AmBatch& b = batches_[{src, dst}];

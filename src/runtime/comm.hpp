@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/job.hpp"
 #include "runtime/trace.hpp"
 #include "serialization/traits.hpp"
 
@@ -69,6 +70,14 @@ struct CommStats {
   std::uint64_t dup_discards = 0;     ///< duplicate deliveries suppressed
   std::uint64_t dead_letters = 0;     ///< gave up after bounded retries
   std::uint64_t acks = 0;             ///< acknowledgments sent
+};
+
+/// Per-job communication accounting (multi-tenant serving mode): which job's
+/// traffic a send belongs to is the ambient job of the issuing context.
+struct JobCommStats {
+  std::uint64_t messages = 0;       ///< logical whole-object messages
+  std::uint64_t splitmd_sends = 0;  ///< split-metadata transfers
+  std::uint64_t wire_bytes = 0;     ///< bytes of the logical messages
 };
 
 /// A backend's data-copy semantics, declared in one place (paper Section
@@ -233,6 +242,22 @@ class CommEngine {
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   CommStats& mutable_stats() { return stats_; }
 
+  /// Bind the ambient-job source (the World's current-job variable): every
+  /// logical send is attributed to the job current at issue time.
+  void set_job_source(const JobId* source) { job_source_ = source; }
+  [[nodiscard]] JobId current_job() const {
+    return job_source_ != nullptr ? *job_source_ : kDefaultJob;
+  }
+  /// Per-job traffic (a zero record for jobs that never sent).
+  [[nodiscard]] const JobCommStats& job_stats(JobId job) const {
+    static const JobCommStats kZero{};
+    const auto it = job_stats_.find(job);
+    return it != job_stats_.end() ? it->second : kZero;
+  }
+  [[nodiscard]] const std::map<JobId, JobCommStats>& job_stats_map() const {
+    return job_stats_;
+  }
+
   /// Turn on loss recovery for this engine's traffic: every payload message
   /// is acknowledged, retransmitted on timeout with exponential backoff up
   /// to the plan's retry bound, and splitmd gets are re-fetched. Called by
@@ -261,11 +286,21 @@ class CommEngine {
   /// armed; without it (or with window <= 0) every AM ships immediately.
   void set_flush_engine(sim::Engine& engine) { flush_engine_ = &engine; }
 
+  /// Attribute one splitmd transfer to the ambient job (called by backends
+  /// at send_splitmd entry, mirroring the wrapper-side message accounting).
+  void note_job_splitmd(std::size_t bytes) {
+    JobCommStats& js = job_stats_[current_job()];
+    js.splitmd_sends += 1;
+    js.wire_bytes += bytes;
+  }
+
   CommStats stats_;
   CopyPolicy policy_;  ///< set by configure_policy (World) / derived ctors
   CollectivePolicy collective_;  ///< set by configure_collective / derived ctors
   Tracer* tracer_ = nullptr;
   std::unique_ptr<ReliableLink> reliable_;
+  const JobId* job_source_ = nullptr;  ///< the World's ambient-job variable
+  std::map<JobId, JobCommStats> job_stats_;
 
  private:
   /// Pending coalesced AMs for one (src, dst) pair. The first AM of a burst

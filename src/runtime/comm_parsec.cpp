@@ -83,6 +83,7 @@ void ParsecComm::send_splitmd(int src, int dst, std::size_t md_bytes,
                               std::function<void()> on_release) {
   TTG_CHECK(enable_splitmd_, "splitmd disabled on this world");
   stats_.splitmd_sends += 1;
+  note_job_splitmd(md_bytes + payload_bytes);
   // Stage 1: metadata + registration info ride the eager protocol (with
   // ack/retry when resilience is on — a lost metadata AM stalls the whole
   // transfer, so it is protected like any other active message).

@@ -18,21 +18,31 @@ DataTracker::RankStats& DataTracker::at(int rank) {
   return ranks_[static_cast<std::size_t>(rank)];
 }
 
-void DataTracker::on_alloc(int rank, std::size_t bytes) {
+void DataTracker::on_alloc(int rank, std::size_t bytes, JobId job) {
   RankStats& s = at(rank);
   s.allocs += 1;
   s.live_handles += 1;
   s.live_bytes += bytes;
   if (s.live_bytes > s.high_watermark) s.high_watermark = s.live_bytes;
+  JobStats& j = jobs_[job];
+  j.allocs += 1;
+  j.live_handles += 1;
+  j.live_bytes += bytes;
 }
 
-void DataTracker::on_release(int rank, std::size_t bytes) {
+void DataTracker::on_release(int rank, std::size_t bytes, JobId job) {
   RankStats& s = at(rank);
   TTG_CHECK(s.live_handles > 0 && s.live_bytes >= bytes,
             "data-lifecycle release without a matching alloc");
   s.releases += 1;
   s.live_handles -= 1;
   s.live_bytes -= bytes;
+  JobStats& j = jobs_[job];
+  TTG_CHECK(j.live_handles > 0 && j.live_bytes >= bytes,
+            "per-job data-lifecycle release without a matching alloc");
+  j.releases += 1;
+  j.live_handles -= 1;
+  j.live_bytes -= bytes;
 }
 
 void DataTracker::on_serialize(int rank, bool cache_hit) {
@@ -44,6 +54,13 @@ void DataTracker::on_input_copy(int rank, std::size_t bytes) {
   RankStats& s = at(rank);
   s.input_copies += 1;
   s.input_copy_bytes += bytes;
+  jobs_[current_job()].input_copies += 1;
+}
+
+const DataTracker::JobStats& DataTracker::job_stats(JobId job) const {
+  static const JobStats kZero{};
+  const auto it = jobs_.find(job);
+  return it != jobs_.end() ? it->second : kZero;
 }
 
 const DataTracker::RankStats& DataTracker::rank_stats(int rank) const {
@@ -81,7 +98,14 @@ std::uint64_t DataTracker::live_bytes() const {
 }
 
 void DataTracker::check_no_leaks() const {
-  if (live_handles() == 0) return;
+  if (live_handles() == 0) {
+    // Global zero implies per-job zero (alloc/release pair on one job), but
+    // keep the invariant honest rather than assumed.
+    for (const auto& [job, js] : jobs_)
+      TTG_CHECK(js.live_handles == 0 && js.live_bytes == 0,
+                "per-job live count out of sync with global at fence");
+    return;
+  }
   std::string who;
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     if (ranks_[r].live_handles == 0) continue;
@@ -89,6 +113,13 @@ void DataTracker::check_no_leaks() const {
     who += "rank " + std::to_string(r) + ": " +
            std::to_string(ranks_[r].live_handles) + " handle(s)/" +
            std::to_string(ranks_[r].live_bytes) + " B";
+  }
+  for (const auto& [job, js] : jobs_) {
+    if (js.live_handles == 0) continue;
+    if (!who.empty()) who += ", ";
+    who += "job " + std::to_string(job) + ": " +
+           std::to_string(js.live_handles) + " handle(s)/" +
+           std::to_string(js.live_bytes) + " B";
   }
   TTG_REQUIRE(false, "DataCopy leak at fence — refcounts not back to zero (" + who +
                          "); a handle outlived the work that produced it");

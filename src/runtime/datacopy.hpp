@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -73,11 +74,35 @@ class DataTracker {
     std::uint64_t input_copy_bytes = 0; ///< bytes those copies moved
   };
 
+  /// Per-job data-lifecycle accounting (multi-tenant serving mode). A block
+  /// is attributed to the job ambient at its *allocation* and released
+  /// against the same job, so a job whose payloads outlive it shows up as a
+  /// per-job leak even while other jobs still hold live data.
+  struct JobStats {
+    std::uint64_t allocs = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t live_handles = 0;
+    std::uint64_t live_bytes = 0;
+    std::uint64_t input_copies = 0;
+  };
+
   /// Fix the rank count (called by the World constructor).
   void configure(int nranks);
 
-  void on_alloc(int rank, std::size_t bytes);
-  void on_release(int rank, std::size_t bytes);
+  /// Bind the ambient-job source (the World's current-job variable).
+  void set_job_source(const JobId* source) { job_source_ = source; }
+  [[nodiscard]] JobId current_job() const {
+    return job_source_ != nullptr ? *job_source_ : kDefaultJob;
+  }
+
+  void on_alloc(int rank, std::size_t bytes) {
+    on_alloc(rank, bytes, current_job());
+  }
+  void on_alloc(int rank, std::size_t bytes, JobId job);
+  void on_release(int rank, std::size_t bytes) {
+    on_release(rank, bytes, current_job());
+  }
+  void on_release(int rank, std::size_t bytes, JobId job);
   void on_serialize(int rank, bool cache_hit);
   void on_input_copy(int rank, std::size_t bytes);
 
@@ -86,9 +111,16 @@ class DataTracker {
   [[nodiscard]] std::uint64_t live_handles() const;
   [[nodiscard]] std::uint64_t live_bytes() const;
 
+  /// Per-job accounting (a zero record for jobs never seen).
+  [[nodiscard]] const JobStats& job_stats(JobId job) const;
+  [[nodiscard]] const std::map<JobId, JobStats>& job_stats_map() const {
+    return jobs_;
+  }
+
   /// Fence-time leak check: every DataCopy created during the run must have
-  /// been released by the time the event queue drains. Throws
-  /// support::ApiError naming the leaking ranks otherwise.
+  /// been released by the time the event queue drains — globally and per
+  /// job (no cross-job leaks). Throws support::ApiError naming the leaking
+  /// ranks/jobs otherwise.
   void check_no_leaks() const;
 
   /// Per-rank memory table (live/peak bytes, handle and copy counts) for
@@ -99,6 +131,8 @@ class DataTracker {
   RankStats& at(int rank);
 
   std::vector<RankStats> ranks_;
+  const JobId* job_source_ = nullptr;
+  std::map<JobId, JobStats> jobs_;
 };
 
 /// Refcounted, immutable payload handle: the runtime-owned datum of the
@@ -186,13 +220,16 @@ class DataCopy {
           tracer(tr),
           comm(&c),
           owner(o),
+          job(t.current_job()),
           bytes(detail::payload_bytes(v)),
           value(std::move(v)) {
-      tracker->on_alloc(owner, bytes);
+      tracker->on_alloc(owner, bytes, job);
       if (tracer != nullptr) tracer->record_data_alloc(owner);
     }
     ~Block() {
-      tracker->on_release(owner, bytes);
+      // Released against the allocating job, regardless of which job (if
+      // any) is ambient when the last reference drops.
+      tracker->on_release(owner, bytes, job);
       if (tracer != nullptr) tracer->record_data_release(owner);
     }
     Block(const Block&) = delete;
@@ -202,6 +239,7 @@ class DataCopy {
     Tracer* tracer;
     CommEngine* comm;
     int owner;
+    JobId job;
     std::size_t bytes;
     V value;
     std::shared_ptr<const std::vector<std::byte>> cache;

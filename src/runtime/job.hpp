@@ -1,0 +1,194 @@
+// Multi-tenant job layer: JobId, admission control, and the template-graph
+// instantiation cache.
+//
+// One World can host N independent DAG instances ("jobs") concurrently — the
+// ROADMAP's serving mode. A JobId threads through the Scheduler (per-job
+// ready queues, fairness, in-flight caps), both comm backends (per-job
+// message/byte accounting), the Tracer (task/message attribution) and the
+// DataTracker (per-job live-handle accounting, so a cross-job DataCopy leak
+// is detected at fence time). Job 0 is the default context: a world that
+// never submits jobs runs everything as job 0 and behaves bit-identically to
+// the single-DAG runtime.
+//
+// The pieces:
+//
+//   * JobManager  — admission control (bounded concurrent jobs, FIFO
+//                   pending queue) + per-job lifecycle timestamps
+//                   (submit/start/done → latency), owned by the World.
+//   * GraphCache  — template-graph instantiation cache keyed on TT
+//                   structure (GraphKey): a job arriving with an
+//                   already-compiled POTRF/bspmm/FW graph reuses the
+//                   instance instead of rebuilding it. Entries are checked
+//                   out exclusively (two concurrent same-key jobs get two
+//                   instances) and invalidated when a TT was mutated after
+//                   caching (set_keymap & friends bump a mutation counter).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ttg::rt {
+
+class World;
+
+/// Identifies one DAG instance (job) hosted by a World. Job 0 is the
+/// default/ambient job every pre-serving code path runs under.
+using JobId = std::uint32_t;
+inline constexpr JobId kDefaultJob = 0;
+
+/// How the Scheduler arbitrates between ready queues of different jobs.
+enum class FairnessMode {
+  Strict,      ///< global (priority desc, job id asc, enqueue seq asc) order
+  WeightedRR,  ///< weighted round-robin over jobs' ready queues
+};
+
+/// Per-job scheduling knobs, pushed to every rank's Scheduler at admission.
+struct JobSpec {
+  std::string name = "job";  ///< label for reports
+  int weight = 1;            ///< WRR share (>= 1)
+  int inflight_cap = 0;      ///< max in-flight tasks per rank; 0 = unlimited
+};
+
+enum class JobState { Pending, Running, Done };
+
+/// Lifecycle record of one job (virtual-clock timestamps).
+struct JobInfo {
+  JobId id = kDefaultJob;
+  JobSpec spec;
+  JobState state = JobState::Pending;
+  double t_submit = 0.0;  ///< submit() call
+  double t_start = 0.0;   ///< admitted (graph primed)
+  double t_done = 0.0;    ///< complete() call
+  [[nodiscard]] double latency() const { return t_done - t_submit; }
+};
+
+/// Structural identity of a template graph: the graph kind plus the
+/// parameters that shape its TTs (tile counts, block sizes, ...). Two jobs
+/// with equal keys can share one compiled graph instance.
+struct GraphKey {
+  std::string kind;
+  std::array<std::int64_t, 4> params{};
+  auto operator<=>(const GraphKey&) const = default;
+};
+
+/// Instantiation cache for compiled template graphs. acquire() checks an
+/// entry *out* of the pool (exclusive use: concurrent same-key jobs each get
+/// their own instance); release() returns it, stamped with the graph's
+/// current TT-mutation count. A later acquire() whose entry was mutated
+/// since release (set_keymap after caching, ...) evicts it and rebuilds.
+class GraphCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;       ///< acquires served from the pool
+    std::uint64_t misses = 0;     ///< acquires that built a fresh graph
+    std::uint64_t evictions = 0;  ///< pooled entries invalidated by mutation
+  };
+
+  /// Get a graph for `key`: reuse a pooled instance whose TTs are unchanged
+  /// since release, else call `build`. G must expose
+  /// `std::uint64_t mutation_count() const`.
+  template <typename G>
+  std::shared_ptr<G> acquire(const GraphKey& key,
+                             const std::function<std::shared_ptr<G>()>& build) {
+    auto it = pool_.find(key);
+    while (it != pool_.end() && !it->second.empty()) {
+      Entry e = std::move(it->second.back());
+      it->second.pop_back();
+      auto g = std::static_pointer_cast<G>(e.graph);
+      if (g->mutation_count() == e.version) {
+        ++stats_.hits;
+        return g;
+      }
+      ++stats_.evictions;  // mutated after caching: drop and keep looking
+    }
+    ++stats_.misses;
+    return build();
+  }
+
+  /// Return a graph to the pool for later same-key jobs.
+  template <typename G>
+  void release(const GraphKey& key, std::shared_ptr<G> g) {
+    TTG_CHECK(g != nullptr, "releasing a null graph into the cache");
+    const std::uint64_t version = g->mutation_count();
+    pool_[key].push_back(Entry{std::move(g), version});
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& [k, v] : pool_) n += v.size();
+    return n;
+  }
+  void clear() { pool_.clear(); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<void> graph;
+    std::uint64_t version = 0;  ///< mutation count at release time
+  };
+  std::map<GraphKey, std::vector<Entry>> pool_;
+  Stats stats_;
+};
+
+/// Admission control + lifecycle bookkeeping for the jobs of one World.
+/// At most max_concurrent jobs run at once (0 = unlimited); excess
+/// submissions wait in FIFO order and are admitted as running jobs complete.
+/// All timestamps are virtual-clock (deterministic).
+class JobManager {
+ public:
+  explicit JobManager(World& world) : world_(world) {}
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Bound on concurrently running jobs (0 = unlimited). Raising the bound
+  /// admits pending jobs immediately.
+  void set_max_concurrent(int n);
+  [[nodiscard]] int max_concurrent() const { return max_concurrent_; }
+
+  /// Select the fairness policy on every rank's Scheduler.
+  void set_fairness(FairnessMode mode);
+
+  /// Submit a job: if admissible it starts now (`start(id)` runs under the
+  /// job's context with the job's scheduling knobs installed), otherwise it
+  /// queues. Returns the new JobId (ids start at 1; 0 is the default job).
+  JobId submit(JobSpec spec, std::function<void(JobId)> start);
+
+  /// Mark a job finished (called by its completion callback); records
+  /// t_done and admits the next pending job, if any.
+  void complete(JobId id);
+
+  [[nodiscard]] const JobInfo& job(JobId id) const;
+  [[nodiscard]] std::size_t submitted() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] int running() const { return running_; }
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+  /// Latencies of completed jobs, in JobId order.
+  [[nodiscard]] std::vector<double> latencies() const;
+
+  /// The template-graph instantiation cache shared by this world's jobs.
+  [[nodiscard]] GraphCache& cache() { return cache_; }
+
+ private:
+  void admit(std::size_t idx);
+
+  World& world_;
+  std::vector<JobInfo> jobs_;  ///< index = JobId - 1
+  std::vector<std::function<void(JobId)>> starters_;
+  std::deque<std::size_t> pending_;  ///< indices awaiting admission (FIFO)
+  int max_concurrent_ = 0;
+  int running_ = 0;
+  std::size_t completed_ = 0;
+  GraphCache cache_;
+};
+
+}  // namespace ttg::rt

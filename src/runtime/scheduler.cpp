@@ -1,5 +1,7 @@
 #include "runtime/scheduler.hpp"
 
+#include <algorithm>
+
 namespace ttg::rt {
 
 Scheduler::Scheduler(sim::Engine& engine, int rank, int workers)
@@ -11,7 +13,7 @@ Scheduler::Scheduler(sim::Engine& engine, int rank, int workers)
 }
 
 void Scheduler::submit(int priority, double cost, std::function<void()> body) {
-  submit_node(priority, cost, Tracer::kNoNode, std::move(body));
+  submit_node(kDefaultJob, priority, cost, Tracer::kNoNode, std::move(body));
 }
 
 void Scheduler::submit(int priority, double cost, std::string name,
@@ -21,11 +23,43 @@ void Scheduler::submit(int priority, double cost, std::string name,
 
 void Scheduler::submit(int priority, double cost, std::string name, std::string key,
                        std::function<void()> body) {
+  submit(kDefaultJob, priority, cost, std::move(name), std::move(key),
+         std::move(body));
+}
+
+void Scheduler::submit(JobId job, int priority, double cost,
+                       std::function<void()> body) {
+  submit_node(job, priority, cost, Tracer::kNoNode, std::move(body));
+}
+
+void Scheduler::submit(JobId job, int priority, double cost, std::string name,
+                       std::string key, std::function<void()> body) {
   const std::uint32_t node =
       tracer_ != nullptr
           ? tracer_->task_created(std::move(name), std::move(key), rank_, priority)
           : Tracer::kNoNode;
-  submit_node(priority, cost, node, std::move(body));
+  submit_node(job, priority, cost, node, std::move(body));
+}
+
+void Scheduler::configure_job(JobId job, int weight, int inflight_cap) {
+  TTG_CHECK(weight >= 1, "job weight must be >= 1");
+  TTG_CHECK(inflight_cap >= 0, "negative in-flight cap");
+  JobQueue& jq = queues_[job];
+  jq.weight = weight;
+  jq.cap = inflight_cap;
+  dispatch_idle();  // a raised cap can make queued tasks eligible
+}
+
+const Scheduler::JobCounters& Scheduler::job_counters(JobId job) const {
+  static const JobCounters kZero{};
+  const auto it = queues_.find(job);
+  return it != queues_.end() ? it->second.counters : kZero;
+}
+
+std::size_t Scheduler::queued() const {
+  std::size_t n = 0;
+  for (const auto& [job, jq] : queues_) n += jq.heap.size();
+  return n;
 }
 
 void Scheduler::set_compute_factor(double f) {
@@ -33,16 +67,19 @@ void Scheduler::set_compute_factor(double f) {
   compute_factor_ = f;
 }
 
-void Scheduler::submit_node(int priority, double cost, std::uint32_t trace_node,
-                            std::function<void()> body) {
+void Scheduler::submit_node(JobId job, int priority, double cost,
+                            std::uint32_t trace_node, std::function<void()> body) {
   TTG_CHECK(cost >= 0.0, "negative task cost");
-  Ready task{priority, next_seq_++, cost * compute_factor_, std::move(body), trace_node};
-  if (!idle_workers_.empty()) {
+  JobQueue& jq = queues_[job];
+  jq.counters.submitted += 1;
+  Ready task{job,  priority, next_seq_++, cost * compute_factor_, std::move(body),
+             trace_node};
+  if (!idle_workers_.empty() && (jq.cap == 0 || jq.counters.inflight < jq.cap)) {
     const int worker = idle_workers_.back();
     idle_workers_.pop_back();
     start(std::move(task), worker);
   } else {
-    queue_.push(std::move(task));
+    jq.heap.push(std::move(task));
   }
 }
 
@@ -55,8 +92,63 @@ double Scheduler::charge(double dt) {
   return *charge_accum_;
 }
 
+Scheduler::Ready Scheduler::pop_top(JobQueue& jq) {
+  Ready next = std::move(const_cast<Ready&>(jq.heap.top()));
+  jq.heap.pop();
+  return next;
+}
+
+bool Scheduler::pop_next(Ready& out) {
+  if (fairness_ == FairnessMode::WeightedRR) {
+    // Round-robin rounds: visit jobs in ascending id; a job spends one
+    // credit per dispatched task and starts each round with its weight.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (auto& [job, jq] : queues_) {
+        if (!eligible(jq) || jq.credits <= 0) continue;
+        --jq.credits;
+        out = pop_top(jq);
+        return true;
+      }
+      // No eligible job holds credits: open a new round.
+      bool any = false;
+      for (auto& [job, jq] : queues_) {
+        if (!eligible(jq)) continue;
+        jq.credits = jq.weight;
+        any = true;
+      }
+      if (!any) return false;
+    }
+    return false;
+  }
+  // Strict: the globally best eligible head, ordered by (priority desc,
+  // job id asc, enqueue seq asc) — explicitly, never by container accident.
+  JobQueue* best = nullptr;
+  for (auto& [job, jq] : queues_) {
+    if (!eligible(jq)) continue;
+    if (best == nullptr || head_before(jq.heap.top(), best->heap.top())) best = &jq;
+  }
+  if (best == nullptr) return false;
+  out = pop_top(*best);
+  return true;
+}
+
+void Scheduler::dispatch_idle() {
+  while (!idle_workers_.empty()) {
+    Ready next;
+    if (!pop_next(next)) return;
+    const int worker = idle_workers_.back();
+    idle_workers_.pop_back();
+    start(std::move(next), worker);
+  }
+}
+
 void Scheduler::start(Ready task, int worker) {
   const double t_start = engine_.now();
+  {
+    JobCounters& jc = queues_[task.job].counters;
+    jc.inflight += 1;
+    jc.max_inflight = std::max(jc.max_inflight, jc.inflight);
+  }
   // The body runs at the task's completion instant (see header comment).
   engine_.after(task.cost, [this, t_start, worker, task = std::move(task)]() mutable {
     double extra = 0.0;
@@ -70,15 +162,16 @@ void Scheduler::start(Ready task, int worker) {
     charge_accum_ = nullptr;
     busy_ += task.cost + extra;
     ++tasks_run_;
+    queues_[task.job].counters.tasks_run += 1;
     if (traced) {
       tracer_->task_executed(task.trace_node, worker, t_start, engine_.now() + extra);
     }
     // The worker stays busy for `extra` more seconds (post-body copies),
     // then picks up the next ready task.
-    engine_.after(extra, [this, worker]() {
-      if (!queue_.empty()) {
-        Ready next = std::move(const_cast<Ready&>(queue_.top()));
-        queue_.pop();
+    engine_.after(extra, [this, worker, job = task.job]() {
+      queues_[job].counters.inflight -= 1;
+      Ready next;
+      if (pop_next(next)) {
         start(std::move(next), worker);
       } else {
         idle_workers_.push_back(worker);

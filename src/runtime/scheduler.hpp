@@ -6,6 +6,24 @@
 // critical path (e.g. small-k panels in POTRF) — and are executed
 // highest-priority-first, FIFO among equals.
 //
+// Multi-tenancy: every task belongs to a job (JobId; 0 is the default job)
+// and ready tasks queue per job. A freed worker picks its next task under
+// the rank's fairness policy:
+//
+//   Strict     — the globally best head by (priority desc, job id asc,
+//                enqueue seq asc). Deterministic across jobs by
+//                construction, never by map iteration accident; with a
+//                single job it degenerates to the historical
+//                (priority, FIFO) order bit-identically.
+//   WeightedRR — weighted round-robin over jobs' ready queues: each
+//                eligible job spends `weight` credits per round, queues are
+//                visited in ascending JobId order, and within one job the
+//                (priority, FIFO) order is preserved.
+//
+// A job may carry an in-flight cap: at most that many of its tasks occupy
+// workers of this rank simultaneously; excess ready tasks stay queued even
+// if workers are idle (admission pressure yields to other jobs).
+//
 // Execution model: a task's body (real C++ code) runs at its *completion*
 // instant on the virtual clock. Inputs are immutable once the task is
 // ready, so running the body at start or at end of its virtual duration is
@@ -17,9 +35,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <vector>
 
+#include "runtime/job.hpp"
 #include "runtime/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -28,10 +48,19 @@ namespace ttg::rt {
 /// Priority scheduler over `workers` identical virtual cores of one rank.
 class Scheduler {
  public:
+  /// Per-job scheduling counters (tests assert cap compliance on these).
+  struct JobCounters {
+    std::uint64_t submitted = 0;  ///< tasks enqueued for this job
+    std::uint64_t tasks_run = 0;  ///< bodies executed
+    int inflight = 0;             ///< tasks currently occupying workers
+    int max_inflight = 0;         ///< peak of inflight over the run
+  };
+
   Scheduler(sim::Engine& engine, int rank, int workers);
 
   /// Enqueue a ready task: `cost` virtual seconds of compute, then `body`
-  /// executes (and may add post-body CPU via charge()).
+  /// executes (and may add post-body CPU via charge()). Runs as the
+  /// default job (0).
   void submit(int priority, double cost, std::function<void()> body);
 
   /// Like submit(), with a template-task name recorded in the tracer
@@ -42,6 +71,22 @@ class Scheduler {
   /// key recorded in the tracer.
   void submit(int priority, double cost, std::string name, std::string key,
               std::function<void()> body);
+
+  /// Enqueue a ready task on behalf of `job`.
+  void submit(JobId job, int priority, double cost, std::function<void()> body);
+  void submit(JobId job, int priority, double cost, std::string name, std::string key,
+              std::function<void()> body);
+
+  /// Install per-job scheduling knobs (WRR weight, in-flight cap). Raising
+  /// a cap dispatches newly-eligible queued tasks onto idle workers.
+  void configure_job(JobId job, int weight, int inflight_cap);
+
+  /// Select how freed workers arbitrate between jobs' ready queues.
+  void set_fairness(FairnessMode mode) { fairness_ = mode; }
+  [[nodiscard]] FairnessMode fairness() const { return fairness_; }
+
+  /// Per-job counters (a zero record for jobs never seen on this rank).
+  [[nodiscard]] const JobCounters& job_counters(JobId job) const;
 
   /// Attach an execution tracer (owned by the World).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
@@ -68,10 +113,11 @@ class Scheduler {
   [[nodiscard]] int workers() const { return workers_; }
   [[nodiscard]] double busy_time() const { return busy_; }
   [[nodiscard]] std::uint64_t tasks_run() const { return tasks_run_; }
-  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queued() const;
 
  private:
   struct Ready {
+    JobId job;
     int priority;
     std::uint64_t seq;
     double cost;
@@ -84,10 +130,33 @@ class Scheduler {
       return a.seq > b.seq;                                          // FIFO ties
     }
   };
+  /// One job's ready queue + scheduling knobs and counters.
+  struct JobQueue {
+    std::priority_queue<Ready, std::vector<Ready>, Worse> heap;
+    int weight = 1;        ///< WRR share
+    int cap = 0;           ///< in-flight cap (0 = unlimited)
+    int credits = 0;       ///< remaining WRR credits this round
+    JobCounters counters;
+  };
 
-  void submit_node(int priority, double cost, std::uint32_t trace_node,
+  void submit_node(JobId job, int priority, double cost, std::uint32_t trace_node,
                    std::function<void()> body);
   void start(Ready task, int worker);
+  [[nodiscard]] static bool eligible(const JobQueue& jq) {
+    return !jq.heap.empty() && (jq.cap == 0 || jq.counters.inflight < jq.cap);
+  }
+  /// Cross-job head order: (priority desc, job id asc, enqueue seq asc).
+  [[nodiscard]] static bool head_before(const Ready& a, const Ready& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.job != b.job) return a.job < b.job;
+    return a.seq < b.seq;
+  }
+  static Ready pop_top(JobQueue& jq);
+  /// Pick the next task a freed worker should run (fairness policy applied);
+  /// false when no job has an eligible ready task.
+  bool pop_next(Ready& out);
+  /// Dispatch eligible queued tasks onto idle workers (after a cap raise).
+  void dispatch_idle();
 
   sim::Engine& engine_;
   int rank_;
@@ -100,7 +169,8 @@ class Scheduler {
   bool in_task_ = false;
   double* charge_accum_ = nullptr;
   Tracer* tracer_ = nullptr;
-  std::priority_queue<Ready, std::vector<Ready>, Worse> queue_;
+  FairnessMode fairness_ = FairnessMode::Strict;
+  std::map<JobId, JobQueue> queues_;  ///< ordered: deterministic job scans
 };
 
 }  // namespace ttg::rt

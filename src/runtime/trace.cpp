@@ -74,6 +74,7 @@ std::uint32_t Tracer::task_created(std::string name, std::string key, int rank,
   TaskTrace t;
   t.name = std::move(name);
   t.key = std::move(key);
+  t.job = current_job();
   t.rank = rank;
   t.priority = priority;
   link_from_context(t.preds);
@@ -97,6 +98,7 @@ std::uint32_t Tracer::message_created(std::string edge, int src, int dst,
                                       std::uint64_t bytes, bool splitmd) {
   MsgTrace m;
   m.edge = std::move(edge);
+  m.job = current_job();
   m.src = src;
   m.dst = dst;
   m.bytes = bytes;
@@ -177,6 +179,18 @@ std::map<std::string, TraceSummary> Tracer::summarize() const {
     s.total_time += dt;
     if (dt > s.max_time) s.max_time = dt;
   }
+  return out;
+}
+
+std::map<JobId, Tracer::JobTotals> Tracer::job_totals() const {
+  std::map<JobId, JobTotals> out;
+  for (const auto& r : tasks_) {
+    if (!r.executed) continue;
+    auto& j = out[r.job];
+    j.tasks += 1;
+    j.task_time += r.end - r.start;
+  }
+  for (const auto& m : msgs_) out[m.job].messages += 1;
   return out;
 }
 

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/job.hpp"
 #include "sim/fault.hpp"
 
 namespace ttg::support {
@@ -47,6 +48,7 @@ namespace ttg::rt {
 struct TaskTrace {
   std::string name;   ///< template task name
   std::string key;    ///< task ID rendered via key_to_string (may be empty)
+  JobId job = kDefaultJob;  ///< serving-mode job the task belongs to
   int rank = 0;
   int worker = -1;    ///< worker index within the rank, assigned at start
   int priority = 0;
@@ -61,6 +63,7 @@ struct TaskTrace {
 /// One remote message (whole-object or splitmd), also a graph node.
 struct MsgTrace {
   std::string edge;  ///< consumer terminal (TT) name
+  JobId job = kDefaultJob;  ///< serving-mode job the message belongs to
   int src = 0;
   int dst = 0;
   std::uint64_t bytes = 0;
@@ -173,6 +176,13 @@ class Tracer {
   void configure(int nranks, int workers_per_rank);
   [[nodiscard]] int nranks() const { return nranks_; }
   [[nodiscard]] int workers_per_rank() const { return workers_per_rank_; }
+
+  /// Bind the ambient-job source (the World's current-job variable); new
+  /// task/message nodes are stamped with the job ambient at creation.
+  void set_job_source(const JobId* source) { job_source_ = source; }
+  [[nodiscard]] JobId current_job() const {
+    return job_source_ != nullptr ? *job_source_ : kDefaultJob;
+  }
 
   // --- causality context (which node is currently executing) ---
 
@@ -288,6 +298,14 @@ class Tracer {
   /// Aggregate by template-task name.
   [[nodiscard]] std::map<std::string, TraceSummary> summarize() const;
 
+  /// Per-job aggregate over the task stream (serving mode).
+  struct JobTotals {
+    std::uint64_t tasks = 0;
+    std::uint64_t messages = 0;
+    double task_time = 0.0;  ///< summed executed-span durations
+  };
+  [[nodiscard]] std::map<JobId, JobTotals> job_totals() const;
+
   /// Busy seconds per rank.
   [[nodiscard]] std::vector<double> busy_per_rank(int nranks) const;
 
@@ -333,6 +351,7 @@ class Tracer {
 
   int nranks_ = 0;
   int workers_per_rank_ = 0;
+  const JobId* job_source_ = nullptr;
   std::uint32_t ctx_ = kNoNode;
   std::uint64_t next_exec_seq_ = 0;
   std::vector<TaskTrace> tasks_;

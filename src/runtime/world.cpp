@@ -36,7 +36,9 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
   comm_->configure_policy(cfg_.zero_copy_local, cfg_.serialize_once);
   comm_->configure_collective(cfg_.broadcast_tree_arity, cfg_.am_flush_window,
                               cfg_.reduce_tree_arity, cfg_.collective_adaptive);
+  comm_->set_job_source(&current_job_);
   data_.configure(cfg_.nranks);
+  data_.set_job_source(&current_job_);
   sched_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {
     sched_.push_back(std::make_unique<Scheduler>(engine_, r, workers_));
@@ -74,10 +76,16 @@ std::size_t World::unfinished() const {
   return n;
 }
 
+JobManager& World::jobs() {
+  if (!jobs_) jobs_ = std::make_unique<JobManager>(*this);
+  return *jobs_;
+}
+
 void World::enable_tracing() {
   if (tracer_) return;
   tracer_ = std::make_unique<Tracer>();
   tracer_->configure(cfg_.nranks, workers_);
+  tracer_->set_job_source(&current_job_);
   for (auto& s : sched_) s->set_tracer(tracer_.get());
   comm_->set_tracer(tracer_.get());
   network_->set_transfer_observer(

@@ -17,6 +17,7 @@
 #include "runtime/collective.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/datacopy.hpp"
+#include "runtime/job.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
 #include "sim/engine.hpp"
@@ -70,7 +71,16 @@ class TTBase {
   /// Number of task bodies executed (all ranks).
   [[nodiscard]] virtual std::uint64_t tasks_executed() const = 0;
 
+  /// Times a structure-affecting setter (keymap/priomap/costmap/reducer)
+  /// has been called. The GraphCache stores this at release and refuses to
+  /// reuse an instance mutated since (stale-entry eviction).
+  [[nodiscard]] std::uint64_t mutations() const { return mutations_; }
+  void note_mutation() { ++mutations_; }
+
   bool executable = false;  ///< set by make_graph_executable
+
+ protected:
+  std::uint64_t mutations_ = 0;
 };
 
 class World {
@@ -104,6 +114,27 @@ class World {
     fn();
     current_rank_ = saved;
   }
+
+  /// Serving-mode job on whose behalf code is currently executing
+  /// (kDefaultJob outside multi-tenant runs). CommEngine, DataTracker, and
+  /// Tracer all read this through their job-source pointer, so everything a
+  /// task does — sends, DataCopy allocations, trace nodes — is attributed
+  /// to its job without any per-call plumbing.
+  [[nodiscard]] JobId current_job() const { return current_job_; }
+
+  /// Execute `fn` in the context of job `j` (restores on exit). Deferred
+  /// engine callbacks capture the job at issue time and re-enter it here.
+  template <typename F>
+  void run_as_job(JobId j, F&& fn) {
+    const JobId saved = current_job_;
+    current_job_ = j;
+    fn();
+    current_job_ = saved;
+  }
+
+  /// Multi-tenant job admission/lifecycle (lazily created; owns the
+  /// graph-instantiation cache).
+  [[nodiscard]] JobManager& jobs();
 
   [[nodiscard]] Scheduler& scheduler(int r) { return *sched_[static_cast<std::size_t>(r)]; }
   [[nodiscard]] Scheduler& scheduler() { return scheduler(current_rank_); }
@@ -155,7 +186,9 @@ class World {
   std::unique_ptr<CommEngine> comm_;
   std::vector<std::unique_ptr<Scheduler>> sched_;
   std::vector<TTBase*> tts_;
+  std::unique_ptr<JobManager> jobs_;
   int current_rank_ = 0;
+  JobId current_job_ = kDefaultJob;
   double flops_ = 0.0;
 };
 

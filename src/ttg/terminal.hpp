@@ -262,29 +262,35 @@ class Out {
       tr->add_copies(dst, comm.recv_copies(proto));
     }
     rt::World* wp = world_;
-    w.engine().after(delay, [wp, &comm, src, dst, wire, vbuf, kbuf, data, sink, tr,
-                             msg]() {
-      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
-      // The pin keeps the DataCopy block (with its cached buffer) alive
-      // across retransmissions; the block is released at final delivery.
-      comm.send_payload(src, dst, wire, data.pin(), [wp, dst, vbuf, kbuf, sink, tr,
-                                                     msg]() {
-        ser::InputArchive ia(*vbuf);
-        Value v{};
-        ia& v;
-        std::vector<Key> keys;
-        ser::InputArchive ka(*kbuf);
-        ka& keys;
-        wp->run_as(dst, [&]() {
-          // Deliveries run under the message's causality context: tasks
-          // completed by these puts become the message's successors.
-          if (tr != nullptr) {
-            tr->message_delivered(msg, wp->engine().now());
-            tr->set_context(msg);
-          }
-          for (std::size_t i = 0; i + 1 < keys.size(); ++i) sink->put_local(keys[i], v);
-          sink->put_local_move(keys.back(), std::move(v));
-          if (tr != nullptr) tr->clear_context();
+    const rt::JobId job = w.current_job();
+    w.engine().after(delay, [wp, &comm, job, src, dst, wire, vbuf, kbuf, data, sink,
+                             tr, msg]() {
+      wp->run_as_job(job, [&]() {
+        if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+        // The pin keeps the DataCopy block (with its cached buffer) alive
+        // across retransmissions; the block is released at final delivery.
+        comm.send_payload(src, dst, wire, data.pin(), [wp, job, dst, vbuf, kbuf,
+                                                       sink, tr, msg]() {
+          ser::InputArchive ia(*vbuf);
+          Value v{};
+          ia& v;
+          std::vector<Key> keys;
+          ser::InputArchive ka(*kbuf);
+          ka& keys;
+          wp->run_as_job(job, [&]() {
+            wp->run_as(dst, [&]() {
+              // Deliveries run under the message's causality context: tasks
+              // completed by these puts become the message's successors.
+              if (tr != nullptr) {
+                tr->message_delivered(msg, wp->engine().now());
+                tr->set_context(msg);
+              }
+              for (std::size_t i = 0; i + 1 < keys.size(); ++i)
+                sink->put_local(keys[i], v);
+              sink->put_local_move(keys.back(), std::move(v));
+              if (tr != nullptr) tr->clear_context();
+            });
+          });
         });
       });
     });
@@ -318,39 +324,45 @@ class Out {
                                 mdbuf->size() + payload_bytes, /*splitmd=*/true);
     }
     rt::World* wp = world_;
-    w.engine().after(delay, [wp, &comm, src, dst, mdbuf, payload_bytes, data, obj,
-                             keys_out, sink, tr, msg]() {
-      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
-      comm.send_splitmd(
-          src, dst, mdbuf->size(), payload_bytes,
-          /*on_metadata=*/
-          [mdbuf, obj, keys_out]() {
-            ser::InputArchive ia(*mdbuf);
-            typename SMD::metadata_type m{};
-            ia& m;
-            ia&* keys_out;
-            *obj = SMD::create(m);
-          },
-          /*on_payload=*/
-          [wp, dst, data, obj, keys_out, sink, tr, msg]() {
-            const auto src_span = SMD::payload(data.value());
-            const auto dst_span = SMD::payload(*obj);
-            TTG_CHECK(src_span.size() == dst_span.size(), "splitmd payload size mismatch");
-            if (!src_span.empty())
-              std::memcpy(dst_span.data(), src_span.data(), src_span.size());
-            wp->run_as(dst, [&]() {
-              if (tr != nullptr) {
-                tr->message_delivered(msg, wp->engine().now());
-                tr->set_context(msg);
-              }
-              const auto& keys = *keys_out;
-              for (std::size_t i = 0; i + 1 < keys.size(); ++i)
-                sink->put_local(keys[i], *obj);
-              sink->put_local_move(keys.back(), std::move(*obj));
-              if (tr != nullptr) tr->clear_context();
-            });
-          },
-          /*on_release=*/[data]() { /* dropping the handle releases the source */ });
+    const rt::JobId job = w.current_job();
+    w.engine().after(delay, [wp, &comm, job, src, dst, mdbuf, payload_bytes, data,
+                             obj, keys_out, sink, tr, msg]() {
+      wp->run_as_job(job, [&]() {
+        if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+        comm.send_splitmd(
+            src, dst, mdbuf->size(), payload_bytes,
+            /*on_metadata=*/
+            [mdbuf, obj, keys_out]() {
+              ser::InputArchive ia(*mdbuf);
+              typename SMD::metadata_type m{};
+              ia& m;
+              ia&* keys_out;
+              *obj = SMD::create(m);
+            },
+            /*on_payload=*/
+            [wp, job, dst, data, obj, keys_out, sink, tr, msg]() {
+              const auto src_span = SMD::payload(data.value());
+              const auto dst_span = SMD::payload(*obj);
+              TTG_CHECK(src_span.size() == dst_span.size(),
+                        "splitmd payload size mismatch");
+              if (!src_span.empty())
+                std::memcpy(dst_span.data(), src_span.data(), src_span.size());
+              wp->run_as_job(job, [&]() {
+                wp->run_as(dst, [&]() {
+                  if (tr != nullptr) {
+                    tr->message_delivered(msg, wp->engine().now());
+                    tr->set_context(msg);
+                  }
+                  const auto& keys = *keys_out;
+                  for (std::size_t i = 0; i + 1 < keys.size(); ++i)
+                    sink->put_local(keys[i], *obj);
+                  sink->put_local_move(keys.back(), std::move(*obj));
+                  if (tr != nullptr) tr->clear_context();
+                });
+              });
+            },
+            /*on_release=*/[data]() { /* dropping the handle releases the source */ });
+      });
     });
   }
 
@@ -378,6 +390,7 @@ class Out {
     };
     rt::World* world = nullptr;
     InTerminalBase<Key, Value>* sink = nullptr;
+    rt::JobId job = rt::kDefaultJob;  ///< job of the broadcasting task
     rt::collective::TreeShape shape;  ///< positions: 0 = sender, p -> members[p-1]
     std::vector<Member> members;      ///< tree position p -> members[p-1]
     rt::DataCopy<Value> data;         ///< pins the block (and cached buffer)
@@ -426,9 +439,12 @@ class Out {
       tr->add_copies(dst, comm.recv_copies(tree_proto()));
     }
     wp->engine().after(lag, [wp, st, from, dst, wire, pos, tr, msg]() {
-      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
-      wp->comm().send_payload(from, dst, wire, st->data.pin(),
-                              [st, pos, tr, msg]() { tree_deliver(st, pos, tr, msg); });
+      wp->run_as_job(st->job, [&]() {
+        if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+        wp->comm().send_payload(from, dst, wire, st->data.pin(), [st, pos, tr, msg]() {
+          tree_deliver(st, pos, tr, msg);
+        });
+      });
     });
   }
 
@@ -446,25 +462,28 @@ class Out {
     std::vector<Key> keys;
     ser::InputArchive ka(*m.kbuf);
     ka& keys;
-    wp->run_as(m.rank, [&]() {
-      // Under the message's causality context: child hops and the tasks
-      // completed by the local puts all become this message's successors.
-      if (tr != nullptr) {
-        tr->message_delivered(msg, wp->engine().now());
-        tr->set_context(msg);
-      }
-      auto& comm = wp->comm();
-      double lag = 0.0;
-      for (int c : st->shape.children[static_cast<std::size_t>(pos)]) {
-        st->data.record_forward_hit();
-        comm.mutable_stats().broadcast_forwards += 1;
-        if (tr != nullptr) tr->record_forward(m.rank);
-        lag += comm.per_message_cpu();
-        tree_inject(st, m.rank, c, lag, /*src_copies=*/0);
-      }
-      for (std::size_t i = 0; i + 1 < keys.size(); ++i) st->sink->put_local(keys[i], v);
-      st->sink->put_local_move(keys.back(), std::move(v));
-      if (tr != nullptr) tr->clear_context();
+    wp->run_as_job(st->job, [&]() {
+      wp->run_as(m.rank, [&]() {
+        // Under the message's causality context: child hops and the tasks
+        // completed by the local puts all become this message's successors.
+        if (tr != nullptr) {
+          tr->message_delivered(msg, wp->engine().now());
+          tr->set_context(msg);
+        }
+        auto& comm = wp->comm();
+        double lag = 0.0;
+        for (int c : st->shape.children[static_cast<std::size_t>(pos)]) {
+          st->data.record_forward_hit();
+          comm.mutable_stats().broadcast_forwards += 1;
+          if (tr != nullptr) tr->record_forward(m.rank);
+          lag += comm.per_message_cpu();
+          tree_inject(st, m.rank, c, lag, /*src_copies=*/0);
+        }
+        for (std::size_t i = 0; i + 1 < keys.size(); ++i)
+          st->sink->put_local(keys[i], v);
+        st->sink->put_local_move(keys.back(), std::move(v));
+        if (tr != nullptr) tr->clear_context();
+      });
     });
   }
 
@@ -496,6 +515,7 @@ class Out {
     auto st = std::make_shared<WireTreeState>();
     st->world = world_;
     st->sink = sink;
+    st->job = w.current_job();
     std::vector<int> dsts;
     dsts.reserve(remote.size());
     for (const auto& [dst, ks] : remote) dsts.push_back(dst);
@@ -533,6 +553,7 @@ class Out {
     };
     rt::World* world = nullptr;
     InTerminalBase<Key, Value>* sink = nullptr;
+    rt::JobId job = rt::kDefaultJob;  ///< job of the broadcasting task
     rt::collective::TreeShape shape;  ///< positions: 0 = sender, p -> members[p-1]
     std::vector<Member> members;
     rt::DataCopy<Value> data;  ///< root source object, alive until all hops land
@@ -571,29 +592,31 @@ class Out {
     auto keys_out = std::make_shared<std::vector<Key>>();
     wp->engine().after(lag, [wp, st, from, dst, md_bytes, pos, obj, keys_out,
                              srcv = std::move(srcv), tr, msg]() {
-      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
-      const auto& mm = st->members[static_cast<std::size_t>(pos) - 1];
-      wp->comm().send_splitmd(
-          from, dst, md_bytes, st->payload_bytes,
-          /*on_metadata=*/
-          [mdbuf = mm.mdbuf, obj, keys_out]() {
-            ser::InputArchive ia(*mdbuf);
-            typename SMD::metadata_type m{};
-            ia& m;
-            ia&* keys_out;
-            *obj = SMD::create(m);
-          },
-          /*on_payload=*/
-          [st, pos, obj, keys_out, srcv, tr, msg]() {
-            const auto src_span = SMD::payload(*srcv);
-            const auto dst_span = SMD::payload(*obj);
-            TTG_CHECK(src_span.size() == dst_span.size(),
-                      "splitmd payload size mismatch");
-            if (!src_span.empty())
-              std::memcpy(dst_span.data(), src_span.data(), src_span.size());
-            smd_deliver(st, pos, obj, keys_out, tr, msg);
-          },
-          /*on_release=*/[srcv]() { /* drop the parent's source reference */ });
+      wp->run_as_job(st->job, [&]() {
+        if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+        const auto& mm = st->members[static_cast<std::size_t>(pos) - 1];
+        wp->comm().send_splitmd(
+            from, dst, md_bytes, st->payload_bytes,
+            /*on_metadata=*/
+            [mdbuf = mm.mdbuf, obj, keys_out]() {
+              ser::InputArchive ia(*mdbuf);
+              typename SMD::metadata_type m{};
+              ia& m;
+              ia&* keys_out;
+              *obj = SMD::create(m);
+            },
+            /*on_payload=*/
+            [st, pos, obj, keys_out, srcv, tr, msg]() {
+              const auto src_span = SMD::payload(*srcv);
+              const auto dst_span = SMD::payload(*obj);
+              TTG_CHECK(src_span.size() == dst_span.size(),
+                        "splitmd payload size mismatch");
+              if (!src_span.empty())
+                std::memcpy(dst_span.data(), src_span.data(), src_span.size());
+              smd_deliver(st, pos, obj, keys_out, tr, msg);
+            },
+            /*on_release=*/[srcv]() { /* drop the parent's source reference */ });
+      });
     });
   }
 
@@ -608,29 +631,31 @@ class Out {
                           rt::Tracer* tr, std::uint32_t msg) {
     rt::World* wp = st->world;
     const auto& m = st->members[static_cast<std::size_t>(pos) - 1];
-    wp->run_as(m.rank, [&]() {
-      if (tr != nullptr) {
-        tr->message_delivered(msg, wp->engine().now());
-        tr->set_context(msg);
-      }
-      auto& comm = wp->comm();
-      const auto& children = st->shape.children[static_cast<std::size_t>(pos)];
-      double lag = 0.0;
-      for (int c : children) {
-        comm.mutable_stats().broadcast_forwards += 1;
-        if (tr != nullptr) tr->record_forward(m.rank);
-        lag += comm.per_message_cpu();
-        smd_inject(st, m.rank, c, lag, obj);
-      }
-      const auto& keys = *keys_out;
-      if (children.empty()) {
-        for (std::size_t i = 0; i + 1 < keys.size(); ++i)
-          st->sink->put_local(keys[i], *obj);
-        st->sink->put_local_move(keys.back(), std::move(*obj));
-      } else {
-        for (const Key& k : keys) st->sink->put_local(k, *obj);
-      }
-      if (tr != nullptr) tr->clear_context();
+    wp->run_as_job(st->job, [&]() {
+      wp->run_as(m.rank, [&]() {
+        if (tr != nullptr) {
+          tr->message_delivered(msg, wp->engine().now());
+          tr->set_context(msg);
+        }
+        auto& comm = wp->comm();
+        const auto& children = st->shape.children[static_cast<std::size_t>(pos)];
+        double lag = 0.0;
+        for (int c : children) {
+          comm.mutable_stats().broadcast_forwards += 1;
+          if (tr != nullptr) tr->record_forward(m.rank);
+          lag += comm.per_message_cpu();
+          smd_inject(st, m.rank, c, lag, obj);
+        }
+        const auto& keys = *keys_out;
+        if (children.empty()) {
+          for (std::size_t i = 0; i + 1 < keys.size(); ++i)
+            st->sink->put_local(keys[i], *obj);
+          st->sink->put_local_move(keys.back(), std::move(*obj));
+        } else {
+          for (const Key& k : keys) st->sink->put_local(k, *obj);
+        }
+        if (tr != nullptr) tr->clear_context();
+      });
     });
   }
 
@@ -644,6 +669,7 @@ class Out {
     auto st = std::make_shared<SmdTreeState>();
     st->world = world_;
     st->sink = sink;
+    st->job = w.current_job();
     std::vector<int> dsts;
     dsts.reserve(remote.size());
     for (const auto& [dst, ks] : remote) dsts.push_back(dst);
@@ -697,18 +723,25 @@ class Out {
           tr->add_copies(dst, comm.recv_copies(ser::Protocol::Trivial));
         }
         rt::World* wp = world_;
-        w.engine().after(delay, [wp, &comm, me, dst, sink, key, action, tr, msg]() {
-          if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
-          comm.send_message(me, dst, kCtrlBytes, [wp, dst, sink, key, action, tr, msg]() {
-            wp->run_as(dst, [&]() {
-              // Stream-size/finalize arrivals can complete a task: keep the
-              // causality context so that task links back to this message.
-              if (tr != nullptr) {
-                tr->message_delivered(msg, wp->engine().now());
-                tr->set_context(msg);
-              }
-              action(sink, key);
-              if (tr != nullptr) tr->clear_context();
+        const rt::JobId job = w.current_job();
+        w.engine().after(delay, [wp, &comm, job, me, dst, sink, key, action, tr,
+                                 msg]() {
+          wp->run_as_job(job, [&]() {
+            if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+            comm.send_message(me, dst, kCtrlBytes, [wp, job, dst, sink, key, action,
+                                                    tr, msg]() {
+              wp->run_as_job(job, [&]() {
+                wp->run_as(dst, [&]() {
+                  // Stream-size/finalize arrivals can complete a task: keep the
+                  // causality context so that task links back to this message.
+                  if (tr != nullptr) {
+                    tr->message_delivered(msg, wp->engine().now());
+                    tr->set_context(msg);
+                  }
+                  action(sink, key);
+                  if (tr != nullptr) tr->clear_context();
+                });
+              });
             });
           });
         });

@@ -74,12 +74,19 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
   // --- configuration (call before injecting data) ---
 
   /// Process map: task ID -> owning rank.
-  void set_keymap(std::function<int(const Key&)> f) { keymap_ = std::move(f); }
+  void set_keymap(std::function<int(const Key&)> f) {
+    keymap_ = std::move(f);
+    note_mutation();
+  }
   /// Priority map: task ID -> scheduler priority (higher runs first).
-  void set_priomap(std::function<int(const Key&)> f) { priomap_ = std::move(f); }
+  void set_priomap(std::function<int(const Key&)> f) {
+    priomap_ = std::move(f);
+    note_mutation();
+  }
   /// Cost map: virtual compute seconds of a task given its key and inputs.
   void set_costmap(std::function<double(const Key&, const InV&...)> f) {
     costmap_ = std::move(f);
+    note_mutation();
   }
 
   /// Turn input terminal I into a streaming terminal: incoming messages are
@@ -94,6 +101,7 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
     std::get<I>(reducers_) = std::move(reducer);
     is_stream_[I] = true;
     stream_size_[I] = size;
+    note_mutation();
   }
 
   /// Change the static stream size of streaming terminal I.
@@ -711,18 +719,25 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
       tr->add_copies(to, comm.recv_copies(ser::Protocol::Trivial));
     }
     rt::World* wp = &world_;
-    w.engine().after(delay, [wp, from, to, action = std::move(action), tr, msg]() {
-      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
-      wp->comm().send_message(from, to, kCtrlBytes, [wp, to, action, tr, msg]() {
-        wp->run_as(to, [&]() {
-          // Count/Collect/Close arrivals can complete a reduction (and a
-          // task): keep the causality context so it links to this message.
-          if (tr != nullptr) {
-            tr->message_delivered(msg, wp->engine().now());
-            tr->set_context(msg);
-          }
-          action();
-          if (tr != nullptr) tr->clear_context();
+    const rt::JobId job = w.current_job();
+    w.engine().after(delay, [wp, job, from, to, action = std::move(action), tr,
+                             msg]() {
+      wp->run_as_job(job, [&]() {
+        if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+        wp->comm().send_message(from, to, kCtrlBytes, [wp, job, to, action, tr,
+                                                       msg]() {
+          wp->run_as_job(job, [&]() {
+            wp->run_as(to, [&]() {
+              // Count/Collect/Close arrivals can complete a reduction (and a
+              // task): keep the causality context so it links to this message.
+              if (tr != nullptr) {
+                tr->message_delivered(msg, wp->engine().now());
+                tr->set_context(msg);
+              }
+              action();
+              if (tr != nullptr) tr->clear_context();
+            });
+          });
         });
       });
     });
@@ -768,28 +783,34 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
       tr->add_copies(to, comm.recv_copies(proto));
     }
     rt::World* wp = &world_;
-    w.engine().after(delay, [this, wp, from, to, wire, vbuf, hbuf, data, tr, msg]() {
-      if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
-      wp->comm().send_payload(from, to, wire, data.pin(),
-                              [this, wp, to, vbuf, hbuf, tr, msg]() {
-        using VV = std::tuple_element_t<I, input_values>;
-        ser::InputArchive ia(*vbuf);
-        VV v{};
-        ia& v;
-        ser::InputArchive ha(*hbuf);
-        Key k{};
-        int slot2 = 0;
-        std::int64_t cum2 = 0;
-        ha& k;
-        ha& slot2;
-        ha& cum2;
-        wp->run_as(to, [&]() {
-          if (tr != nullptr) {
-            tr->message_delivered(msg, wp->engine().now());
-            tr->set_context(msg);
-          }
-          this->template on_partial<I>(k, slot2, cum2, std::move(v));
-          if (tr != nullptr) tr->clear_context();
+    const rt::JobId job = w.current_job();
+    w.engine().after(delay, [this, wp, job, from, to, wire, vbuf, hbuf, data, tr,
+                             msg]() {
+      wp->run_as_job(job, [&]() {
+        if (tr != nullptr) tr->message_sent(msg, wp->engine().now());
+        wp->comm().send_payload(from, to, wire, data.pin(),
+                                [this, wp, job, to, vbuf, hbuf, tr, msg]() {
+          using VV = std::tuple_element_t<I, input_values>;
+          ser::InputArchive ia(*vbuf);
+          VV v{};
+          ia& v;
+          ser::InputArchive ha(*hbuf);
+          Key k{};
+          int slot2 = 0;
+          std::int64_t cum2 = 0;
+          ha& k;
+          ha& slot2;
+          ha& cum2;
+          wp->run_as_job(job, [&]() {
+            wp->run_as(to, [&]() {
+              if (tr != nullptr) {
+                tr->message_delivered(msg, wp->engine().now());
+                tr->set_context(msg);
+              }
+              this->template on_partial<I>(k, slot2, cum2, std::move(v));
+              if (tr != nullptr) tr->clear_context();
+            });
+          });
         });
       });
     });
@@ -832,17 +853,23 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
           [&](const auto&... v) { return costmap_(key, v...); }, vals);
     }
     cost += world_.comm().task_overhead();
-    auto body = [this, rank, key, vals = std::move(vals)]() mutable {
-      world_.run_as(rank, [&]() {
-        ++executed_;
-        call_body(key, vals);
+    // Capture the ambient job at record-completion time: every path that can
+    // complete a record (injection, local put, remote delivery) runs under
+    // run_as_job, so the task body re-enters the same job when it fires.
+    const rt::JobId job = world_.current_job();
+    auto body = [this, rank, job, key, vals = std::move(vals)]() mutable {
+      world_.run_as_job(job, [&]() {
+        world_.run_as(rank, [&]() {
+          ++executed_;
+          call_body(key, vals);
+        });
       });
     };
     if (world_.tracing()) {
-      world_.scheduler(rank).submit(prio, cost, name_, key_to_string(key),
+      world_.scheduler(rank).submit(job, prio, cost, name_, key_to_string(key),
                                     std::move(body));
     } else {
-      world_.scheduler(rank).submit(prio, cost, std::move(body));
+      world_.scheduler(rank).submit(job, prio, cost, std::move(body));
     }
   }
 

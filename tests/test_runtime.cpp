@@ -64,6 +64,64 @@ TEST(Scheduler, FifoAmongEqualPriorities) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(Scheduler, CrossJobTieBreakIsDeterministic) {
+  // Equal-priority tasks of different jobs pop in (priority desc, job id
+  // asc, enqueue seq asc) order under Strict fairness — submission
+  // interleaving across jobs must not perturb the order.
+  auto cfg = small_world();
+  cfg.machine.cores_per_node = 1;
+  World w(cfg);
+  auto& s = w.scheduler(0);
+  std::vector<std::pair<int, int>> order;  // (job, tag)
+  s.submit(0, 1.0, [&] { order.emplace_back(0, 0); });  // blocker
+  s.submit(rt::JobId{2}, 5, 1.0, [&] { order.emplace_back(2, 0); });
+  s.submit(rt::JobId{1}, 5, 1.0, [&] { order.emplace_back(1, 0); });
+  s.submit(rt::JobId{3}, 7, 1.0, [&] { order.emplace_back(3, 0); });
+  s.submit(rt::JobId{1}, 5, 1.0, [&] { order.emplace_back(1, 1); });
+  s.submit(rt::JobId{2}, 5, 1.0, [&] { order.emplace_back(2, 1); });
+  w.fence();
+  const std::vector<std::pair<int, int>> want{
+      {0, 0},          // blocker
+      {3, 0},          // priority 7 beats everything
+      {1, 0}, {1, 1},  // then job 1's priority-5 tasks, FIFO
+      {2, 0}, {2, 1},  // then job 2's, FIFO
+  };
+  EXPECT_EQ(order, want);
+}
+
+TEST(Scheduler, WeightedRoundRobinInterleavesByWeight) {
+  auto cfg = small_world();
+  cfg.machine.cores_per_node = 1;
+  World w(cfg);
+  auto& s = w.scheduler(0);
+  s.set_fairness(rt::FairnessMode::WeightedRR);
+  s.configure_job(rt::JobId{1}, /*weight=*/1, /*inflight_cap=*/0);
+  s.configure_job(rt::JobId{2}, /*weight=*/2, /*inflight_cap=*/0);
+  std::vector<int> order;
+  s.submit(0, 1.0, [&] { order.push_back(0); });  // blocker
+  for (int i = 0; i < 3; ++i) {
+    s.submit(rt::JobId{1}, 0, 1.0, [&] { order.push_back(1); });
+    s.submit(rt::JobId{2}, 0, 1.0, [&] { order.push_back(2); });
+  }
+  w.fence();
+  // Credit rounds: job 1 gets 1 slot, job 2 gets 2 per round (jobs scanned
+  // in ascending id within a round).
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 2, 1, 2, 1}));
+}
+
+TEST(Scheduler, InflightCapLimitsConcurrency) {
+  auto cfg = small_world();  // 2 workers on rank 0
+  World w(cfg);
+  auto& s = w.scheduler(0);
+  s.configure_job(rt::JobId{1}, /*weight=*/1, /*inflight_cap=*/1);
+  for (int i = 0; i < 4; ++i) s.submit(rt::JobId{1}, 0, 1.0, [] {});
+  const double t = w.fence();
+  const auto& jc = s.job_counters(rt::JobId{1});
+  EXPECT_EQ(jc.tasks_run, 4u);
+  EXPECT_EQ(jc.max_inflight, 1);
+  EXPECT_DOUBLE_EQ(t, 4.0);  // fully serialized despite 2 workers
+}
+
 TEST(Scheduler, ChargeExtendsWorkerBusyTime) {
   auto cfg = small_world();
   cfg.machine.cores_per_node = 1;
