@@ -1,0 +1,316 @@
+// Engine scale sweep behind the scale-smoke CI gate: serial reference engine
+// vs the sharded (lane + epoch barrier) engine, 256 to 4096 simulated ranks.
+//
+// Two phases, two claims:
+//
+//   * potrf — ghost POTRF, weak-scaled tiling. Pins *determinism* (makespan,
+//     task/event/message counts are exact and identical between the two
+//     engine modes — the sharded engine is bit-identical to serial by
+//     construction; tests/test_scale_equiv.cpp) and *memory* (peak live
+//     payload bytes per rank stays flat as ranks grow: ghost tiles are
+//     synthesized on demand, O(1) host state per live task). Events/sec is
+//     reported for both modes; at this workload's event density the serial
+//     heap holds only O(ranks) events (the NICs queue work internally), so
+//     the two engines run neck and neck on one host core — this phase is a
+//     correctness-at-scale gate, not the throughput gate.
+//
+//   * storm — the throughput gate. A rank-local timer storm keeps a constant
+//     2^21 events in flight (self-rescheduling chains, the population a
+//     timer-per-message transport sustains at scale), which is where a
+//     serial DES actually hurts: every pop percolates a ~100-byte event
+//     through a multi-megabyte cold heap. The sharded engine partitions the
+//     same population into per-lane heaps that stay cache-resident while a
+//     lane drains its epoch window, and the storm is all same-lane traffic,
+//     so the epoch barrier is near-empty. Sharded events/sec must be >= 2x
+//     serial at >= 1024 ranks (gated via the "speedup" floor in
+//     ci/BENCH_scale_baseline.json); final virtual time and event counts
+//     are exact and identical between modes.
+//
+// Events/sec is wall-clock and therefore machine-dependent: the JSON gate
+// gives absolute rates a very wide tolerance and pins the speedup *ratio*
+// (same host, same second) plus all counts and makespans exactly.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/cholesky/cholesky_ttg.hpp"
+#include "bench_common.hpp"
+#include "sim/engine.hpp"
+#include "ttg/ttg.hpp"
+
+using namespace ttg;
+
+namespace {
+
+/// Process peak RSS in MB from /proc/self/status (0 where unavailable).
+/// Informational only: it is a process-wide high watermark, monotone across
+/// the sweep — the deterministic per-rank gate is DataTracker's watermark.
+double peak_rss_mb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double mb = 0.0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    long kb = 0;
+    if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) {
+      mb = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return mb;
+}
+
+struct Point {
+  int ranks = 0;
+  int nt = 0;  ///< tile rows/cols of the swept matrix
+  const char* mode = "";
+  int lanes = 0;
+  double makespan = 0.0;          ///< virtual seconds (exact)
+  std::uint64_t tasks = 0;        ///< task bodies executed (exact)
+  std::uint64_t events = 0;       ///< engine events processed (exact)
+  std::uint64_t net_messages = 0; ///< payload transfers on the wire (exact)
+  double events_per_sec = 0.0;    ///< host throughput (wall-clock)
+  std::uint64_t peak_live_per_rank = 0;  ///< max over ranks of the DataCopy
+                                         ///< live-bytes high watermark (exact)
+  double rss_mb = 0.0;            ///< process VmHWM after this run (info)
+};
+
+Point run_point(int ranks, int nt, int bs, int lanes) {
+  rt::WorldConfig cfg;
+  cfg.nranks = ranks;
+  cfg.workers_per_rank = 8;  // scheduler state lean at thousands of ranks
+  cfg.ranks_per_node = 4;
+  cfg.engine_lanes = lanes;
+  rt::World world(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = apps::cholesky::run_ghost(world, nt * bs, bs);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+
+  Point p;
+  p.ranks = ranks;
+  p.nt = nt;
+  p.mode = lanes > 0 ? "sharded" : "serial";
+  p.lanes = lanes;
+  p.makespan = res.makespan;
+  p.tasks = res.tasks;
+  p.events = world.engine().events_processed();
+  p.net_messages = world.network().stats().messages;
+  p.events_per_sec = static_cast<double>(p.events) / (wall > 0.0 ? wall : 1e-9);
+  for (int r = 0; r < ranks; ++r) {
+    const auto& rs = world.data_tracker().rank_stats(r);
+    if (rs.high_watermark > p.peak_live_per_rank)
+      p.peak_live_per_rank = rs.high_watermark;
+  }
+  p.rss_mb = peak_rss_mb();
+  return p;
+}
+
+// ---- storm phase ----------------------------------------------------------
+
+constexpr double kStormDt = 1.2e-6;       ///< mean reschedule interval [s]
+constexpr std::uint64_t kStormPending = 1ull << 21;  ///< in-flight events
+constexpr int kStormHops = 3;             ///< reschedules per chain
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// One hop of a self-rescheduling chain. The remaining-hop counter lives in
+/// the low 4 bits of the PRNG state, so the closure captures 16 bytes and
+/// fits std::function's small-buffer storage — the storm measures heap
+/// behavior, not allocator behavior.
+std::function<void()> storm_hop(sim::Engine* e, std::uint64_t s) {
+  return [e, s] {
+    const int h = static_cast<int>(s & 15u);
+    if (h == 0) return;
+    const std::uint64_t s2 = (mix(s) & ~15ull) | static_cast<unsigned>(h - 1);
+    const double u = static_cast<double>(s2 >> 11) * 0x1p-53;
+    e->after(kStormDt * (0.25 + 1.5 * u), storm_hop(e, s2));
+  };
+}
+
+struct StormRun {
+  double end = 0.0;             ///< final virtual time (exact)
+  std::uint64_t events = 0;     ///< events processed (exact)
+  double events_per_sec = 0.0;  ///< host throughput (wall-clock)
+};
+
+StormRun run_storm(int ranks, int lanes) {
+  sim::EngineConfig cfg;
+  cfg.lanes = lanes;
+  cfg.threads = 1;
+  cfg.nranks = ranks;
+  cfg.lookahead = kStormDt;
+  sim::Engine eng(cfg);
+  const int depth = static_cast<int>(kStormPending / static_cast<unsigned>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    for (int d = 0; d < depth; ++d) {
+      const std::uint64_t s0 = mix(static_cast<std::uint64_t>(r) * 65551u + d);
+      const std::uint64_t s = (s0 & ~15ull) | static_cast<unsigned>(kStormHops);
+      const double u = static_cast<double>(s >> 11) * 0x1p-53;
+      eng.at_on(eng.lane_of(r), kStormDt * (0.25 + 1.5 * u), storm_hop(&eng, s));
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  StormRun sr;
+  sr.end = eng.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  sr.events = eng.events_processed();
+  sr.events_per_sec = static_cast<double>(sr.events) / (wall > 0.0 ? wall : 1e-9);
+  return sr;
+}
+
+struct StormPoint {
+  int ranks = 0;
+  int lanes = 0;
+  std::uint64_t pending = 0;
+  std::uint64_t events = 0;  ///< identical between modes (exact)
+  double end = 0.0;          ///< identical between modes (exact)
+  double serial_evps = 0.0;
+  double sharded_evps = 0.0;
+  double speedup = 0.0;  ///< sharded/serial, gated >= 2.0 in CI
+};
+
+void write_json(const std::string& path, int bs, const std::vector<Point>& potrf,
+                const std::vector<StormPoint>& storm) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  TTG_REQUIRE(f != nullptr, "cannot open --json output file: " + path);
+  std::fprintf(f, "{\"bench\":\"scale_engine\",\"bs\":%d,\"points\":[", bs);
+  bool first = true;
+  for (const auto& p : potrf) {
+    std::fprintf(f,
+                 "%s\n{\"phase\":\"potrf\",\"ranks\":%d,\"mode\":\"%s\",\"nt\":%d,"
+                 "\"lanes\":%d,\"makespan\":%.17g,\"tasks\":%llu,\"events\":%llu,"
+                 "\"net_messages\":%llu,\"events_per_sec\":%.17g,"
+                 "\"peak_live_per_rank\":%llu,\"rss_mb\":%.3f}",
+                 first ? "" : ",", p.ranks, p.mode, p.nt, p.lanes, p.makespan,
+                 static_cast<unsigned long long>(p.tasks),
+                 static_cast<unsigned long long>(p.events),
+                 static_cast<unsigned long long>(p.net_messages), p.events_per_sec,
+                 static_cast<unsigned long long>(p.peak_live_per_rank), p.rss_mb);
+    first = false;
+  }
+  for (const auto& s : storm) {
+    std::fprintf(f,
+                 "%s\n{\"phase\":\"storm\",\"ranks\":%d,\"mode\":\"both\","
+                 "\"lanes\":%d,\"pending\":%llu,\"events\":%llu,\"end\":%.17g,"
+                 "\"serial_events_per_sec\":%.17g,\"sharded_events_per_sec\":%.17g,"
+                 "\"speedup\":%.17g}",
+                 first ? "" : ",", s.ranks, s.lanes,
+                 static_cast<unsigned long long>(s.pending),
+                 static_cast<unsigned long long>(s.events), s.end, s.serial_evps,
+                 s.sharded_evps, s.speedup);
+    first = false;
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Cli cli("scale_engine",
+                   "serial vs sharded engine at 256..4096 simulated ranks");
+  cli.option("max-ranks", "4096", "largest rank count to sweep");
+  cli.option("bs", "256", "tile size (ghost tiles: affects virtual time only)");
+  cli.option("json", "",
+             "write deterministic results (counts, makespans) + wall-clock "
+             "events/sec as JSON to this path");
+  if (!cli.parse(argc, argv)) return 0;
+  const int max_ranks = static_cast<int>(cli.get_int("max-ranks"));
+  const int bs = static_cast<int>(cli.get_int("bs"));
+  const std::string json_path = cli.get("json");
+
+  bench::preamble("Engine scale sweep: ghost POTRF + timer storm, serial vs sharded",
+                  "n/a (simulator-only scaling study)",
+                  "ranks 256..." + std::to_string(max_ranks) +
+                      ", weak-scaled tiling, 1 host core");
+
+  support::Table pt("potrf: determinism + flat memory (events/sec informational)",
+                    {"ranks", "nt", "tasks", "events", "serial ev/s",
+                     "sharded ev/s", "ratio", "peak live/rank [B]"});
+  std::vector<Point> potrf;
+  std::uint64_t peak_min = 0, peak_max = 0;
+  for (int ranks : {256, 512, 1024, 2048, 4096}) {
+    if (ranks > max_ranks) break;
+    // Weak-ish scaling: tile count grows with sqrt(ranks) so work per rank
+    // stays in the same ballpark across the sweep.
+    const int nt = 2 * static_cast<int>(std::lround(std::sqrt(ranks)));
+    const int lanes = std::min(64, ranks / 16);
+    const Point serial = run_point(ranks, nt, bs, 0);
+    const Point sharded = run_point(ranks, nt, bs, lanes);
+    potrf.push_back(serial);
+    potrf.push_back(sharded);
+    TTG_CHECK(serial.makespan == sharded.makespan &&
+                  serial.events == sharded.events &&
+                  serial.net_messages == sharded.net_messages &&
+                  serial.peak_live_per_rank == sharded.peak_live_per_rank,
+              "sharded run diverged from the serial reference");
+    peak_min = peak_min == 0 ? serial.peak_live_per_rank
+                             : std::min(peak_min, serial.peak_live_per_rank);
+    peak_max = std::max(peak_max, serial.peak_live_per_rank);
+    pt.add_row({std::to_string(ranks), std::to_string(nt),
+                std::to_string(serial.tasks), std::to_string(serial.events),
+                support::fmt(serial.events_per_sec / 1e6, 2) + "M",
+                support::fmt(sharded.events_per_sec / 1e6, 2) + "M",
+                support::fmt(sharded.events_per_sec / serial.events_per_sec, 2) + "x",
+                std::to_string(sharded.peak_live_per_rank)});
+  }
+  pt.print();
+  // Flat memory: the per-rank live-byte watermark may wiggle with the tile
+  // layout but must not grow with the rank count (it is deterministic, so
+  // this bound is stable wherever the bench runs).
+  TTG_CHECK(peak_max <= 2 * peak_min,
+            "peak live bytes per rank grew with the rank count");
+
+  support::Table st("storm: 2^21 in-flight events, throughput gate (>= 2x)",
+                    {"ranks", "lanes", "pending/rank", "events", "serial ev/s",
+                     "sharded ev/s", "speedup"});
+  std::vector<StormPoint> storm;
+  for (int ranks : {1024, 2048, 4096}) {
+    if (ranks > max_ranks) break;
+    const int lanes = std::min(128, ranks / 8);
+    const StormRun serial = run_storm(ranks, 0);
+    const StormRun sharded = run_storm(ranks, lanes);
+    TTG_CHECK(serial.end == sharded.end && serial.events == sharded.events,
+              "sharded storm diverged from the serial reference");
+    StormPoint s;
+    s.ranks = ranks;
+    s.lanes = lanes;
+    s.pending = kStormPending;
+    s.events = serial.events;
+    s.end = serial.end;
+    s.serial_evps = serial.events_per_sec;
+    s.sharded_evps = sharded.events_per_sec;
+    s.speedup = sharded.events_per_sec / serial.events_per_sec;
+    storm.push_back(s);
+    st.add_row({std::to_string(ranks), std::to_string(lanes),
+                std::to_string(kStormPending / static_cast<unsigned>(ranks)),
+                std::to_string(s.events),
+                support::fmt(s.serial_evps / 1e6, 2) + "M",
+                support::fmt(s.sharded_evps / 1e6, 2) + "M",
+                support::fmt(s.speedup, 2) + "x"});
+  }
+  st.print();
+
+  if (!json_path.empty()) {
+    write_json(json_path, bs, potrf, storm);
+    std::printf("# json: wrote %s (%zu points)\n", json_path.c_str(),
+                potrf.size() + storm.size());
+  }
+  std::printf(
+      "expected shape: identical counts/makespans per row (bit-identical\n"
+      "engines); potrf peak live bytes/rank flat across ranks; storm speedup\n"
+      "exceeds 2x at >= 1024 ranks (per-lane heaps stay cache-resident while\n"
+      "the serial heap percolates through tens of MB of cold events).\n");
+  return 0;
+}

@@ -1,30 +1,111 @@
 #!/usr/bin/env python3
 """Gate deterministic benchmark results against a checked-in baseline.
 
-Compares a BENCH_ci.json produced by `fig5_potrf_weak --json` (against
-ci/BENCH_baseline.json) or `fig12_bspmm --json` (against
-ci/BENCH_bspmm_baseline.json). The simulator is a discrete-event model, so
-for a fixed configuration the makespan and message counts are
-bit-reproducible; any drift is a real behavioral change, not measurement
-noise. We still allow a tolerance on makespan so intentional small
-scheduling tweaks do not force a baseline refresh, but message counts must
-match exactly.
+The simulator is a discrete-event model: for a fixed configuration the
+makespans and message counts are bit-reproducible, so any drift in them is a
+real behavioral change, not measurement noise. Wall-clock rates
+(events/sec) are machine-dependent and get wide tolerances or are gated as
+ratios measured within one run.
 
-Exit code 0 = within tolerance, 1 = regression/mismatch, 2 = usage error.
-Only the Python standard library is used.
+What is gated is declared by the *baseline* via an optional top-level
+"schema" object, so one script serves every bench:
+
+    "schema": {
+      "key":       ["nodes", "backend"],      # fields identifying a point
+      "exact":     ["messages", "makespan"],  # == between current/baseline
+      "tolerance": {"makespan": 0.15,         # shorthand: higher is worse
+                    "events_per_sec": {"rel": 0.9, "worse": "below"}},
+      "floor":     {"speedup": 2.0}           # current value must be >= this
+    }
+
+  * key       — tuple of point fields forming the point's identity.
+  * exact     — compared with ==. Counts, and makespans where bit-identity
+                itself is the contract.
+  * tolerance — relative drift bounds vs the baseline value. A bare number t
+                means the current value may exceed baseline by at most t
+                (makespan semantics: higher is worse). The long form picks
+                the bad direction: "above" fails when current > base*(1+rel),
+                "below" fails when current < base*(1-rel).
+  * floor     — absolute lower bounds on the current value, independent of
+                the baseline value. For host-independent ratios (e.g. the
+                sharded/serial speedup) measured within a single run.
+                Points lacking the field are not gated on it.
+
+Baselines without a "schema" use the legacy default (key nodes/backend,
+the historical exact-count list, makespan tolerance from --tolerance), so
+the fig5 / bspmm / serve_jobs baselines are gated exactly as before.
+
+Every other top-level scalar is a config field the two documents must agree
+on. Exit code 0 = within bounds, 1 = regression/mismatch, 2 = usage error.
+Only the Python standard library is used. Unit tests: ci/test_check_perf.py.
 """
 
 import argparse
 import json
 import sys
 
+# Legacy exact-count list, used when the baseline declares no schema.
+# serializations/serialize_hits come from the DataCopy layer;
+# broadcast_forwards/am_batches/batched_msgs from the collective data plane;
+# reduce_forwards/reduce_combines from tree-routed streaming reductions;
+# intra/inter_node_hops classify payload-bearing tree hops against the
+# topology; jobs/job_messages/job_splitmd/cache_hits/cache_misses from the
+# multi-tenant serving bench. Fields absent from both documents compare
+# equal, so older benches are unaffected.
+LEGACY_EXACT = (
+    "messages", "splitmd_sends", "serializations", "serialize_hits",
+    "broadcast_forwards", "am_batches", "batched_msgs", "reduce_forwards",
+    "reduce_combines", "intra_node_hops", "inter_node_hops", "jobs",
+    "job_messages", "job_splitmd", "cache_hits", "cache_misses",
+)
+LEGACY_KEY = ("nodes", "backend")
 
-def load_points(path):
+
+def normalize_tolerance(spec):
+    """Expand shorthand tolerances to {"rel": float, "worse": "above"|"below"}."""
+    out = {}
+    for field, rule in spec.items():
+        if isinstance(rule, dict):
+            rel, worse = rule.get("rel"), rule.get("worse", "above")
+        else:
+            rel, worse = rule, "above"
+        if not isinstance(rel, (int, float)) or rel < 0:
+            sys.exit(f"error: bad tolerance for '{field}': {rule!r}")
+        if worse not in ("above", "below"):
+            sys.exit(f"error: bad 'worse' direction for '{field}': {worse!r}")
+        out[field] = {"rel": float(rel), "worse": worse}
+    return out
+
+
+def load_schema(baseline_doc, default_tolerance):
+    raw = baseline_doc.get("schema")
+    if raw is None:
+        return {
+            "key": list(LEGACY_KEY),
+            "exact": list(LEGACY_EXACT),
+            "tolerance": normalize_tolerance({"makespan": default_tolerance}),
+            "floor": {},
+        }
+    schema = {
+        "key": list(raw.get("key", LEGACY_KEY)),
+        "exact": list(raw.get("exact", ())),
+        "tolerance": normalize_tolerance(raw.get("tolerance", {})),
+        "floor": dict(raw.get("floor", {})),
+    }
+    if not schema["key"]:
+        sys.exit("error: schema 'key' must name at least one field")
+    return schema
+
+
+def load_points(path, key_fields):
     with open(path) as f:
         doc = json.load(f)
     points = {}
     for p in doc.get("points", []):
-        key = (p["nodes"], p["backend"])
+        try:
+            key = tuple(p[k] for k in key_fields)
+        except KeyError as e:
+            sys.exit(f"error: point in {path} lacks key field {e}")
         if key in points:
             sys.exit(f"error: duplicate point {key} in {path}")
         points[key] = p
@@ -33,20 +114,48 @@ def load_points(path):
     return doc, points
 
 
+def check_point(base, cur, schema):
+    """Return a list of failure strings for one (baseline, current) pair."""
+    problems = []
+    for f in schema["exact"]:
+        if cur.get(f, 0) != base.get(f, 0):
+            problems.append(f"{f} {base.get(f, 0)} -> {cur.get(f, 0)} (exact)")
+    for f, rule in schema["tolerance"].items():
+        if f not in base or f not in cur:
+            continue
+        b, c = base[f], cur[f]
+        if rule["worse"] == "above" and c > b * (1.0 + rule["rel"]):
+            problems.append(
+                f"{f} {c:.6g} above {b:.6g} by more than {100 * rule['rel']:.0f}%")
+        if rule["worse"] == "below" and c < b * (1.0 - rule["rel"]):
+            problems.append(
+                f"{f} {c:.6g} below {b:.6g} by more than {100 * rule['rel']:.0f}%")
+    for f, bound in schema["floor"].items():
+        if f not in cur and f not in base:
+            continue
+        if cur.get(f) is None or cur[f] < bound:
+            problems.append(f"{f} {cur.get(f)} under floor {bound}")
+    return problems
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current", help="freshly produced BENCH_ci.json")
+    ap.add_argument("current", help="freshly produced BENCH_*.json")
     ap.add_argument("baseline", help="checked-in baseline JSON")
     ap.add_argument("--tolerance", type=float, default=0.15,
-                    help="allowed relative makespan increase (default 0.15)")
+                    help="legacy makespan tolerance, used only when the "
+                         "baseline declares no schema (default 0.15)")
     args = ap.parse_args()
 
-    cur_doc, cur = load_points(args.current)
-    base_doc, base = load_points(args.baseline)
+    with open(args.baseline) as f:
+        schema = load_schema(json.load(f), args.tolerance)
 
-    # Every top-level scalar except the point list is a config field the two
-    # documents must agree on (fig5: bench/per_node/bs; fig12: bench/natoms).
-    config_fields = sorted((set(cur_doc) | set(base_doc)) - {"points"})
+    base_doc, base = load_points(args.baseline, schema["key"])
+    cur_doc, cur = load_points(args.current, schema["key"])
+
+    # Every top-level scalar except the point list and the schema is a config
+    # field the two documents must agree on.
+    config_fields = sorted((set(cur_doc) | set(base_doc)) - {"points", "schema"})
     for field in config_fields:
         if cur_doc.get(field) != base_doc.get(field):
             sys.exit(f"error: config mismatch on '{field}': "
@@ -57,62 +166,26 @@ def main():
     if missing:
         sys.exit(f"error: current run is missing baseline points: {missing}")
 
-    # Counters gated exactly: any drift is a protocol/copy-semantics change,
-    # not noise. serializations/serialize_hits come from the DataCopy layer
-    # (archive passes vs. serialized-buffer cache reuses);
-    # broadcast_forwards/am_batches/batched_msgs from the collective data
-    # plane (tree hops re-injected by interior ranks, coalesced AM flushes);
-    # reduce_forwards/reduce_combines from the tree-routed streaming
-    # reductions (combined partials shipped up / absorbed at interior
-    # ranks); intra/inter_node_hops classify every payload-bearing tree hop
-    # against the topology layout.
-    # jobs/job_messages/job_splitmd/cache_hits/cache_misses come from the
-    # multi-tenant serving bench (serve_jobs): per-job attributed traffic
-    # and the template-graph instantiation cache. Fields absent from both
-    # documents compare equal, so older benches are unaffected.
-    exact_fields = ("messages", "splitmd_sends", "serializations",
-                    "serialize_hits", "broadcast_forwards", "am_batches",
-                    "batched_msgs", "reduce_forwards", "reduce_combines",
-                    "intra_node_hops", "inter_node_hops", "jobs",
-                    "job_messages", "job_splitmd", "cache_hits",
-                    "cache_misses")
-
+    key_hdr = "/".join(schema["key"])
     failures = []
-    print(f"{'nodes':>5} {'backend':>8} {'baseline[s]':>14} {'current[s]':>14} "
-          f"{'ratio':>7}  counters")
-    for key in sorted(base):
-        b, c = base[key], cur[key]
-        ratio = c["makespan"] / b["makespan"] if b["makespan"] > 0 else float("inf")
-        drifted = [f for f in exact_fields
-                   if c.get(f, 0) != b.get(f, 0)]
-        status = []
-        if ratio > 1.0 + args.tolerance:
-            status.append(f"makespan regressed {100.0 * (ratio - 1.0):.1f}% "
-                          f"(> {100.0 * args.tolerance:.0f}% allowed)")
-        if drifted:
-            status.append("counts changed: " + ", ".join(
-                f"{f} {b.get(f, 0)}->{c.get(f, 0)}" for f in drifted))
-        print(f"{key[0]:>5} {key[1]:>8} {b['makespan']:>14.6e} "
-              f"{c['makespan']:>14.6e} {ratio:>7.3f}  "
-              f"{'ok' if not status else '; '.join(status)}")
-        if status:
-            failures.append((key, status))
+    for key in sorted(base, key=str):
+        problems = check_point(base[key], cur[key], schema)
+        label = ",".join(str(k) for k in key)
+        print(f"  {key_hdr}=({label}): {'ok' if not problems else '; '.join(problems)}")
+        if problems:
+            failures.append((key, problems))
 
-    extra = sorted(set(cur) - set(base))
+    extra = sorted(set(cur) - set(base), key=str)
     if extra:
         print(f"note: current run has points absent from baseline "
               f"(not gated): {extra}")
 
     if failures:
-        cfg = " ".join(f"{k}={base_doc[k]}" for k in config_fields
-                       if k != "bench")
-        print(f"\nFAIL: {len(failures)} point(s) regressed. If the change is "
-              "intentional, refresh the baseline by re-running "
-              f"{base_doc.get('bench', 'the bench')} --json {args.baseline} "
-              f"with the baseline config ({cfg}).")
+        print(f"\nFAIL: {len(failures)} point(s) out of bounds. If the change "
+              "is intentional, refresh the baseline (ci/refresh_baselines.sh "
+              f"regenerates every BENCH_*.json, including {args.baseline}).")
         return 1
-    print(f"\nOK: all {len(base)} points within {100.0 * args.tolerance:.0f}% "
-          "of baseline; message/serialization counts identical.")
+    print(f"\nOK: all {len(base)} points within the baseline's schema bounds.")
     return 0
 
 

@@ -1,5 +1,7 @@
 #include "apps/cholesky/cholesky_ttg.hpp"
 
+#include <functional>
+
 #include "linalg/kernels.hpp"
 #include "ttg/ttg.hpp"
 
@@ -10,8 +12,14 @@ using linalg::TiledMatrix;
 
 double flop_count(int n) { return n / 3.0 * n * n; }
 
-Result run(rt::World& world, const TiledMatrix& a, const Options& opt) {
-  const int nt = a.ntiles();
+namespace {
+
+/// Shared graph construction: the input matrix is abstracted as a tile
+/// source so callers can feed either a materialized TiledMatrix or
+/// on-demand ghost synthesis (run_ghost) through the identical task graph.
+Result run_impl(rt::World& world, int n, int bs,
+                const std::function<Tile(int, int)>& tile_src, const Options& opt) {
+  const int nt = (n + bs - 1) / bs;
   const auto& machine = world.machine();
   const linalg::BlockCyclic2D dist = linalg::BlockCyclic2D::make(world.nranks());
 
@@ -99,7 +107,7 @@ Result run(rt::World& world, const TiledMatrix& a, const Options& opt) {
   /* RESULT: write back the factor tiles (stays on the owning rank, as in
      the paper's distributed write-back). */
   TiledMatrix l_out;
-  if (opt.collect) l_out = TiledMatrix(a.n(), a.block(), /*allocate=*/false);
+  if (opt.collect) l_out = TiledMatrix(n, bs, /*allocate=*/false);
   auto result_tt = make_sink(world, result, [&](const Int2& key, Tile& t) {
     if (opt.collect) l_out.tile(key.i, key.j) = std::move(t);
   });
@@ -146,11 +154,11 @@ Result run(rt::World& world, const TiledMatrix& a, const Options& opt) {
   /* INITIATOR: inject every tile of the lower triangle on its owner rank.
      "The INITIATOR operation is responsible for providing input to tasks
      that have no direct predecessor in the algorithm." (Fig. 1.) */
-  auto init_fn = [&a](const Int2& key,
-                      std::tuple<Out<Int1, Tile>, Out<Int2, Tile>, Out<Int2, Tile>,
-                                 Out<Int3, Tile>>& out) {
+  auto init_fn = [&tile_src](const Int2& key,
+                             std::tuple<Out<Int1, Tile>, Out<Int2, Tile>,
+                                        Out<Int2, Tile>, Out<Int3, Tile>>& out) {
     const auto [m, n] = key;
-    Tile t = a.tile(m, n);
+    Tile t = tile_src(m, n);
     if (m == 0 && n == 0) {
       ttg::send<0>(Int1{0}, std::move(t), out);  // POTRF(0)
     } else if (m == n) {
@@ -175,11 +183,26 @@ Result run(rt::World& world, const TiledMatrix& a, const Options& opt) {
 
   Result res;
   res.makespan = t1 - t0;
-  res.gflops = flop_count(a.n()) / res.makespan / 1e9;
+  res.gflops = flop_count(n) / res.makespan / 1e9;
   res.tasks = potrf_tt->tasks_executed() + trsm_tt->tasks_executed() +
               syrk_tt->tasks_executed() + gemm_tt->tasks_executed();
   res.matrix = std::move(l_out);
   return res;
+}
+
+}  // namespace
+
+Result run(rt::World& world, const TiledMatrix& a, const Options& opt) {
+  return run_impl(
+      world, a.n(), a.block(), [&a](int i, int j) { return a.tile(i, j); }, opt);
+}
+
+Result run_ghost(rt::World& world, int n, int bs, const Options& opt) {
+  Options o = opt;
+  o.collect = false;  // nothing to collect: inputs are synthesized ghosts
+  return run_impl(
+      world, n, bs, [n, bs](int i, int j) { return linalg::ghost_tile(n, bs, i, j); },
+      o);
 }
 
 }  // namespace ttg::apps::cholesky

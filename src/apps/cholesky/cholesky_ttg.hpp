@@ -42,4 +42,13 @@ struct Result {
 /// lower-triangular factor and timing. The world is fenced internally.
 Result run(rt::World& world, const linalg::TiledMatrix& a, const Options& opt = {});
 
+/// Factor an n x n ghost problem without materializing any tile container:
+/// input tiles are synthesized on demand (linalg::ghost_tile) when the
+/// INITIATOR fires on the owner rank, and the factor is never collected
+/// (Result::matrix stays empty; Options::collect is ignored). Host state is
+/// therefore O(1) per live task instead of O(ntiles^2) per problem — this is
+/// what lets bench/scale_engine sweep thousands of simulated ranks with flat
+/// peak RSS per rank. Bit-identical to run(world, ghost_matrix(n, bs), opt).
+Result run_ghost(rt::World& world, int n, int bs, const Options& opt = {});
+
 }  // namespace ttg::apps::cholesky

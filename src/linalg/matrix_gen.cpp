@@ -105,14 +105,21 @@ TiledMatrix random_adjacency(support::Rng& rng, int n, int bs, double density) {
   return TiledMatrix::from_dense(d, bs);
 }
 
+Tile ghost_tile(int n, int bs, int i, int j) {
+  // Must stay in lockstep with ghost_matrix below: runs driven by on-demand
+  // synthesis are pinned bit-identical to materialized-ghost runs.
+  const int rows = std::min(bs, n - i * bs);
+  const int cols = std::min(bs, n - j * bs);
+  const auto sig = static_cast<std::uint64_t>(i) * 0x1f1f1f1f1ull +
+                   static_cast<std::uint64_t>(j) + 1;
+  return Tile::ghost(rows, cols, sig);
+}
+
 TiledMatrix ghost_matrix(int n, int bs) {
   TiledMatrix m(n, bs, /*allocate=*/false);
   for (int i = 0; i < m.ntiles(); ++i)
-    for (int j = 0; j < m.ntiles(); ++j) {
-      const auto sig = static_cast<std::uint64_t>(i) * 0x1f1f1f1f1ull +
-                       static_cast<std::uint64_t>(j) + 1;
-      m.tile(i, j) = Tile::ghost(m.tile_rows(i), m.tile_rows(j), sig);
-    }
+    for (int j = 0; j < m.ntiles(); ++j)
+      m.tile(i, j) = ghost_tile(n, bs, i, j);
   return m;
 }
 

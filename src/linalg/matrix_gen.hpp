@@ -72,6 +72,12 @@ class TiledMatrix {
 /// Ghost tiling of an n x n matrix: tiles carry dims + distinct signatures.
 [[nodiscard]] TiledMatrix ghost_matrix(int n, int bs);
 
+/// One tile of ghost_matrix(n, bs), synthesized on demand — same dims and
+/// signature scheme, so a run fed by ghost_tile is bit-identical to one fed
+/// from a materialized ghost matrix. At-scale benches use this to keep host
+/// state O(1) per live task instead of O(ntiles^2) per problem.
+[[nodiscard]] Tile ghost_tile(int n, int bs, int i, int j);
+
 /// Reference dense Cholesky (calls the tile kernel on the assembled matrix).
 [[nodiscard]] Tile dense_cholesky(const Tile& spd);
 

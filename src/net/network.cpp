@@ -41,6 +41,23 @@ void Network::configure_faults(const sim::FaultPlan& plan) {
 
 void Network::transfer(int src, int dst, std::size_t nbytes,
                        std::function<void()> on_delivered) {
+  if (faults_ != nullptr && engine_.sharded()) {
+    // Fault draws (drop/duplicate) consume ordinals from one seeded global
+    // stream, so initiation order must match the serial engine exactly:
+    // route it through the shared lane, where it replays in serial (time,
+    // key) order at the epoch barrier. Nested transfers (rendezvous legs,
+    // RMA control) re-enter here already inside the replay and run inline.
+    engine_.shared([this, src, dst, nbytes,
+                    cb = std::move(on_delivered)]() mutable {
+      transfer_impl(src, dst, nbytes, std::move(cb));
+    });
+    return;
+  }
+  transfer_impl(src, dst, nbytes, std::move(on_delivered));
+}
+
+void Network::transfer_impl(int src, int dst, std::size_t nbytes,
+                            std::function<void()> on_delivered) {
   stats_.messages += 1;
   stats_.bytes += nbytes;
   nic_sends_[static_cast<std::size_t>(src)] += 1;
@@ -84,14 +101,22 @@ void Network::transfer(int src, int dst, std::size_t nbytes,
                                 deliveries, cb]() {
     auto deliver = [this, dst, wire, latency, deliveries, cb]() {
       for (int i = 0; i < deliveries; ++i) {
-        engine_.after(latency, [this, dst, wire, cb]() {
+        // Deliveries land on the destination rank's lane. The propagation
+        // latency is what bounds the sharded engine's lookahead, so this
+        // cross-lane event always clears the current epoch window.
+        engine_.after_on(engine_.lane_of(dst), latency, [this, dst, wire, cb]() {
           recv_nic_[dst]->submit(wire, [cb]() { (*cb)(); });
         });
       }
     };
     if (cross) {
+      // The bisection FIFO is shared by every rank pair that spans the cut:
+      // occupancy must accrue in serial request order, so the submit is a
+      // shared-lane transaction (a plain inline call on the serial engine).
       const double fabric = static_cast<double>(nbytes) / bisection_bw_;
-      bisection_->submit(fabric, std::move(deliver));
+      engine_.shared([this, fabric, deliver = std::move(deliver)]() mutable {
+        bisection_->submit(fabric, std::move(deliver));
+      });
     } else {
       deliver();
     }
@@ -130,6 +155,21 @@ void Network::send_rendezvous(int src, int dst, std::size_t nbytes,
 
 void Network::rma_get(int src, int dst, std::size_t nbytes, std::function<void()> on_done,
                       std::function<void()> on_remote_complete) {
+  if (faults_ != nullptr && engine_.sharded()) {
+    // Like transfer(): the rma_extra_delay draw consumes a global ordinal,
+    // so initiation replays through the shared lane in serial order.
+    engine_.shared([this, src, dst, nbytes, on_done = std::move(on_done),
+                    orc = std::move(on_remote_complete)]() mutable {
+      rma_get_impl(src, dst, nbytes, std::move(on_done), std::move(orc));
+    });
+    return;
+  }
+  rma_get_impl(src, dst, nbytes, std::move(on_done), std::move(on_remote_complete));
+}
+
+void Network::rma_get_impl(int src, int dst, std::size_t nbytes,
+                           std::function<void()> on_done,
+                           std::function<void()> on_remote_complete) {
   stats_.rma_gets += 1;
   if (faults_ != nullptr) {
     // Delayed RMA completion: the payload lands, but the completion event

@@ -120,7 +120,14 @@ class Network {
  private:
   /// Charge one payload transfer src->dst through NICs (+ bisection when
   /// the endpoints are in different halves), then fire `on_delivered`.
+  /// On a sharded engine with faults enabled the initiation detours through
+  /// Engine::shared() so seeded drop/duplicate draws consume their global
+  /// ordinals in exact serial order.
   void transfer(int src, int dst, std::size_t nbytes, std::function<void()> on_delivered);
+  void transfer_impl(int src, int dst, std::size_t nbytes,
+                     std::function<void()> on_delivered);
+  void rma_get_impl(int src, int dst, std::size_t nbytes, std::function<void()> on_done,
+                    std::function<void()> on_remote_complete);
 
   [[nodiscard]] bool crosses_bisection(int src, int dst) const;
 

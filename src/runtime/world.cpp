@@ -17,7 +17,28 @@ const char* to_string(BackendKind k) {
   return "?";
 }
 
-World::World(WorldConfig cfg) : cfg_(cfg) {
+namespace {
+
+// Lookahead rule: no cross-rank delivery can undercut the propagation
+// latency of the fastest link, so epochs of that width are safe to drain
+// lane-parallel. Fault plans can only speed a link up via latency_factor < 1.
+sim::EngineConfig derive_engine_config(const WorldConfig& cfg) {
+  sim::EngineConfig ec;
+  if (cfg.engine_lanes <= 0) return ec;  // serial reference engine
+  ec.lanes = cfg.engine_lanes;
+  ec.threads = cfg.engine_threads;
+  ec.nranks = cfg.nranks;
+  ec.lookahead = cfg.engine_lookahead;
+  if (ec.lookahead <= 0.0) {
+    double factor = cfg.faults.enabled() ? cfg.faults.min_latency_factor() : 1.0;
+    ec.lookahead = cfg.machine.net_latency * std::min(1.0, factor);
+  }
+  return ec;
+}
+
+}  // namespace
+
+World::World(WorldConfig cfg) : cfg_(cfg), engine_(derive_engine_config(cfg_)) {
   TTG_REQUIRE(cfg_.nranks >= 1, "world needs at least one rank");
   workers_ = cfg_.workers_per_rank > 0 ? cfg_.workers_per_rank
                                        : cfg_.machine.cores_per_node;

@@ -57,6 +57,15 @@ struct WorldConfig {
   double task_overhead_override = -1.0;  ///< <0 → backend default
   double am_cpu_factor = 1.0;  ///< scales per-message CPU (Chameleon-like profile)
   sim::FaultPlan faults;       ///< fault-injection plan; default-constructed = off
+  // Sharded-engine selection (DESIGN.md "Sharded discrete-event engine").
+  // 0 = the serial reference engine (every checked-in baseline); >= 1 shards
+  // ranks onto that many event lanes under conservative lookahead, with
+  // results bit-identical to serial (tests/test_scale_equiv.cpp). Sharded
+  // multi-tenant serving (JobManager) is not supported yet.
+  int engine_lanes = 0;
+  int engine_threads = 1;  ///< OS threads draining lanes (keep 1 for runtime
+                           ///< workloads; >1 is exercised by engine tests)
+  double engine_lookahead = -1.0;  ///< <= 0 → net_latency * min latency factor
 };
 
 /// Type-erased base of every template task, for registration and
@@ -105,10 +114,14 @@ class World {
   /// Rank on whose behalf code is currently executing.
   [[nodiscard]] int rank() const { return current_rank_; }
 
-  /// Execute `fn` in the context of rank `r` (restores on exit).
+  /// Execute `fn` in the context of rank `r` (restores on exit). On a
+  /// sharded engine this also sets the ambient event lane to r's lane, so
+  /// engine pushes made by `fn` (task completions, send charges) land on the
+  /// lane that owns the rank without per-call plumbing.
   template <typename F>
   void run_as(int r, F&& fn) {
     TTG_CHECK(r >= 0 && r < nranks(), "rank out of range");
+    sim::Engine::LaneScope lane(engine_, engine_.lane_of(r));
     const int saved = current_rank_;
     current_rank_ = r;
     fn();

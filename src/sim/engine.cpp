@@ -1,9 +1,19 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <iterator>
 #include <utility>
 
 namespace ttg::sim {
+
+thread_local Engine::ExecCtx* Engine::tls_ctx_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Serial reference engine. This path is byte-for-byte the pre-sharding
+// engine: every checked-in baseline was produced by it and must stay
+// bit-identical.
+// ---------------------------------------------------------------------------
 
 void Engine::push(Time t, std::function<void()> fn, CancelSlot* slot,
                   std::uint32_t gen) {
@@ -29,11 +39,47 @@ CancelSlot* Engine::acquire_slot() {
 }
 
 void Engine::at(Time t, std::function<void()> fn) {
+  if (sharded_) {
+    sharded_at(current_target_lane(), t, std::move(fn), nullptr, 0);
+    return;
+  }
+  TTG_CHECK(t >= now_, "event scheduled in the past");
+  push(t, std::move(fn), nullptr, 0);
+}
+
+void Engine::at_on(int lane, Time t, std::function<void()> fn) {
+  if (sharded_) {
+    sharded_at(lane, t, std::move(fn), nullptr, 0);
+    return;
+  }
   TTG_CHECK(t >= now_, "event scheduled in the past");
   push(t, std::move(fn), nullptr, 0);
 }
 
 Engine::CancelToken Engine::at_cancellable(Time t, std::function<void()> fn) {
+  if (sharded_) {
+    const int lane = current_target_lane();
+    ExecCtx* c = ctx();
+    if (c != nullptr) {
+      // Both the timer and its cancel must live on the owning lane: the slot
+      // is recycled by whichever lane pops the event, and a cross-lane
+      // cancel would race the pop under a threaded drain.
+      TTG_CHECK(lane == (c->barrier ? shared_lane() : c->lane),
+                "cancellable events are lane-local");
+    }
+    Lane& ln = lanes_[static_cast<std::size_t>(lane)];
+    CancelSlot* slot = nullptr;
+    if (!ln.free_slots.empty()) {
+      slot = ln.free_slots.back();
+      ln.free_slots.pop_back();
+    } else {
+      ln.slots.emplace_back();
+      slot = &ln.slots.back();
+    }
+    const std::uint32_t gen = slot->gen;
+    sharded_at(lane, t, std::move(fn), slot, gen);
+    return CancelToken{slot, gen};
+  }
   TTG_CHECK(t >= now_, "event scheduled in the past");
   CancelSlot* slot = acquire_slot();
   push(t, std::move(fn), slot, slot->gen);
@@ -48,6 +94,7 @@ void Engine::cancel(const CancelToken& token) {
 }
 
 Time Engine::run() {
+  if (sharded_) return sharded_run();
   while (!queue_.empty()) {
     Event ev = pop_front();
     if (ev.slot != nullptr) {
@@ -67,6 +114,7 @@ Time Engine::run() {
 }
 
 Time Engine::run_until(const std::function<bool()>& pred) {
+  TTG_CHECK(!sharded_, "run_until is only supported by the serial engine");
   while (!queue_.empty()) {
     Event ev = pop_front();
     if (ev.slot != nullptr) {
@@ -82,6 +130,419 @@ Time Engine::run_until(const std::function<bool()>& pred) {
     if (pred()) break;
   }
   return now_;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine.
+// ---------------------------------------------------------------------------
+
+Engine::Engine(const EngineConfig& cfg) {
+  queue_.reserve(kInitialQueueCapacity);
+  if (cfg.lanes <= 0) return;  // serial reference engine
+  sharded_ = true;
+  nranks_ = std::max(1, cfg.nranks);
+  threads_ = std::max(1, cfg.threads);
+  lookahead_ = cfg.lookahead;
+  TTG_CHECK(lookahead_ > 0.0, "sharded engine requires a positive lookahead");
+  const int nl = std::min(cfg.lanes, nranks_);
+  lanes_.resize(static_cast<std::size_t>(nl) + 1);  // + the shared lane
+  for (Lane& ln : lanes_) ln.heap.reserve(kInitialQueueCapacity);
+  if (threads_ > 1 && nl > 1) start_workers();
+}
+
+Engine::~Engine() { stop_workers(); }
+
+Time Engine::now() const {
+  if (!sharded_) return now_;
+  const ExecCtx* c = tls_ctx_;
+  if (c != nullptr && c->eng == this) return c->now;
+  return global_now_;
+}
+
+std::uint64_t Engine::events_processed() const {
+  if (!sharded_) return processed_;
+  std::uint64_t n = 0;
+  for (const Lane& ln : lanes_) n += ln.processed;
+  return n;
+}
+
+bool Engine::idle() const {
+  if (!sharded_) return queue_.empty();
+  for (const Lane& ln : lanes_)
+    if (!ln.heap.empty()) return false;
+  return true;
+}
+
+std::size_t Engine::pooled_cancel_slots() const {
+  if (!sharded_) return free_slots_.size();
+  std::size_t n = 0;
+  for (const Lane& ln : lanes_) n += ln.free_slots.size();
+  return n;
+}
+
+Engine::LaneScope::LaneScope(Engine& eng, int lane) {
+  if (!eng.sharded_) return;  // no-op: the serial engine has one lane
+  ExecCtx* c = Engine::tls_ctx_;
+  slot_ = (c != nullptr && c->eng == &eng) ? &c->ambient : &eng.driver_ambient_;
+  saved_ = *slot_;
+  *slot_ = lane;
+}
+
+Engine::LaneScope::~LaneScope() {
+  if (slot_ != nullptr) *slot_ = saved_;
+}
+
+bool Engine::key_less(std::uint64_t as, const KeyNode* an, std::uint64_t bs,
+                      const KeyNode* bn) {
+  if (an == nullptr) {
+    if (bn == nullptr) return as < bs;
+    // Scalars were assigned (in serial push order) no later than the start
+    // of the current epoch; composites name pushes made *during* it.
+    return true;
+  }
+  if (bn == nullptr) return false;
+  if (an == bn) return false;
+  return node_less(*an, *bn);
+}
+
+bool Engine::node_less(const KeyNode& a, const KeyNode& b) {
+  // A push happens during its parent's execution, so push order is parent
+  // execution order — (time, parent key) — then child index within one
+  // parent. Note this is deliberately ONE level of time comparison: a
+  // deeper "full path" lexicographic compare would mis-order a grandchild
+  // against a sibling pushed by an earlier-executing grandparent.
+  if (a.ptime != b.ptime) return a.ptime < b.ptime;
+  if (a.pkey != b.pkey || (a.pkey == nullptr && a.pscalar != b.pscalar)) {
+    if (key_less(a.pscalar, a.pkey, b.pscalar, b.pkey)) return true;
+    if (key_less(b.pscalar, b.pkey, a.pscalar, a.pkey)) return false;
+  }
+  return a.idx < b.idx;
+}
+
+bool Engine::deferred_less(const Deferred& a, const Deferred& b) {
+  if (a.ptime != b.ptime) return a.ptime < b.ptime;
+  if (a.pkey != b.pkey || (a.pkey == nullptr && a.pscalar != b.pscalar)) {
+    if (key_less(a.pscalar, a.pkey, b.pscalar, b.pkey)) return true;
+    if (key_less(b.pscalar, b.pkey, a.pscalar, a.pkey)) return false;
+  }
+  return a.idx < b.idx;
+}
+
+Engine::ExecCtx* Engine::ctx() const {
+  ExecCtx* c = tls_ctx_;
+  return (c != nullptr && c->eng == this) ? c : nullptr;
+}
+
+int Engine::current_target_lane() const {
+  const ExecCtx* c = ctx();
+  if (c != nullptr) return c->ambient;
+  if (driver_ambient_ != kNoLane) return driver_ambient_;
+  return shared_lane();
+}
+
+void Engine::lane_push(Lane& ln, Time t, std::function<void()> fn,
+                       std::uint64_t scalar, const KeyNode* key, CancelSlot* slot,
+                       std::uint32_t gen) {
+  ln.heap.push_back(Ev{t, scalar, key, std::move(fn), slot, gen});
+  std::push_heap(ln.heap.begin(), ln.heap.end(), EvLater{});
+}
+
+void Engine::sharded_at(int lane, Time t, std::function<void()> fn,
+                        CancelSlot* slot, std::uint32_t gen) {
+  TTG_CHECK(lane >= 0 && lane < static_cast<int>(lanes_.size()),
+            "event scheduled on an invalid lane");
+  ExecCtx* c = ctx();
+  if (c == nullptr) {
+    // Driver context (no epoch running): insert directly, keyed by the next
+    // scalar — driver pushes are serial, so call order IS serial order.
+    TTG_CHECK(t >= global_now_, "event scheduled in the past");
+    lane_push(lanes_[static_cast<std::size_t>(lane)], t, std::move(fn),
+              next_scalar_++, nullptr, slot, gen);
+    return;
+  }
+  TTG_CHECK(t >= c->now, "event scheduled in the past");
+  const std::uint64_t idx = c->next_idx;
+  c->next_idx += c->idx_step;
+  const int home = c->barrier ? shared_lane() : c->lane;
+  if (lane == home && t < epoch_end_) {
+    // Same-lane, inside the window: straight into our own heap under a
+    // composite key; the ongoing drain will reach it in correct order.
+    Lane& ln = lanes_[static_cast<std::size_t>(home)];
+    lane_push(ln, t, std::move(fn), 0, ln.arena.make(c->now, c->pkey, c->pscalar, idx),
+              slot, gen);
+    return;
+  }
+  if (lane != home) {
+    // Conservative lookahead: a cross-lane event must land at or beyond the
+    // epoch end. The network guarantees this (minimum link latency >= the
+    // lookahead); anything else is a lane-safety bug.
+    TTG_CHECK(t >= epoch_end_, "cross-lane event inside the lookahead window");
+  }
+  // Buffered until the barrier, where it is renumbered in serial push order.
+  Deferred d;
+  d.ptime = c->now;
+  d.pscalar = c->pscalar;
+  d.pkey = c->pkey;
+  d.idx = idx;
+  d.lane = lane;
+  d.time = t;
+  d.fn = std::move(fn);
+  d.slot = slot;
+  d.gen = gen;
+  d.txn = false;
+  if (c->barrier)
+    barrier_deferred_.push_back(std::move(d));
+  else
+    lanes_[static_cast<std::size_t>(c->lane)].deferred.push_back(std::move(d));
+}
+
+void Engine::shared(std::function<void()> fn) {
+  if (!sharded_) {
+    fn();  // serial engine: a plain inline call — zero behavioral change
+    return;
+  }
+  ExecCtx* c = ctx();
+  if (c == nullptr || c->barrier) {
+    fn();  // driver context / already replaying at the barrier: serial now
+    return;
+  }
+  // Mid-epoch on a lane: defer the whole transaction. It replays at the
+  // barrier in serial (time, key) order with the clock rewound to our now,
+  // and its pushes interleave into our child-index space at this slot.
+  Deferred d;
+  d.ptime = c->now;
+  d.pscalar = c->pscalar;
+  d.pkey = c->pkey;
+  d.idx = c->next_idx;
+  c->next_idx += c->idx_step;
+  d.lane = shared_lane();
+  d.time = c->now;
+  d.fn = std::move(fn);
+  d.txn = true;
+  lanes_[static_cast<std::size_t>(c->lane)].deferred.push_back(std::move(d));
+}
+
+void Engine::drain_lane(int lane_idx) {
+  Lane& ln = lanes_[static_cast<std::size_t>(lane_idx)];
+  ExecCtx c;
+  c.eng = this;
+  c.lane = lane_idx;
+  ExecCtx* prev = tls_ctx_;
+  tls_ctx_ = &c;
+  while (!ln.heap.empty() && ln.heap.front().time < epoch_end_) {
+    std::pop_heap(ln.heap.begin(), ln.heap.end(), EvLater{});
+    Ev ev = std::move(ln.heap.back());
+    ln.heap.pop_back();
+    if (ev.slot != nullptr) {
+      const bool skip = ev.slot->cancelled;
+      ev.slot->gen += 1;
+      ev.slot->cancelled = false;
+      ln.free_slots.push_back(ev.slot);
+      if (skip) continue;
+    }
+    ln.now = ev.time;
+    ++ln.processed;
+    c.now = ev.time;
+    c.pscalar = ev.scalar;
+    c.pkey = ev.key;
+    c.next_idx = 0;
+    c.idx_step = kIdxStep;
+    c.ambient = lane_idx;
+    c.barrier = false;
+    ev.fn();
+  }
+  tls_ctx_ = prev;
+}
+
+void Engine::run_epoch_lanes() {
+  const int nl = lanes();
+  if (workers_.empty()) {
+    for (int i = 0; i < nl; ++i) drain_lane(i);
+    return;
+  }
+  lane_cursor_.store(0, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  ++epoch_gen_;
+  pool_active_ = static_cast<int>(workers_.size());
+  pool_cv_.notify_all();
+  pool_done_cv_.wait(lk, [&] { return pool_active_ == 0; });
+}
+
+void Engine::start_workers() {
+  const int n = std::min(threads_, lanes());
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    workers_.emplace_back([this] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        std::unique_lock<std::mutex> lk(pool_mu_);
+        pool_cv_.wait(lk, [&] { return pool_shutdown_ || epoch_gen_ != seen; });
+        if (pool_shutdown_) return;
+        seen = epoch_gen_;
+        lk.unlock();
+        // Claim lanes off the shared cursor: each lane's heap, arena, slot
+        // pool and deferred list are touched by exactly one thread per
+        // epoch, and the pool mutex orders epochs against each other.
+        const int nl = lanes();
+        for (;;) {
+          const int i = lane_cursor_.fetch_add(1, std::memory_order_relaxed);
+          if (i >= nl) break;
+          drain_lane(i);
+        }
+        lk.lock();
+        if (--pool_active_ == 0) pool_done_cv_.notify_all();
+      }
+    });
+  }
+}
+
+void Engine::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_shutdown_ = true;
+    pool_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void Engine::barrier() {
+  Lane& sh = lanes_[static_cast<std::size_t>(shared_lane())];
+
+  // 1. Gather every push and transaction deferred during the lane drains and
+  // order them by serial push position. The records stay where the gather
+  // put them; only their 32-bit positions are sorted, and one pass splits
+  // the sorted order into transactions (replayed in step 2) and events
+  // (renumbered in step 3) without moving a record.
+  std::vector<Deferred>& defer = defer_scratch_;
+  defer.clear();
+  for (int i = 0; i < lanes(); ++i) {
+    Lane& ln = lanes_[static_cast<std::size_t>(i)];
+    std::move(ln.deferred.begin(), ln.deferred.end(), std::back_inserter(defer));
+    ln.deferred.clear();
+  }
+  std::vector<std::uint32_t>& order = order_scratch_;
+  order.resize(defer.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  // deferred_less is a total order with no ties (child indices are unique
+  // within a parent, keys unique across parents), so the unstable sort is
+  // deterministic regardless of the gather's lane concatenation order.
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return deferred_less(defer[a], defer[b]);
+  });
+
+  // 2. Replay: merge the shared lane's due events with the deferred shared
+  // transactions in serial (time, key) order, rewinding the virtual clock to
+  // each item's serial timestamp. Shared FIFO resources and fault ordinal
+  // counters therefore observe exactly the serial sequence of requests.
+  ExecCtx c;
+  c.eng = this;
+  c.lane = shared_lane();
+  c.barrier = true;
+  ExecCtx* prev = tls_ctx_;
+  tls_ctx_ = &c;
+  std::size_t ti = 0;  // cursor over order[], parked on the next transaction
+  for (;;) {
+    while (ti < order.size() && !defer[order[ti]].txn) ++ti;
+    const bool txn_ready = ti < order.size();
+    const bool ev_ready = !sh.heap.empty() && sh.heap.front().time < epoch_end_;
+    if (!txn_ready && !ev_ready) break;
+    bool take_event;
+    if (!txn_ready) {
+      take_event = true;
+    } else if (!ev_ready) {
+      take_event = false;
+    } else {
+      // A transaction's serial position is its parent's execution position.
+      const Ev& e = sh.heap.front();
+      const Deferred& d = defer[order[ti]];
+      take_event = (e.time != d.ptime) ? e.time < d.ptime
+                                       : key_less(e.scalar, e.key, d.pscalar, d.pkey);
+    }
+    if (take_event) {
+      std::pop_heap(sh.heap.begin(), sh.heap.end(), EvLater{});
+      Ev ev = std::move(sh.heap.back());
+      sh.heap.pop_back();
+      if (ev.slot != nullptr) {
+        const bool skip = ev.slot->cancelled;
+        ev.slot->gen += 1;
+        ev.slot->cancelled = false;
+        sh.free_slots.push_back(ev.slot);
+        if (skip) continue;
+      }
+      sh.now = ev.time;
+      ++sh.processed;
+      c.now = ev.time;
+      c.pscalar = ev.scalar;
+      c.pkey = ev.key;
+      c.next_idx = 0;
+      c.idx_step = kIdxStep;
+      c.ambient = shared_lane();
+      ev.fn();
+    } else {
+      Deferred d = std::move(defer[order[ti]]);
+      ++ti;
+      c.now = d.ptime;
+      c.pscalar = d.pscalar;
+      c.pkey = d.pkey;
+      // The transaction body ran inline inside its parent in the serial
+      // engine: its pushes take unit-stride indices at the transaction's own
+      // child slot, landing between the parent's surrounding children.
+      c.next_idx = d.idx;
+      c.idx_step = 1;
+      c.ambient = shared_lane();
+      d.fn();
+    }
+  }
+  tls_ctx_ = prev;
+
+  // 3. Renumber: every surviving deferred push — cross-lane, same-lane
+  // beyond the window, or made during replay — gets the next scalar key in
+  // serial push order and enters its destination heap. Replay executed in
+  // serial order, so barrier_deferred_ is already sorted: a two-pointer
+  // merge with the sorted lane-deferred events avoids re-sorting, and every
+  // record moves exactly once, straight into its destination heap. After
+  // this no heap holds a composite key, so the epoch arenas can rewind.
+  std::size_t ei = 0, bi = 0;
+  for (;;) {
+    while (ei < order.size() && defer[order[ei]].txn) ++ei;
+    const bool ev_ready = ei < order.size();
+    const bool rp_ready = bi < barrier_deferred_.size();
+    if (!ev_ready && !rp_ready) break;
+    Deferred& d = (!rp_ready || (ev_ready && deferred_less(defer[order[ei]],
+                                                           barrier_deferred_[bi])))
+                      ? defer[order[ei++]]
+                      : barrier_deferred_[bi++];
+    lane_push(lanes_[static_cast<std::size_t>(d.lane)], d.time, std::move(d.fn),
+              next_scalar_++, nullptr, d.slot, d.gen);
+  }
+  barrier_deferred_.clear();
+  for (Lane& ln : lanes_) ln.arena.reset();
+}
+
+Time Engine::sharded_run() {
+  TTG_CHECK(!in_epoch_, "Engine::run is not reentrant");
+  for (;;) {
+    Time start = std::numeric_limits<Time>::infinity();
+    for (const Lane& ln : lanes_)
+      if (!ln.heap.empty()) start = std::min(start, ln.heap.front().time);
+    if (start == std::numeric_limits<Time>::infinity()) break;
+    epoch_end_ = start + lookahead_;
+    // Degenerate guard (t >> lookahead in double precision): drain at least
+    // the events at exactly `start` so the loop always makes progress.
+    if (!(epoch_end_ > start))
+      epoch_end_ = std::nextafter(start, std::numeric_limits<Time>::infinity());
+    in_epoch_ = true;
+    run_epoch_lanes();
+    barrier();
+    in_epoch_ = false;
+    ++epochs_;
+  }
+  Time end = global_now_;
+  for (const Lane& ln : lanes_) end = std::max(end, ln.now);
+  global_now_ = end;
+  return global_now_;
 }
 
 }  // namespace ttg::sim

@@ -3,21 +3,44 @@
 // The paper's evaluation ran on real clusters (Hawk, Seawulf). We do not
 // have a cluster, so distributed execution is reproduced as a deterministic
 // discrete-event simulation: ranks, worker threads and NICs are virtual
-// resources, a single OS thread drains a time-ordered event queue, and task
-// bodies execute real C++ code while their *duration* is charged to the
-// virtual clock from a calibrated cost model. Events at equal times are
-// ordered by insertion sequence, making every run bit-reproducible.
+// resources, a time-ordered event queue is drained, and task bodies execute
+// real C++ code while their *duration* is charged to the virtual clock from
+// a calibrated cost model. Events at equal times are ordered by insertion
+// sequence, making every run bit-reproducible.
 //
-// Hot-path engineering: the queue is a binary heap over a reserved vector
-// (no node allocations, events move -- never copy -- on pop), and
-// cancellable events borrow a pooled cancel slot instead of allocating a
-// shared_ptr flag per timer, so arming and cancelling retransmission
-// timeouts is allocation-free at steady state.
+// Two execution modes share this interface:
+//
+//   * serial  — the reference engine: one binary heap, one OS thread. Every
+//               baseline number in ci/BENCH_*.json was produced by this mode
+//               and stays bit-identical.
+//   * sharded — conservative parallel DES for 1k–10k simulated ranks. Ranks
+//               are partitioned into per-lane event heaps; lanes drain
+//               epochs [T, T+L) independently (optionally on a thread
+//               pool), where the lookahead L is bounded by the minimum
+//               cross-rank link latency, and merge at an epoch barrier. The
+//               barrier renumbers every deferred push in *serial* push
+//               order (see OrderKey below), so a sharded run is
+//               bit-identical to the serial reference — pinned by
+//               tests/test_scale_equiv.cpp.
+//
+// Hot-path engineering: queues are binary heaps over reserved vectors (no
+// node allocations, events move — never copy — on pop), and cancellable
+// events borrow a pooled cancel slot instead of allocating a shared_ptr
+// flag per timer, so arming and cancelling retransmission timeouts is
+// allocation-free at steady state. The sharded mode's per-lane heaps stay
+// small and cache-resident where the serial heap grows with total in-flight
+// events; this is where its throughput advantage at scale comes from.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "support/error.hpp"
@@ -34,22 +57,71 @@ struct CancelSlot {
   bool cancelled = false;
 };
 
+/// Construction parameters for a sharded engine. Default-constructed (or
+/// lanes <= 0) selects the serial reference engine. lanes == 1 runs the full
+/// sharded machinery (epochs, deferral, renumbering) over a single lane —
+/// the cheapest configuration that exercises every sharded code path, pinned
+/// bit-identical to serial by the equivalence tests.
+struct EngineConfig {
+  int lanes = 0;       ///< event lanes; <= 0 selects the serial engine
+  int threads = 1;     ///< OS threads draining lanes within an epoch
+  int nranks = 1;      ///< rank space partitioned onto the lanes
+  Time lookahead = 0.0;  ///< conservative window; must be > 0 when sharded
+};
+
 /// The event queue + virtual clock. One Engine underlies one simulated
 /// cluster run; all runtimes, networks, and BSP executors schedule on it.
 class Engine {
  public:
   Engine() { queue_.reserve(kInitialQueueCapacity); }
+  explicit Engine(const EngineConfig& cfg);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine();
 
-  /// Current virtual time.
-  [[nodiscard]] Time now() const { return now_; }
+  /// True when this engine runs the sharded (lane + epoch barrier) core.
+  [[nodiscard]] bool sharded() const { return sharded_; }
+  /// Number of event lanes (1 in serial mode; excludes the shared lane).
+  [[nodiscard]] int lanes() const {
+    return sharded_ ? static_cast<int>(lanes_.size()) - 1 : 1;
+  }
+  /// Lane owning simulated rank r (0 in serial mode). Contiguous blocks of
+  /// ranks share a lane so nearest-neighbour traffic stays lane-local.
+  [[nodiscard]] int lane_of(int rank) const {
+    if (!sharded_) return 0;
+    return static_cast<int>((static_cast<long long>(rank) * lanes()) / nranks_);
+  }
+  /// The coordinator lane for state shared by all ranks (fabric bisection,
+  /// fault draws). Its events execute serially at epoch barriers.
+  [[nodiscard]] int shared_lane() const { return sharded_ ? lanes() : 0; }
 
-  /// Schedule `fn` at absolute virtual time `t` (must be >= now()).
+  /// Current virtual time (of the executing lane during a sharded epoch).
+  [[nodiscard]] Time now() const;
+
+  /// Schedule `fn` at absolute virtual time `t` (must be >= now()) on the
+  /// current lane (the ambient lane under World::run_as, or the executing
+  /// event's lane).
   void at(Time t, std::function<void()> fn);
 
   /// Schedule `fn` `dt` seconds from now.
-  void after(Time dt, std::function<void()> fn) { at(now_ + dt, std::move(fn)); }
+  void after(Time dt, std::function<void()> fn) { at(now() + dt, std::move(fn)); }
+
+  /// Schedule on an explicit lane. Cross-lane events must land at or beyond
+  /// the current epoch's end (conservative lookahead); the network layer
+  /// guarantees this because every cross-rank delivery pays at least the
+  /// minimum link latency. In serial mode these are plain at()/after().
+  void at_on(int lane, Time t, std::function<void()> fn);
+  void after_on(int lane, Time dt, std::function<void()> fn) {
+    at_on(lane, now() + dt, std::move(fn));
+  }
+
+  /// Run `fn` against shared simulator state (fabric bisection queue, fault
+  /// ordinals). Serial mode: an inline call — zero behavioral change. In a
+  /// sharded epoch the call is deferred to the barrier and replayed in
+  /// exact serial order with the virtual clock rewound to the caller's now,
+  /// so shared FIFO queues and fault draws observe the same sequence of
+  /// requests as the serial reference.
+  void shared(std::function<void()> fn);
 
   /// Handle to a cancellable event (see at_cancellable). Tokens refer to a
   /// pooled slot plus a generation stamp: cancelling a stale token (whose
@@ -64,10 +136,12 @@ class Engine {
   /// cancelled event behaves as if it were never scheduled: it does not run,
   /// does not advance the clock, and does not count as processed. The
   /// resilience layer uses this for retransmission timeouts so an acked
-  /// message leaves no trace on the virtual timeline.
+  /// message leaves no trace on the virtual timeline. Cancellable events
+  /// are lane-local: both the arm and the cancel must happen on the owning
+  /// lane (retransmission timers arm and cancel on the sender's rank).
   CancelToken at_cancellable(Time t, std::function<void()> fn);
   CancelToken after_cancellable(Time dt, std::function<void()> fn) {
-    return at_cancellable(now_ + dt, std::move(fn));
+    return at_cancellable(now() + dt, std::move(fn));
   }
   static void cancel(const CancelToken& token);
 
@@ -76,20 +150,48 @@ class Engine {
   Time run();
 
   /// Run until `pred()` becomes true after some event, or the queue drains.
+  /// Serial mode only (tests).
   Time run_until(const std::function<bool()>& pred);
 
   /// Number of events processed so far (for tests / stats).
-  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::uint64_t events_processed() const;
 
   /// True if no pending events remain.
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] bool idle() const;
 
   /// Cancel slots currently on the free list (for tests of the pool).
-  [[nodiscard]] std::size_t pooled_cancel_slots() const { return free_slots_.size(); }
+  [[nodiscard]] std::size_t pooled_cancel_slots() const;
+
+  /// Epochs completed so far (0 on the serial engine). An epoch is one
+  /// [T, T+L) window: lane drains + one barrier.
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+
+  /// Scoped ambient-lane override: while alive, at()/after() calls with no
+  /// explicit lane route to `lane`. World::run_as(r, ...) wraps execution in
+  /// a LaneScope for r's lane so existing runtime code routes correctly
+  /// without per-call plumbing. No-op on a serial engine.
+  class LaneScope {
+   public:
+    LaneScope(Engine& eng, int lane);
+    ~LaneScope();
+    LaneScope(const LaneScope&) = delete;
+    LaneScope& operator=(const LaneScope&) = delete;
+
+   private:
+    int* slot_ = nullptr;  // ambient-lane variable overridden (null = no-op)
+    int saved_ = 0;
+  };
 
  private:
   static constexpr std::size_t kInitialQueueCapacity = 1024;
+  /// Child-index stride of a normal push; barrier-replayed shared
+  /// transactions interleave their pushes at their own index with unit
+  /// stride (matching the serial engine, where the transaction body ran
+  /// inline inside the parent event).
+  static constexpr std::uint64_t kIdxStep = 1ull << 20;
+  static constexpr int kNoLane = -1;
 
+  // ---- serial reference engine ----
   struct Event {
     Time time = 0.0;
     std::uint64_t seq = 0;  // tie-break: FIFO among simultaneous events
@@ -117,6 +219,167 @@ class Engine {
   // slots recycle through free_slots_ when their event pops.
   std::deque<CancelSlot> slots_;
   std::vector<CancelSlot*> free_slots_;
+
+  // ---- sharded engine ----
+  //
+  // OrderKey: the serial engine breaks time ties by global push sequence.
+  // During a sharded epoch that sequence is unknowable (lanes drain
+  // concurrently), so an event pushed within the current epoch instead
+  // carries a *composite* key naming its push position: (parent execution
+  // time, parent's key, child index within the parent). Keys compare as the
+  // serial push order would:
+  //
+  //   * scalar vs scalar     — numeric (both were assigned in serial order);
+  //   * scalar vs composite  — the scalar first (every scalar was assigned
+  //                            before the current epoch began, i.e. pushed
+  //                            serially before any push of this epoch);
+  //   * composite vs composite — lexicographic (parent time, parent key
+  //                            recursively, child index): pushes happen
+  //                            during parent executions, which are ordered
+  //                            by (time, key), and within one parent by
+  //                            child index.
+  //
+  // At the epoch barrier every deferred push (cross-lane, or same-lane
+  // beyond the epoch) is sorted by its composite key and assigned the next
+  // scalar from a monotone global counter — exactly the sequence numbers
+  // the serial engine would have handed out. Composite keys never survive a
+  // barrier, so the scalar-before-composite rule stays valid every epoch.
+  struct KeyNode {
+    Time ptime = 0.0;               ///< parent's execution time
+    const KeyNode* pkey = nullptr;  ///< parent's composite key (else scalar)
+    std::uint64_t pscalar = 0;      ///< parent's scalar key when pkey null
+    std::uint64_t idx = 0;          ///< push index within the parent
+  };
+  [[nodiscard]] static bool key_less(std::uint64_t as, const KeyNode* an,
+                                     std::uint64_t bs, const KeyNode* bn);
+  [[nodiscard]] static bool node_less(const KeyNode& a, const KeyNode& b);
+
+  struct Ev {
+    Time time = 0.0;
+    std::uint64_t scalar = 0;       ///< order key when node == nullptr
+    const KeyNode* key = nullptr;   ///< composite order key (epoch-local)
+    std::function<void()> fn;
+    CancelSlot* slot = nullptr;
+    std::uint32_t gen = 0;
+  };
+  struct EvLater {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return key_less(b.scalar, b.key, a.scalar, a.key);
+    }
+  };
+
+  /// A push (or shared transaction) buffered during an epoch, renumbered /
+  /// replayed at the barrier. The (ptime, pscalar/pkey, idx) triple is its
+  /// serial push position.
+  struct Deferred {
+    Time ptime = 0.0;
+    std::uint64_t pscalar = 0;
+    const KeyNode* pkey = nullptr;
+    std::uint64_t idx = 0;
+    int lane = 0;     ///< destination lane (events) — unused for txns
+    Time time = 0.0;  ///< event time; == ptime for shared transactions
+    std::function<void()> fn;
+    CancelSlot* slot = nullptr;
+    std::uint32_t gen = 0;
+    bool txn = false;
+  };
+  [[nodiscard]] static bool deferred_less(const Deferred& a, const Deferred& b);
+
+  /// Bump allocator for epoch-local composite keys. Chunks give stable
+  /// addresses (heap events hold KeyNode pointers across pushes) and are
+  /// kept across epochs: reset() just rewinds the bump cursor, so steady
+  /// state allocates nothing — unlike a deque, whose clear() returns its
+  /// blocks to the allocator every epoch.
+  class KeyArena {
+   public:
+    const KeyNode* make(Time ptime, const KeyNode* pkey, std::uint64_t pscalar,
+                        std::uint64_t idx) {
+      const std::size_t c = used_ / kChunk;
+      if (c == chunks_.size()) chunks_.emplace_back(kChunk);
+      KeyNode* n = &chunks_[c][used_ % kChunk];
+      ++used_;
+      *n = KeyNode{ptime, pkey, pscalar, idx};
+      return n;
+    }
+    void reset() { used_ = 0; }
+
+   private:
+    static constexpr std::size_t kChunk = 4096;
+    // Full-sized inner vectors: growing the outer vector moves them without
+    // touching their elements, so handed-out KeyNode* stay valid.
+    std::vector<std::vector<KeyNode>> chunks_;
+    std::size_t used_ = 0;
+  };
+
+  struct Lane {
+    std::vector<Ev> heap;  // binary heap ordered by EvLater
+    std::deque<CancelSlot> slots;
+    std::vector<CancelSlot*> free_slots;
+    KeyArena arena;                  ///< epoch-local composite keys
+    std::vector<Deferred> deferred;  ///< pushes buffered for the barrier
+    Time now = 0.0;
+    std::uint64_t processed = 0;
+  };
+
+  /// Everything "who is executing right now" — one per draining thread.
+  struct ExecCtx {
+    Engine* eng = nullptr;
+    int lane = kNoLane;   ///< lane whose events are executing
+    int ambient = kNoLane;  ///< default push target (LaneScope overrides)
+    Time now = 0.0;
+    std::uint64_t pscalar = 0;       ///< executing event's key...
+    const KeyNode* pkey = nullptr;   ///< ...(scalar or composite)
+    std::uint64_t next_idx = 0;      ///< child counter for pushes
+    std::uint64_t idx_step = kIdxStep;
+    bool barrier = false;  ///< replaying shared work at the epoch barrier
+  };
+
+  /// The executing context on this thread, if it belongs to this engine.
+  static thread_local ExecCtx* tls_ctx_;
+
+  [[nodiscard]] ExecCtx* ctx() const;
+  [[nodiscard]] int current_target_lane() const;
+  void sharded_at(int lane, Time t, std::function<void()> fn, CancelSlot* slot,
+                  std::uint32_t gen);
+  void lane_push(Lane& ln, Time t, std::function<void()> fn, std::uint64_t scalar,
+                 const KeyNode* key, CancelSlot* slot, std::uint32_t gen);
+  void drain_lane(int lane_idx);
+  void run_epoch_lanes();
+  void barrier();
+  Time sharded_run();
+  void start_workers();
+  void stop_workers();
+
+  bool sharded_ = false;
+  int nranks_ = 1;
+  int threads_ = 1;
+  Time lookahead_ = 0.0;
+  std::vector<Lane> lanes_;  ///< [0, lanes) rank lanes + [lanes] shared lane
+  std::uint64_t next_scalar_ = 0;
+  std::uint64_t epochs_ = 0;
+  Time epoch_end_ = 0.0;
+  Time global_now_ = 0.0;  ///< driver-visible clock between epochs/runs
+  bool in_epoch_ = false;
+  int driver_ambient_ = kNoLane;  ///< ambient lane outside event execution
+  std::vector<Deferred> barrier_deferred_;  ///< pushes made during replay
+  // Barrier scratch, reused every epoch (capacity survives; steady-state
+  // barriers allocate nothing). Sorting 32-bit positions instead of the
+  // ~100-byte Deferred records keeps the sort's data movement small.
+  std::vector<Deferred> defer_scratch_;
+  std::vector<std::uint32_t> order_scratch_;
+
+  // Worker pool (threads_ > 1): persistent threads woken per epoch; lanes
+  // are claimed via an atomic cursor so the partition is dynamic, and every
+  // per-lane structure is touched by exactly one thread per epoch.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::condition_variable pool_done_cv_;
+  std::uint64_t epoch_gen_ = 0;
+  int pool_active_ = 0;
+  bool pool_shutdown_ = false;
+  std::atomic<int> lane_cursor_{0};
 };
 
 }  // namespace ttg::sim

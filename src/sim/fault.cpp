@@ -97,6 +97,12 @@ double FaultPlan::max_latency_factor() const {
   return std::max(f, 1.0);
 }
 
+double FaultPlan::min_latency_factor() const {
+  double f = all_links.latency_factor;
+  for (const auto& r : links) f = std::min(f, r.perturb.latency_factor);
+  return std::min(std::max(f, 1e-6), 1.0);
+}
+
 double FaultPlan::min_bw_factor() const {
   double f = all_links.bw_factor;
   for (const auto& r : links) f = std::min(f, r.perturb.bw_factor);

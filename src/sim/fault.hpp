@@ -104,6 +104,11 @@ struct FaultPlan {
   [[nodiscard]] double max_latency_factor() const;
   [[nodiscard]] double min_bw_factor() const;
 
+  /// Best-case latency factor across all links, clamped to (0, 1]. The
+  /// sharded engine's conservative lookahead is machine.net_latency scaled
+  /// by this: no cross-rank delivery can undercut it.
+  [[nodiscard]] double min_latency_factor() const;
+
   /// Parse a spec string (empty -> inactive plan carrying only the seed).
   /// Throws support::ApiError on malformed clauses.
   static FaultPlan parse(const std::string& spec, std::uint64_t seed = 0);

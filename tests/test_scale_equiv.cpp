@@ -1,0 +1,214 @@
+// Serial-vs-sharded equivalence: the sharded engine must be bit-identical
+// to the serial reference for whole runtime workloads — same makespan bits,
+// same communication/network counters, same trace totals — at several lane
+// counts including the degenerate lanes == 1 configuration (full sharded
+// machinery over a single lane). This is the contract that lets every
+// checked-in baseline remain valid regardless of engine mode.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/bspmm/bspmm_ttg.hpp"
+#include "apps/cholesky/cholesky_ttg.hpp"
+#include "linalg/matrix_gen.hpp"
+#include "sparse/yukawa_gen.hpp"
+#include "support/rng.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+using namespace ttg;
+
+/// Everything we pin between two runs. All counter structs are plain
+/// uint64 aggregates, so memcmp is an exact full-struct comparison; the
+/// named fields are repeated individually for readable failure output.
+struct Snapshot {
+  double makespan = 0.0;
+  std::uint64_t tasks = 0;
+  std::uint64_t events = 0;
+  rt::CommStats comm{};
+  net::NetStats net{};
+  std::size_t trace_tasks = 0;
+  std::size_t trace_msgs = 0;
+  std::size_t trace_wire = 0;
+  std::size_t trace_faults = 0;
+  rt::CommCounters totals{};
+};
+
+Snapshot snapshot(rt::World& w, double makespan, std::uint64_t tasks) {
+  Snapshot s;
+  s.makespan = makespan;
+  s.tasks = tasks;
+  s.events = w.engine().events_processed();
+  s.comm = w.comm().stats();
+  s.net = w.network().stats();
+  s.trace_tasks = w.tracer().records().size();
+  s.trace_msgs = w.tracer().messages().size();
+  s.trace_wire = w.tracer().wire_events().size();
+  s.trace_faults = w.tracer().fault_events().size();
+  s.totals = w.tracer().totals();
+  return s;
+}
+
+void expect_identical(const Snapshot& got, const Snapshot& want,
+                      const std::string& what) {
+  EXPECT_EQ(got.makespan, want.makespan) << what;  // bit-identical, not near
+  EXPECT_EQ(got.tasks, want.tasks) << what;
+  EXPECT_EQ(got.events, want.events) << what;
+  EXPECT_EQ(got.comm.messages, want.comm.messages) << what;
+  EXPECT_EQ(got.comm.splitmd_sends, want.comm.splitmd_sends) << what;
+  EXPECT_EQ(got.comm.serializations, want.comm.serializations) << what;
+  EXPECT_EQ(got.comm.broadcast_forwards, want.comm.broadcast_forwards) << what;
+  EXPECT_EQ(got.comm.retries, want.comm.retries) << what;
+  EXPECT_EQ(got.comm.dup_discards, want.comm.dup_discards) << what;
+  EXPECT_EQ(got.comm.acks, want.comm.acks) << what;
+  EXPECT_EQ(got.net.messages, want.net.messages) << what;
+  EXPECT_EQ(got.net.control_msgs, want.net.control_msgs) << what;
+  EXPECT_EQ(got.net.bytes, want.net.bytes) << what;
+  EXPECT_EQ(got.net.rma_gets, want.net.rma_gets) << what;
+  EXPECT_EQ(got.net.drops, want.net.drops) << what;
+  EXPECT_EQ(got.net.duplicates, want.net.duplicates) << what;
+  EXPECT_EQ(got.net.rma_delays, want.net.rma_delays) << what;
+  EXPECT_EQ(got.trace_tasks, want.trace_tasks) << what;
+  EXPECT_EQ(got.trace_msgs, want.trace_msgs) << what;
+  EXPECT_EQ(got.trace_wire, want.trace_wire) << what;
+  EXPECT_EQ(got.trace_faults, want.trace_faults) << what;
+  EXPECT_EQ(0, std::memcmp(&got.comm, &want.comm, sizeof(rt::CommStats)))
+      << what << ": CommStats diverged in an uncompared field";
+  EXPECT_EQ(0, std::memcmp(&got.net, &want.net, sizeof(net::NetStats)))
+      << what << ": NetStats diverged in an uncompared field";
+  EXPECT_EQ(0, std::memcmp(&got.totals, &want.totals, sizeof(rt::CommCounters)))
+      << what << ": trace totals diverged";
+}
+
+rt::WorldConfig make_cfg(int nranks, int lanes, const std::string& faults = "",
+                         rt::BackendKind backend = rt::BackendKind::Parsec) {
+  rt::WorldConfig cfg;
+  cfg.nranks = nranks;
+  cfg.ranks_per_node = 4;
+  cfg.backend = backend;
+  cfg.engine_lanes = lanes;
+  if (!faults.empty()) cfg.faults = sim::FaultPlan::parse(faults, 42);
+  return cfg;
+}
+
+Snapshot run_potrf_ghost(const rt::WorldConfig& cfg, int n, int bs) {
+  rt::World w(cfg);
+  w.enable_tracing();
+  const auto res = apps::cholesky::run_ghost(w, n, bs);
+  return snapshot(w, res.makespan, res.tasks);
+}
+
+Snapshot run_potrf_real(const rt::WorldConfig& cfg, int n, int bs,
+                        linalg::TiledMatrix* factor) {
+  rt::World w(cfg);
+  w.enable_tracing();
+  support::Rng rng(7);
+  const auto a = linalg::random_spd(rng, n, bs);
+  auto res = apps::cholesky::run(w, a);
+  if (factor != nullptr) *factor = std::move(res.matrix);
+  return snapshot(w, res.makespan, res.tasks);
+}
+
+const sparse::BlockSparseMatrix& yukawa_operand() {
+  static const sparse::BlockSparseMatrix a = [] {
+    sparse::YukawaParams yp;
+    yp.natoms = 60;
+    yp.max_tile = 64;
+    yp.ghost = true;
+    return sparse::yukawa_matrix(yp);
+  }();
+  return a;
+}
+
+Snapshot run_bspmm(const rt::WorldConfig& cfg) {
+  rt::World w(cfg);
+  w.enable_tracing();
+  const auto& a = yukawa_operand();
+  apps::bspmm::Options opt;
+  opt.read_window = 8;
+  opt.k_window = 2;
+  opt.collect = false;
+  const auto res = apps::bspmm::run(w, a, a, opt);
+  return snapshot(w, res.makespan, res.tasks);
+}
+
+// Loss + perturbation + delayed-RMA plan: exercises the reliability layer
+// (retransmission timers = cancellable events), the shared-lane fault
+// ordinal stream, and — via latency=*:0.5 — a lookahead shrunk below the
+// base network latency through FaultPlan::min_latency_factor.
+const char* kFaultSpec =
+    "drop=0.01,dup=0.02,straggler=*:1.5,latency=*:0.5,rma-delay=0.1:1e-4";
+
+TEST(ScaleEquiv, PotrfGhostBitIdenticalAcrossLaneCounts) {
+  const Snapshot want = run_potrf_ghost(make_cfg(8, 0), 240, 48);
+  EXPECT_GT(want.tasks, 0u);
+  for (const int lanes : {1, 3, 8}) {
+    const Snapshot got = run_potrf_ghost(make_cfg(8, lanes), 240, 48);
+    expect_identical(got, want, "potrf-ghost lanes=" + std::to_string(lanes));
+  }
+}
+
+TEST(ScaleEquiv, PotrfGhostMadnessBackend) {
+  const auto serial = make_cfg(8, 0, "", rt::BackendKind::Madness);
+  const auto sharded = make_cfg(8, 4, "", rt::BackendKind::Madness);
+  expect_identical(run_potrf_ghost(sharded, 240, 48),
+                   run_potrf_ghost(serial, 240, 48), "potrf-ghost madness");
+}
+
+TEST(ScaleEquiv, PotrfRealFactorAndCollectedMatrix) {
+  linalg::TiledMatrix serial_l, sharded_l;
+  const Snapshot want = run_potrf_real(make_cfg(6, 0), 192, 48, &serial_l);
+  const Snapshot got = run_potrf_real(make_cfg(6, 3), 192, 48, &sharded_l);
+  expect_identical(got, want, "potrf-real lanes=3");
+  // The collected factor is numerically *identical*, not just close: the
+  // same kernels ran in the same order on the same bits.
+  EXPECT_EQ(serial_l.max_abs_diff(sharded_l), 0.0);
+}
+
+TEST(ScaleEquiv, RunGhostMatchesMaterializedGhostMatrix) {
+  // On-demand ghost synthesis (O(1) host state) vs a materialized ghost
+  // matrix must be the same simulation, in both engine modes.
+  for (const int lanes : {0, 3}) {
+    rt::World w1(make_cfg(8, lanes));
+    w1.enable_tracing();
+    const auto ghost = linalg::ghost_matrix(240, 48);
+    apps::cholesky::Options opt;
+    opt.collect = false;
+    const auto r1 = apps::cholesky::run(w1, ghost, opt);
+    const Snapshot want = snapshot(w1, r1.makespan, r1.tasks);
+    const Snapshot got = run_potrf_ghost(make_cfg(8, lanes), 240, 48);
+    expect_identical(got, want, "run_ghost lanes=" + std::to_string(lanes));
+  }
+}
+
+TEST(ScaleEquiv, BspmmBitIdenticalAcrossLaneCounts) {
+  const Snapshot want = run_bspmm(make_cfg(8, 0));
+  EXPECT_GT(want.tasks, 0u);
+  for (const int lanes : {1, 4}) {
+    const Snapshot got = run_bspmm(make_cfg(8, lanes));
+    expect_identical(got, want, "bspmm lanes=" + std::to_string(lanes));
+  }
+}
+
+TEST(ScaleEquiv, FaultInjectionBitIdenticalAcrossLaneCounts) {
+  const Snapshot want = run_potrf_ghost(make_cfg(8, 0, kFaultSpec), 240, 48);
+  // The plan must actually bite for this test to mean anything.
+  EXPECT_GT(want.net.drops + want.net.duplicates + want.net.rma_delays, 0u);
+  for (const int lanes : {1, 3, 8}) {
+    const Snapshot got = run_potrf_ghost(make_cfg(8, lanes, kFaultSpec), 240, 48);
+    expect_identical(got, want, "faults lanes=" + std::to_string(lanes));
+  }
+}
+
+TEST(ScaleEquiv, ExplicitLookaheadOverrideStaysIdentical) {
+  // A much smaller window changes the epoch partition, never the result.
+  const Snapshot want = run_potrf_ghost(make_cfg(8, 0), 240, 48);
+  auto cfg = make_cfg(8, 4);
+  cfg.engine_lookahead = cfg.machine.net_latency / 8.0;
+  expect_identical(run_potrf_ghost(cfg, 240, 48), want, "short lookahead");
+}
+
+}  // namespace
