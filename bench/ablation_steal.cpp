@@ -1,0 +1,284 @@
+// Ablation: intra-node work-stealing scheduler x process-map-aware keymaps.
+//
+// Two workloads whose readiness profiles react to execution order:
+//   1. MRA: adaptive tree refinement + 8-way streaming compress +
+//      reconstruct. The single-queue scheduler dispatches same-priority
+//      tasks FIFO, i.e. breadth-first across all function trees at once —
+//      every subtree finishes near the end and the upward compress traffic
+//      bursts with no compute left to overlap it. The deque substrate pops
+//      LIFO (depth-first along the producing core's continuation), so
+//      subtrees complete early and the compress/reconstruct pipeline
+//      overlaps refinement still in flight.
+//   2. bspmm (Yukawa block-sparse GEMM): irregular per-tile work where the
+//      k-window coordinator creates bursts; stealing rebalances a rank's
+//      cores inside each burst.
+//
+// Arms are the cross product {steal off, steal on} x {cyclic, node-aware}
+// with several ranks per node, few workers per rank (oversubscription makes
+// intra-rank imbalance visible), and the Hawk two-socket steal distances.
+// Each arm reports makespan, aggregate core idle time, and the steal
+// counters; the steal-on cyclic arm runs twice to pin seeded determinism.
+//
+// Invariants asserted here (CI re-asserts them on the JSON):
+//   - steal counters are exactly zero in the off arms;
+//   - a steal-on rerun with the same seed is bit-identical;
+//   - steal-on reduces MRA aggregate core idle vs steal-off (same keymap);
+//   - steal-on improves the MRA makespan vs steal-off (same keymap).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/bspmm/bspmm_ttg.hpp"
+#include "apps/mra/mra_ttg.hpp"
+#include "bench_common.hpp"
+#include "runtime/trace_session.hpp"
+#include "sparse/yukawa_gen.hpp"
+#include "ttg/ttg.hpp"
+
+using namespace ttg;
+
+namespace {
+
+/// One (workload, steal, keymap) arm's deterministic outcome.
+struct Arm {
+  const char* workload = "";
+  bool steal = false;
+  const char* keymap = "";
+  double makespan = 0.0;
+  double core_idle = 0.0;  ///< sum over all cores of (makespan - busy)
+  std::uint64_t tasks = 0;
+  std::uint64_t steals_local = 0;
+  std::uint64_t steals_remote = 0;
+  std::uint64_t steal_fail = 0;
+  std::uint64_t tasks_stolen = 0;
+};
+
+void collect_steals(rt::World& world, Arm& a) {
+  for (int r = 0; r < world.nranks(); ++r) {
+    const auto& s = world.scheduler(r).steal_stats();
+    a.steals_local += s.steals_local;
+    a.steals_remote += s.steals_remote;
+    a.steal_fail += s.steal_fail;
+    a.tasks_stolen += s.tasks_stolen;
+  }
+}
+
+double core_idle(rt::World& world, double makespan) {
+  const double total =
+      static_cast<double>(world.nranks()) * world.workers_per_rank() * makespan;
+  return total - world.total_busy_time();
+}
+
+void write_json(const std::string& path, int ranks, int workers, int rpn,
+                const std::vector<Arm>& arms) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  TTG_REQUIRE(f != nullptr, "cannot open --json output file: " + path);
+  std::fprintf(f,
+               "{\"bench\":\"ablation_steal\",\"ranks\":%d,\"workers\":%d,"
+               "\"ranks_per_node\":%d,",
+               ranks, workers, rpn);
+  std::fprintf(f, "\"arms\":[");
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const auto& a = arms[i];
+    std::fprintf(f,
+                 "%s\n{\"workload\":\"%s\",\"steal\":%s,\"keymap\":\"%s\","
+                 "\"makespan\":%.17g,\"core_idle\":%.17g,\"tasks\":%llu,"
+                 "\"steals_local\":%llu,\"steals_remote\":%llu,"
+                 "\"steal_fail\":%llu,\"tasks_stolen\":%llu}",
+                 i ? "," : "", a.workload, a.steal ? "true" : "false", a.keymap,
+                 a.makespan, a.core_idle, static_cast<unsigned long long>(a.tasks),
+                 static_cast<unsigned long long>(a.steals_local),
+                 static_cast<unsigned long long>(a.steals_remote),
+                 static_cast<unsigned long long>(a.steal_fail),
+                 static_cast<unsigned long long>(a.tasks_stolen));
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Cli cli("ablation_steal",
+                   "work-stealing scheduler x node-aware keymaps");
+  cli.option("ranks", "8", "rank count");
+  cli.option("rpn", "4", "ranks per node");
+  cli.option("workers", "4", "worker cores per rank (small: oversubscription)");
+  cli.option("funcs", "16", "MRA Gaussians");
+  cli.option("tol", "1e-4", "MRA truncation threshold");
+  cli.option("rand-level", "2", "MRA keymap scatter level");
+  cli.option("natoms", "60", "atoms for the bspmm arm");
+  cli.option("seed", "1", "world seed (steal victim selection)");
+  cli.option("json", "", "write all arms as JSON to this path");
+  rt::TraceSession::add_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const rt::TraceSession trace(cli);
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const int rpn = static_cast<int>(cli.get_int("rpn"));
+  const int workers = static_cast<int>(cli.get_int("workers"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::string json_path = cli.get("json");
+  const auto m = sim::hawk();
+
+  bench::preamble("Ablation: work stealing x keymaps",
+                  "per-core deques, steal-half, NUMA steal distances",
+                  std::to_string(ranks) + " Hawk ranks x " +
+                      std::to_string(workers) + " cores, " + std::to_string(rpn) +
+                      " ranks/node, 2 sockets");
+
+  auto make_cfg = [&](bool steal) {
+    rt::WorldConfig cfg;
+    cfg.machine = m;
+    cfg.nranks = ranks;
+    cfg.workers_per_rank = workers;
+    cfg.ranks_per_node = rpn;
+    cfg.work_stealing = steal;
+    cfg.seed = seed;
+    return cfg;
+  };
+
+  // --- MRA ---
+  auto fns = ttg::mra::random_gaussians(static_cast<int>(cli.get_int("funcs")),
+                                        3.0e4, 2022);
+  ttg::mra::MraContext ctx(6, fns);
+  ctx.enable_projection_cache();
+
+  auto mra_run = [&](bool steal, KeymapKind km) {
+    rt::WorldConfig cfg = make_cfg(steal);
+    trace.apply_faults(cfg);
+    rt::World world(cfg);
+    trace.attach(world);
+    apps::mra::Options opt;
+    opt.tol = cli.get_double("tol");
+    opt.rand_level = static_cast<int>(cli.get_int("rand-level"));
+    opt.light_math = true;
+    opt.keymap = km;
+    auto res = apps::mra::run(world, ctx, opt);
+    trace.finish(world,
+                 std::string("mra-") + (steal ? "steal" : "off") + "-" +
+                     to_string(km),
+                 res.makespan);
+    Arm a;
+    a.workload = "mra";
+    a.steal = steal;
+    a.keymap = to_string(km);
+    a.makespan = res.makespan;
+    a.core_idle = core_idle(world, res.makespan);
+    a.tasks = res.tasks;
+    collect_steals(world, a);
+    return a;
+  };
+
+  // --- bspmm ---
+  sparse::YukawaParams p;
+  p.natoms = static_cast<int>(cli.get_int("natoms"));
+  p.max_tile = 64;
+  p.threshold = 1e-3;
+  p.box = 60.0;
+  p.screening_length = 5.0;
+  p.seed = 7;
+  p.ghost = true;
+  auto mat = sparse::yukawa_matrix(p);
+
+  auto bspmm_run = [&](bool steal, KeymapKind km) {
+    rt::WorldConfig cfg = make_cfg(steal);
+    trace.apply_faults(cfg);
+    rt::World world(cfg);
+    trace.attach(world);
+    apps::bspmm::Options opt;
+    opt.collect = false;
+    opt.keymap = km;
+    auto res = apps::bspmm::run(world, mat, mat, opt);
+    trace.finish(world,
+                 std::string("bspmm-") + (steal ? "steal" : "off") + "-" +
+                     to_string(km),
+                 res.makespan);
+    Arm a;
+    a.workload = "bspmm";
+    a.steal = steal;
+    a.keymap = to_string(km);
+    a.makespan = res.makespan;
+    a.core_idle = core_idle(world, res.makespan);
+    a.tasks = res.tasks;
+    collect_steals(world, a);
+    return a;
+  };
+
+  std::vector<Arm> arms;
+  for (const bool steal : {false, true}) {
+    for (const KeymapKind km : {KeymapKind::Cyclic, KeymapKind::NodeAware}) {
+      arms.push_back(mra_run(steal, km));
+      arms.push_back(bspmm_run(steal, km));
+    }
+  }
+
+  support::Table t("steal x keymap (" + std::to_string(ranks) + " ranks x " +
+                       std::to_string(workers) + " cores)",
+                   {"workload", "steal", "keymap", "time [s]", "core idle [s]",
+                    "steals l/r", "fails", "stolen"});
+  for (const auto& a : arms)
+    t.add_row({a.workload, a.steal ? "on" : "off", a.keymap,
+               support::fmt(a.makespan, 6), support::fmt(a.core_idle, 6),
+               std::to_string(a.steals_local) + "/" +
+                   std::to_string(a.steals_remote),
+               std::to_string(a.steal_fail), std::to_string(a.tasks_stolen)});
+  t.print();
+
+  auto find = [&](const char* wl, bool steal, const char* km) -> const Arm& {
+    for (const auto& a : arms)
+      if (std::string(a.workload) == wl && a.steal == steal &&
+          std::string(a.keymap) == km)
+        return a;
+    TTG_REQUIRE(false, "arm not found");
+    return arms[0];
+  };
+
+  // Off arms must not touch the steal machinery at all.
+  for (const auto& a : arms) {
+    if (a.steal) continue;
+    TTG_REQUIRE(a.steals_local == 0 && a.steals_remote == 0 && a.steal_fail == 0,
+                "steal counters must be zero with stealing off");
+  }
+  // Task counts are placement/schedule-invariant per workload.
+  for (const auto& a : arms)
+    TTG_REQUIRE(a.tasks == find(a.workload, false, "cyclic").tasks,
+                "task count must not depend on steal/keymap");
+
+  // Seeded determinism: the same steal-on arm rerun is bit-identical.
+  {
+    const Arm& first = find("mra", true, "cyclic");
+    const Arm again = mra_run(true, KeymapKind::Cyclic);
+    TTG_REQUIRE(again.makespan == first.makespan &&
+                    again.steals_local == first.steals_local &&
+                    again.steals_remote == first.steals_remote &&
+                    again.steal_fail == first.steal_fail,
+                "seeded steal-on rerun must be bit-identical");
+  }
+
+  const Arm& mra_off = find("mra", false, "cyclic");
+  const Arm& mra_on = find("mra", true, "cyclic");
+  std::printf(
+      "mra, steal-on vs off (cyclic): makespan %.6fs -> %.6fs (%+.2f%%), core "
+      "idle %.6fs -> %.6fs, %llu steals (%llu tasks)\n",
+      mra_off.makespan, mra_on.makespan,
+      100.0 * (mra_on.makespan - mra_off.makespan) / mra_off.makespan,
+      mra_off.core_idle, mra_on.core_idle,
+      static_cast<unsigned long long>(mra_on.steals_local + mra_on.steals_remote),
+      static_cast<unsigned long long>(mra_on.tasks_stolen));
+  TTG_REQUIRE(mra_on.steals_local + mra_on.steals_remote > 0,
+              "oversubscribed MRA must exercise the steal path");
+  TTG_REQUIRE(mra_on.core_idle < mra_off.core_idle,
+              "steal-on must reduce MRA aggregate core idle");
+  TTG_REQUIRE(mra_on.makespan < mra_off.makespan,
+              "steal-on must improve the MRA makespan");
+
+  if (!json_path.empty()) {
+    write_json(json_path, ranks, workers, rpn, arms);
+    std::printf("# json: wrote %s (%zu arms)\n", json_path.c_str(), arms.size());
+  }
+  std::printf(
+      "expected: depth-first deque order completes MRA subtrees early, so\n"
+      "compress/reconstruct overlap refinement (lower makespan + core idle);\n"
+      "off arms are the historical single-queue scheduler, steal counters 0.\n");
+  return 0;
+}

@@ -37,6 +37,9 @@ struct TtgPoint {
   std::uint64_t reduce_combines = 0;
   std::uint64_t intra_node_hops = 0;
   std::uint64_t inter_node_hops = 0;
+  std::uint64_t steals_local = 0;
+  std::uint64_t steals_remote = 0;
+  std::uint64_t steal_fail = 0;
 };
 
 void write_json(const std::string& path, int natoms, const std::vector<TtgPoint>& points) {
@@ -53,7 +56,8 @@ void write_json(const std::string& path, int natoms, const std::vector<TtgPoint>
                  "\"broadcast_forwards\":%llu,\"am_batches\":%llu,"
                  "\"batched_msgs\":%llu,\"reduce_forwards\":%llu,"
                  "\"reduce_combines\":%llu,\"intra_node_hops\":%llu,"
-                 "\"inter_node_hops\":%llu}",
+                 "\"inter_node_hops\":%llu,\"steals_local\":%llu,"
+                 "\"steals_remote\":%llu,\"steal_fail\":%llu}",
                  i ? "," : "", p.nodes, p.backend, p.gflops, p.makespan,
                  static_cast<unsigned long long>(p.messages),
                  static_cast<unsigned long long>(p.splitmd_sends),
@@ -65,7 +69,10 @@ void write_json(const std::string& path, int natoms, const std::vector<TtgPoint>
                  static_cast<unsigned long long>(p.reduce_forwards),
                  static_cast<unsigned long long>(p.reduce_combines),
                  static_cast<unsigned long long>(p.intra_node_hops),
-                 static_cast<unsigned long long>(p.inter_node_hops));
+                 static_cast<unsigned long long>(p.inter_node_hops),
+                 static_cast<unsigned long long>(p.steals_local),
+                 static_cast<unsigned long long>(p.steals_remote),
+                 static_cast<unsigned long long>(p.steal_fail));
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);
@@ -79,6 +86,10 @@ int main(int argc, char** argv) {
   cli.option("max-nodes", "256", "largest node count to run (CI uses a small cap)");
   cli.option("json", "", "write deterministic results (makespan, message counts) "
                          "as JSON to this path");
+  cli.option("keymap", "cyclic", "C-tile placement: cyclic|node2d|node-aware");
+  cli.option("rpn", "1", "ranks per node (drives node-aware keymaps + tree layout)");
+  cli.option("lanes", "-1", "event-engine lanes (-1: serial up to 64 ranks)");
+  cli.flag("steal", "enable the work-stealing intra-node scheduler");
   cli.flag("full", "paper-scale 2500 atoms (slow)");
   rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -112,23 +123,36 @@ int main(int argc, char** argv) {
       cfg.machine = m;
       cfg.nranks = nodes;
       cfg.backend = b;
+      cfg.work_stealing = cli.get_flag("steal");
+      cfg.ranks_per_node = static_cast<int>(cli.get_int("rpn"));
+      const int lanes = static_cast<int>(cli.get_int("lanes"));
+      cfg.engine_lanes = lanes >= 0 ? lanes : (nodes > 64 ? 8 : 0);
       trace.apply_faults(cfg);
       rt::World world(cfg);
       trace.attach(world);
       apps::bspmm::Options opt;
       opt.collect = false;
+      opt.keymap = keymap_from_string(cli.get("keymap"));
       auto res = apps::bspmm::run(world, a, a, opt);
       trace.finish(world,
                    std::string(rt::to_string(b)) + "-" + std::to_string(nodes) +
                        "nodes",
                    res.makespan);
       const auto& cs = world.comm().stats();
+      rt::StealStats ss;
+      for (int r = 0; r < world.nranks(); ++r) {
+        const auto& s = world.scheduler(r).steal_stats();
+        ss.steals_local += s.steals_local;
+        ss.steals_remote += s.steals_remote;
+        ss.steal_fail += s.steal_fail;
+      }
       points.push_back(TtgPoint{nodes, rt::to_string(b), res.gflops, res.makespan,
                                 cs.messages, cs.splitmd_sends, cs.serializations,
                                 cs.serialize_hits, cs.broadcast_forwards,
                                 cs.am_batches, cs.batched_msgs, cs.reduce_forwards,
                                 cs.reduce_combines, cs.intra_node_hops,
-                                cs.inter_node_hops});
+                                cs.inter_node_hops, ss.steals_local,
+                                ss.steals_remote, ss.steal_fail});
       return res.gflops;
     };
     auto db = baselines::run_dbcsr(m, nodes, a, a);

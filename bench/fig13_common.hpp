@@ -23,6 +23,9 @@ inline int run_fig13(const char* figure, const sim::MachineModel& machine,
   cli.option("k", "10", "multiwavelet order (paper: 10)");
   cli.option("funcs", "64", "number of Gaussians");
   cli.option("tol", "1e-8", "truncation threshold (paper: 1e-8)");
+  cli.option("keymap", "cyclic", "tree placement: cyclic|node-aware");
+  cli.option("rpn", "1", "ranks per node (drives node-aware keymaps + tree layout)");
+  cli.flag("steal", "enable the work-stealing intra-node scheduler");
   cli.flag("full", "larger run: 128 functions (slow)");
   cli.flag("verify", "full per-run arithmetic incl. norm verification (slow)");
   rt::TraceSession::add_options(cli);
@@ -53,6 +56,8 @@ inline int run_fig13(const char* figure, const sim::MachineModel& machine,
       cfg.machine = machine;
       cfg.nranks = nodes;
       cfg.backend = b;
+      cfg.work_stealing = cli.get_flag("steal");
+      cfg.ranks_per_node = static_cast<int>(cli.get_int("rpn"));
       trace.apply_faults(cfg);
       rt::World world(cfg);
       trace.attach(world);
@@ -60,6 +65,7 @@ inline int run_fig13(const char* figure, const sim::MachineModel& machine,
       opt.tol = tol;
       opt.rand_level = 3;  // finer overdecomposition for the bigger runs
       opt.light_math = light;
+      opt.keymap = keymap_from_string(cli.get("keymap"));
       auto res = apps::mra::run(world, ctx, opt);
       trace.finish(world,
                    std::string(rt::to_string(b)) + "-" + std::to_string(nodes) +

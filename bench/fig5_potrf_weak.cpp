@@ -41,26 +41,51 @@ struct TtgPoint {
   std::uint64_t reduce_combines = 0;    ///< incoming partials absorbed into accumulators
   std::uint64_t intra_node_hops = 0;    ///< tree hops whose endpoints share a node
   std::uint64_t inter_node_hops = 0;    ///< tree hops crossing a node boundary
+  std::uint64_t steals_local = 0;       ///< same-socket deque steals (0 if off)
+  std::uint64_t steals_remote = 0;      ///< cross-socket deque steals (0 if off)
+  std::uint64_t steal_fail = 0;         ///< steal scans finding every deque empty
+};
+
+/// Scheduler/placement knobs shared by all points of one invocation.
+struct SchedOpts {
+  KeymapKind keymap = KeymapKind::Cyclic;
+  bool steal = false;
+  int rpn = 1;    ///< ranks per node (keymap + tree-layout topology)
+  int lanes = -1; ///< engine lanes; -1 = serial up to 64 ranks, sharded above
 };
 
 TtgPoint ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
-                 rt::BackendKind backend, const rt::TraceSession& trace) {
+                 rt::BackendKind backend, const SchedOpts& so,
+                 const rt::TraceSession& trace) {
   auto ghost = linalg::ghost_matrix(n, bs);
   rt::WorldConfig cfg;
   cfg.machine = m;
   cfg.nranks = nodes;
   cfg.backend = backend;
+  cfg.work_stealing = so.steal;
+  cfg.ranks_per_node = so.rpn;
+  // Past 64 ranks the serial reference engine gets slow; shard the event
+  // queue (bit-identical to serial, tests/test_scale_equiv.cpp).
+  cfg.engine_lanes = so.lanes >= 0 ? so.lanes : (nodes > 64 ? 8 : 0);
   trace.apply_faults(cfg);
   rt::World world(cfg);
   trace.attach(world);
   apps::cholesky::Options opt;
   opt.collect = false;
+  opt.keymap = so.keymap;
   auto res = apps::cholesky::run(world, ghost, opt);
   trace.finish(world,
                std::string(rt::to_string(backend)) + "-" + std::to_string(nodes) +
                    "nodes",
                res.makespan);
   const auto& cs = world.comm().stats();
+  rt::StealStats ss;
+  for (int r = 0; r < world.nranks(); ++r) {
+    const auto& s = world.scheduler(r).steal_stats();
+    ss.steals_local += s.steals_local;
+    ss.steals_remote += s.steals_remote;
+    ss.steal_fail += s.steal_fail;
+  }
   return TtgPoint{nodes,
                   n,
                   rt::to_string(backend),
@@ -76,7 +101,10 @@ TtgPoint ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
                   cs.reduce_forwards,
                   cs.reduce_combines,
                   cs.intra_node_hops,
-                  cs.inter_node_hops};
+                  cs.inter_node_hops,
+                  ss.steals_local,
+                  ss.steals_remote,
+                  ss.steal_fail};
 }
 
 void write_json(const std::string& path, int per_node, int bs,
@@ -95,7 +123,9 @@ void write_json(const std::string& path, int per_node, int bs,
                  "\"serialize_hits\":%llu,\"broadcast_forwards\":%llu,"
                  "\"am_batches\":%llu,\"batched_msgs\":%llu,"
                  "\"reduce_forwards\":%llu,\"reduce_combines\":%llu,"
-                 "\"intra_node_hops\":%llu,\"inter_node_hops\":%llu}",
+                 "\"intra_node_hops\":%llu,\"inter_node_hops\":%llu,"
+                 "\"steals_local\":%llu,\"steals_remote\":%llu,"
+                 "\"steal_fail\":%llu}",
                  i ? "," : "", p.nodes, p.matrix, p.backend, p.gflops, p.makespan,
                  static_cast<unsigned long long>(p.messages),
                  static_cast<unsigned long long>(p.splitmd_sends),
@@ -107,7 +137,10 @@ void write_json(const std::string& path, int per_node, int bs,
                  static_cast<unsigned long long>(p.reduce_forwards),
                  static_cast<unsigned long long>(p.reduce_combines),
                  static_cast<unsigned long long>(p.intra_node_hops),
-                 static_cast<unsigned long long>(p.inter_node_hops));
+                 static_cast<unsigned long long>(p.inter_node_hops),
+                 static_cast<unsigned long long>(p.steals_local),
+                 static_cast<unsigned long long>(p.steals_remote),
+                 static_cast<unsigned long long>(p.steal_fail));
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);
@@ -119,9 +152,14 @@ int main(int argc, char** argv) {
   support::Cli cli("fig5_potrf_weak", "POTRF weak scaling on Hawk (Fig. 5)");
   cli.option("per-node", "8192", "submatrix dimension per node (paper: 30000)");
   cli.option("bs", "512", "tile size");
-  cli.option("max-nodes", "64", "largest node count to run (CI uses a small cap)");
+  cli.option("max-nodes", "64", "largest node count to run (CI uses a small cap; "
+                                "up to 256 supported via sharded engine lanes)");
   cli.option("json", "", "write deterministic results (makespan, message counts) "
                          "as JSON to this path");
+  cli.option("keymap", "cyclic", "tile placement: cyclic|node2d|node-aware");
+  cli.option("rpn", "1", "ranks per node (drives node-aware keymaps + tree layout)");
+  cli.option("lanes", "-1", "event-engine lanes (-1: serial up to 64 ranks)");
+  cli.flag("steal", "enable the work-stealing intra-node scheduler");
   cli.flag("full", "paper-scale submatrix (30k per node; slow)");
   rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -131,6 +169,11 @@ int main(int argc, char** argv) {
   const int bs = static_cast<int>(cli.get_int("bs"));
   const int max_nodes = static_cast<int>(cli.get_int("max-nodes"));
   const std::string json_path = cli.get("json");
+  SchedOpts so;
+  so.keymap = keymap_from_string(cli.get("keymap"));
+  so.steal = cli.get_flag("steal");
+  so.rpn = static_cast<int>(cli.get_int("rpn"));
+  so.lanes = static_cast<int>(cli.get_int("lanes"));
   const auto m = sim::hawk();
 
   bench::preamble("Fig. 5: POTRF weak scaling (GFLOP/s), Hawk",
@@ -142,14 +185,16 @@ int main(int argc, char** argv) {
                    {"nodes", "matrix", "TTG/PaRSEC", "TTG/MADNESS", "DPLASMA",
                     "Chameleon", "SLATE", "ScaLAPACK"});
   std::vector<TtgPoint> points;
-  for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
     if (nodes > max_nodes) break;
     const int n =
         static_cast<int>(std::lround(per_node * std::sqrt(static_cast<double>(nodes)) /
                                      bs)) * bs;  // round to whole tiles
     auto ghost = linalg::ghost_matrix(n, bs);
-    const TtgPoint p_parsec = ttg_run(m, nodes, n, bs, rt::BackendKind::Parsec, trace);
-    const TtgPoint p_mad = ttg_run(m, nodes, n, bs, rt::BackendKind::Madness, trace);
+    const TtgPoint p_parsec =
+        ttg_run(m, nodes, n, bs, rt::BackendKind::Parsec, so, trace);
+    const TtgPoint p_mad =
+        ttg_run(m, nodes, n, bs, rt::BackendKind::Madness, so, trace);
     points.push_back(p_parsec);
     points.push_back(p_mad);
     const double g_parsec = p_parsec.gflops;

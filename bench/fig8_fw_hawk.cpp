@@ -16,18 +16,29 @@ using namespace ttg;
 
 namespace {
 
+/// Scheduler/placement knobs shared by every TTG run of the sweep.
+struct SchedOpts {
+  KeymapKind keymap = KeymapKind::Cyclic;
+  bool steal = false;
+  int rpn = 1;  ///< ranks per node (keymap + tree-layout topology)
+};
+
 std::string ttg_time(const sim::MachineModel& m, int nodes, int n, int bs,
-                     rt::BackendKind backend, const rt::TraceSession& trace) {
+                     rt::BackendKind backend, const rt::TraceSession& trace,
+                     const SchedOpts& so) {
   auto ghost = linalg::ghost_matrix(n, bs);
   rt::WorldConfig cfg;
   cfg.machine = m;
   cfg.nranks = nodes;
   cfg.backend = backend;
+  cfg.work_stealing = so.steal;
+  cfg.ranks_per_node = so.rpn;
   trace.apply_faults(cfg);
   rt::World world(cfg);
   trace.attach(world);
   apps::fw::Options opt;
   opt.collect = false;
+  opt.keymap = so.keymap;
   auto res = apps::fw::run(world, ghost, opt);
   trace.finish(world,
                std::string(rt::to_string(backend)) + "-bs" + std::to_string(bs) +
@@ -41,12 +52,19 @@ std::string ttg_time(const sim::MachineModel& m, int nodes, int n, int bs,
 int main(int argc, char** argv) {
   support::Cli cli("fig8_fw_hawk", "FW-APSP strong scaling on Hawk (Fig. 8)");
   cli.option("n", "8192", "matrix dimension (paper: 32768)");
+  cli.option("keymap", "cyclic", "tile placement: cyclic|node2d|node-aware");
+  cli.option("rpn", "1", "ranks per node (drives node-aware keymaps + tree layout)");
+  cli.flag("steal", "enable the work-stealing intra-node scheduler");
   cli.flag("full", "paper-scale 32k matrix incl. block 64 (slow)");
   rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const rt::TraceSession trace(cli);
   const bool full = cli.get_flag("full");
   const int n = full ? 32768 : static_cast<int>(cli.get_int("n"));
+  SchedOpts so;
+  so.keymap = keymap_from_string(cli.get("keymap"));
+  so.steal = cli.get_flag("steal");
+  so.rpn = static_cast<int>(cli.get_int("rpn"));
   const auto m = sim::hawk();
 
   // TTG/PaRSEC additionally runs the smallest block size — the series that
@@ -69,7 +87,7 @@ int main(int argc, char** argv) {
     for (int nodes : nodes_parsec) {
       // Scalability limit: fewer tiles per process than threads (the
       // paper's (n/bs)/grid analysis for block 128 at 256 nodes).
-      row.push_back(ttg_time(m, nodes, n, bs, rt::BackendKind::Parsec, trace));
+      row.push_back(ttg_time(m, nodes, n, bs, rt::BackendKind::Parsec, trace, so));
     }
     t.add_row(row);
   }
@@ -81,7 +99,7 @@ int main(int argc, char** argv) {
         row.push_back(bench::na());
         continue;
       }
-      row.push_back(ttg_time(m, nodes, n, bs, rt::BackendKind::Madness, trace));
+      row.push_back(ttg_time(m, nodes, n, bs, rt::BackendKind::Madness, trace, so));
     }
     t.add_row(row);
   }

@@ -16,11 +16,15 @@ using namespace ttg;
 int main(int argc, char** argv) {
   support::Cli cli("fig9_fw_seawulf", "FW-APSP strong scaling on Seawulf (Fig. 9)");
   cli.option("n", "12288", "matrix dimension (paper: 32768)");
+  cli.option("keymap", "cyclic", "tile placement: cyclic|node2d|node-aware");
+  cli.option("rpn", "1", "ranks per node (drives node-aware keymaps + tree layout)");
+  cli.flag("steal", "enable the work-stealing intra-node scheduler");
   cli.flag("full", "paper-scale 32k matrix (slow)");
   rt::TraceSession::add_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   const rt::TraceSession trace(cli);
   const int n = cli.get_flag("full") ? 32768 : static_cast<int>(cli.get_int("n"));
+  const KeymapKind keymap = keymap_from_string(cli.get("keymap"));
   const auto m = sim::seawulf();
 
   bench::preamble("Fig. 9: FW-APSP strong scaling (seconds), Seawulf",
@@ -41,11 +45,14 @@ int main(int argc, char** argv) {
         cfg.machine = m;
         cfg.nranks = nodes;
         cfg.backend = backend;
+        cfg.work_stealing = cli.get_flag("steal");
+        cfg.ranks_per_node = static_cast<int>(cli.get_int("rpn"));
         trace.apply_faults(cfg);
         rt::World world(cfg);
         trace.attach(world);
         apps::fw::Options opt;
         opt.collect = false;
+        opt.keymap = keymap;
         auto res = apps::fw::run(world, ghost, opt);
         trace.finish(world,
                      std::string(rt::to_string(backend)) + "-bs" +

@@ -50,13 +50,15 @@ import sys
 # reduce_forwards/reduce_combines from tree-routed streaming reductions;
 # intra/inter_node_hops classify payload-bearing tree hops against the
 # topology; jobs/job_messages/job_splitmd/cache_hits/cache_misses from the
-# multi-tenant serving bench. Fields absent from both documents compare
-# equal, so older benches are unaffected.
+# multi-tenant serving bench; steals_local/steals_remote/steal_fail from
+# the work-stealing scheduler (zero unless --steal). Fields absent from
+# both documents compare equal, so older benches are unaffected.
 LEGACY_EXACT = (
     "messages", "splitmd_sends", "serializations", "serialize_hits",
     "broadcast_forwards", "am_batches", "batched_msgs", "reduce_forwards",
     "reduce_combines", "intra_node_hops", "inter_node_hops", "jobs",
     "job_messages", "job_splitmd", "cache_hits", "cache_misses",
+    "steals_local", "steals_remote", "steal_fail",
 )
 LEGACY_KEY = ("nodes", "backend")
 

@@ -17,7 +17,8 @@ Result run(rt::World& world, const BlockSparseMatrix& a, const BlockSparseMatrix
            const Options& opt) {
   TTG_REQUIRE(a.panels() == b.panels(), "bspmm: operand panel structures differ");
   const auto& machine = world.machine();
-  const auto dist = linalg::BlockCyclic2D::make(world.nranks());
+  const Keymap2D dist =
+      make_keymap2d(opt.keymap, world.nranks(), world.config().ranks_per_node);
   const int nranks = world.nranks();
 
   /* ---- host-side iteration space (the "parameterized" part the paper's

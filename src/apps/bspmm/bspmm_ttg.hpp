@@ -23,6 +23,7 @@
 
 #include "runtime/world.hpp"
 #include "sparse/block_sparse.hpp"
+#include "ttg/keymaps.hpp"
 
 namespace ttg::apps::bspmm {
 
@@ -30,6 +31,7 @@ struct Options {
   int read_window = 256;  ///< in-flight remote tile broadcasts per operand
   int k_window = 8;       ///< SUMMA k-steps released per Coordinator phase
   bool collect = true;    ///< gather C into Result::c
+  KeymapKind keymap = KeymapKind::Cyclic;  ///< C-tile placement (ttg/keymaps.hpp)
 };
 
 struct Result {

@@ -21,7 +21,8 @@ Result run_impl(rt::World& world, int n, int bs,
                 const std::function<Tile(int, int)>& tile_src, const Options& opt) {
   const int nt = (n + bs - 1) / bs;
   const auto& machine = world.machine();
-  const linalg::BlockCyclic2D dist = linalg::BlockCyclic2D::make(world.nranks());
+  const Keymap2D dist =
+      make_keymap2d(opt.keymap, world.nranks(), world.config().ranks_per_node);
 
   /* Edges, named as in Listing 1. Key types encode what the paper calls
      1-, 2-, and 3-tuple task IDs. */

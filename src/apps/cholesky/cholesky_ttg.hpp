@@ -20,12 +20,16 @@
 #include "linalg/dist.hpp"
 #include "linalg/matrix_gen.hpp"
 #include "runtime/world.hpp"
+#include "ttg/keymaps.hpp"
 
 namespace ttg::apps::cholesky {
 
 struct Options {
   bool collect = true;      ///< gather the factored tiles into Result::matrix
   bool priorities = true;   ///< use the lookahead priority map (ablation knob)
+  /// Task/tile placement: cyclic (historical), or a node-aware layout built
+  /// on WorldConfig::ranks_per_node (see ttg/keymaps.hpp).
+  KeymapKind keymap = KeymapKind::Cyclic;
 };
 
 struct Result {

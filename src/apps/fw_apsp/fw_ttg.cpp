@@ -43,7 +43,8 @@ Result run(rt::World& world, const TiledMatrix& w0, const Options& opt) {
   const int nt = w0.ntiles();
   const int bs = w0.block();
   const auto& machine = world.machine();
-  const auto dist = linalg::BlockCyclic2D::make(world.nranks());
+  const Keymap2D dist =
+      make_keymap2d(opt.keymap, world.nranks(), world.config().ranks_per_node);
 
   // Tile chains into each kernel type + finished-panel broadcast edges.
   Edge<Int1, Tile> to_a("to_a");

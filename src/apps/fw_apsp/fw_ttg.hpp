@@ -14,11 +14,13 @@
 
 #include "linalg/matrix_gen.hpp"
 #include "runtime/world.hpp"
+#include "ttg/keymaps.hpp"
 
 namespace ttg::apps::fw {
 
 struct Options {
   bool collect = true;
+  KeymapKind keymap = KeymapKind::Cyclic;  ///< tile placement (ttg/keymaps.hpp)
 };
 
 struct Result {

@@ -22,7 +22,16 @@ Result run(rt::World& world, const MraContext& ctx, const Options& opt) {
      randomly (by hash); every node deeper than that stays with its
      ancestor ("a task ID map that randomly distributes function tree nodes
      and their children across processes at some target level"). */
-  auto keymap = [nranks, rl = opt.rand_level](const TreeKey& key) {
+  const int rpn = world.config().ranks_per_node;
+  const bool node_aware = opt.keymap == KeymapKind::NodeAware && rpn > 1 &&
+                          nranks % rpn == 0;
+  auto keymap = [nranks, rl = opt.rand_level, node_aware, rpn](const TreeKey& key) {
+    if (node_aware) {
+      // Subtrees rooted at rand_level share a node; their 2^d child
+      // subtrees spread over the node's ranks.
+      return node_aware_owner(key.ancestor_at(rl).hash(),
+                              key.ancestor_at(rl + 1).hash(), nranks, rpn);
+    }
     return static_cast<int>(key.ancestor_at(rl).hash() %
                             static_cast<std::uint64_t>(nranks));
   };

@@ -16,6 +16,7 @@
 
 #include "mra/function_tree.hpp"
 #include "runtime/world.hpp"
+#include "ttg/keymaps.hpp"
 
 namespace ttg::apps::mra {
 
@@ -68,6 +69,11 @@ struct Options {
   /// Norms are not computed in this mode. Projection always runs for real
   /// (it drives the adaptive refinement).
   bool light_math = false;
+  /// Tree placement. Cyclic (and node2d, which has no tree analogue) is the
+  /// historical hash scatter of rand_level subtrees over all ranks;
+  /// node-aware routes each rand_level subtree to one node and spreads its
+  /// child subtrees over that node's ranks (ttg::node_aware_owner).
+  KeymapKind keymap = KeymapKind::Cyclic;
 };
 
 struct Result {

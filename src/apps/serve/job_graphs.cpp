@@ -166,6 +166,25 @@ class PotrfServeGraph final : public JobGraph {
     mutate_ = [potrf_raw, dist]() {
       potrf_raw->set_keymap([dist](const Int1& k) { return dist.owner(k.i, k.i); });
     };
+    {
+      auto* trsm_raw = trsm_tt.get();
+      auto* syrk_raw = syrk_tt.get();
+      auto* gemm_raw = gemm_tt.get();
+      auto* result_raw = result_tt.get();
+      auto* init_keymap_raw = init_tt.get();
+      const int nranks = world_.nranks();
+      const int rpn = world_.config().ranks_per_node;
+      rekey_ = [=](KeymapKind kind) {
+        const Keymap2D km = make_keymap2d(kind, nranks, rpn);
+        potrf_raw->set_keymap([km](const Int1& k) { return km.owner(k.i, k.i); });
+        trsm_raw->set_keymap([km](const Int2& k) { return km.owner(k.i, k.j); });
+        syrk_raw->set_keymap([km](const Int2& k) { return km.owner(k.j, k.j); });
+        gemm_raw->set_keymap([km](const Int3& k) { return km.owner(k.i, k.j); });
+        result_raw->set_keymap([km](const Int2& k) { return km.owner(k.i, k.j); });
+        init_keymap_raw->set_keymap(
+            [km](const Int2& k) { return km.owner(k.i, k.j); });
+      };
+    }
     auto* init_raw = init_tt.get();
     inject_ = [this, init_raw]() {
       for (int m = 0; m < nt_; ++m)

@@ -21,6 +21,7 @@
 
 #include "runtime/job.hpp"
 #include "runtime/world.hpp"
+#include "ttg/keymaps.hpp"
 
 namespace ttg::apps::serve {
 
@@ -74,6 +75,16 @@ class JobGraph {
     mutate_();
   }
 
+  /// Switch the placement keymap of every TT in the wiring (the serving
+  /// analogue of the apps' --keymap knob). Each set_keymap bumps that TT's
+  /// mutation counter, so a pooled instance rekeyed after release is stale
+  /// and the next same-key acquire evicts and rebuilds it.
+  void apply_keymap(KeymapKind kind) {
+    TTG_CHECK(rekey_ != nullptr,
+              "job graph '" + key_.kind + "' has no keymap hook");
+    rekey_(kind);
+  }
+
  protected:
   explicit JobGraph(rt::GraphKey key) : key_(std::move(key)) {}
 
@@ -102,6 +113,7 @@ class JobGraph {
   std::vector<rt::TTBase*> tts_;   ///< every TT of the wiring (for counters)
   std::vector<std::shared_ptr<void>> hold_;  ///< owns the typed TT objects
   std::function<void()> mutate_;   ///< re-applies a keymap (test hook)
+  std::function<void(KeymapKind)> rekey_;  ///< switches the placement keymap
   ResultMap result_;
   int arrived_ = 0;
   int expected_ = 0;

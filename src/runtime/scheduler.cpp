@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/rng.hpp"
+
 namespace ttg::rt {
 
 Scheduler::Scheduler(sim::Engine& engine, int rank, int workers)
@@ -10,6 +12,7 @@ Scheduler::Scheduler(sim::Engine& engine, int rank, int workers)
   // LIFO free list seeded so the first task lands on worker 0.
   idle_workers_.reserve(static_cast<std::size_t>(workers));
   for (int w = workers - 1; w >= 0; --w) idle_workers_.push_back(w);
+  core_busy_.assign(static_cast<std::size_t>(workers), 0.0);
 }
 
 void Scheduler::submit(int priority, double cost, std::function<void()> body) {
@@ -50,6 +53,20 @@ void Scheduler::configure_job(JobId job, int weight, int inflight_cap) {
   dispatch_idle();  // a raised cap can make queued tasks eligible
 }
 
+void Scheduler::configure_steal(const StealConfig& cfg) {
+  TTG_CHECK(next_seq_ == 0, "configure_steal after tasks were submitted");
+  TTG_CHECK(cfg.sockets >= 1, "need at least one socket");
+  steal_ = cfg;
+  deques_.clear();
+  if (steal_.enabled) deques_.resize(static_cast<std::size_t>(workers_));
+}
+
+int Scheduler::socket_of(int worker) const {
+  const int sockets = std::max(1, steal_.sockets);
+  const int per = std::max(1, (workers_ + sockets - 1) / sockets);
+  return std::min(worker / per, sockets - 1);
+}
+
 const Scheduler::JobCounters& Scheduler::job_counters(JobId job) const {
   static const JobCounters kZero{};
   const auto it = queues_.find(job);
@@ -59,6 +76,7 @@ const Scheduler::JobCounters& Scheduler::job_counters(JobId job) const {
 std::size_t Scheduler::queued() const {
   std::size_t n = 0;
   for (const auto& [job, jq] : queues_) n += jq.heap.size();
+  for (const auto& d : deques_) n += d.size();
   return n;
 }
 
@@ -78,6 +96,13 @@ void Scheduler::submit_node(JobId job, int priority, double cost,
     const int worker = idle_workers_.back();
     idle_workers_.pop_back();
     start(std::move(task), worker);
+  } else if (steal_.enabled && jq.cap == 0) {
+    // Deque substrate: a task made ready inside a body stays with its
+    // producing core; outside-body submissions spread round-robin. Capped
+    // jobs never enter a deque (cap accounting stays on the heap path).
+    const int w = current_worker_ >= 0 ? current_worker_ : rr_cursor_;
+    if (current_worker_ < 0) rr_cursor_ = (rr_cursor_ + 1) % workers_;
+    deques_[static_cast<std::size_t>(w)].push_back(std::move(task));
   } else {
     jq.heap.push(std::move(task));
   }
@@ -142,6 +167,84 @@ void Scheduler::dispatch_idle() {
   }
 }
 
+void Scheduler::release_worker(int worker, JobId job) {
+  queues_[job].counters.inflight -= 1;
+  if (steal_.enabled) {
+    // Own deque first (LIFO: depth-first along this core's continuation),
+    // then the per-job overflow heaps (fairness policy applied), then a
+    // steal scan across the other cores' deques.
+    auto& own = deques_[static_cast<std::size_t>(worker)];
+    if (!own.empty()) {
+      Ready next = std::move(own.back());
+      own.pop_back();
+      start(std::move(next), worker);
+      return;
+    }
+    Ready next;
+    if (pop_next(next)) {
+      start(std::move(next), worker);
+      return;
+    }
+    try_steal(worker);
+    return;
+  }
+  Ready next;
+  if (pop_next(next)) {
+    start(std::move(next), worker);
+  } else {
+    idle_workers_.push_back(worker);
+  }
+}
+
+void Scheduler::try_steal(int worker) {
+  // Victim order is a pure function of (seed, rank, attempt ordinal):
+  // seeded circular scan over same-socket victims first, then cross-socket
+  // — two runs of the same workload steal identically.
+  const std::uint64_t draw = support::splitmix64(
+      steal_.seed ^ (static_cast<std::uint64_t>(rank_) * 0x9e3779b97f4a7c15ull) ^
+      (steal_attempts_ * 0xd1b54a32d192ed03ull));
+  ++steal_attempts_;
+  const int start_at = static_cast<int>(draw % static_cast<std::uint64_t>(workers_));
+  const int my_socket = socket_of(worker);
+  for (const bool want_local : {true, false}) {
+    for (int k = 0; k < workers_; ++k) {
+      const int victim = (start_at + k) % workers_;
+      if (victim == worker) continue;
+      const bool local = socket_of(victim) == my_socket;
+      if (local != want_local) continue;
+      auto& vd = deques_[static_cast<std::size_t>(victim)];
+      if (vd.empty()) continue;
+      // Steal-half: take the oldest half of the victim's deque (its FIFO
+      // end — the tasks the owner would reach last), run the first stolen
+      // task after the steal distance, keep the rest in age order.
+      const std::size_t take = (vd.size() + 1) / 2;
+      auto& own = deques_[static_cast<std::size_t>(worker)];
+      Ready first = std::move(vd.front());
+      vd.pop_front();
+      for (std::size_t i = 1; i < take; ++i) {
+        own.push_back(std::move(vd.front()));
+        vd.pop_front();
+      }
+      (local ? steal_stats_.steals_local : steal_stats_.steals_remote) += 1;
+      steal_stats_.tasks_stolen += static_cast<std::uint64_t>(take);
+      if (tracer_ != nullptr) tracer_->record_steal(rank_, local);
+      // The thief's core is busy bouncing deque cache lines for the steal
+      // distance before the stolen task can start.
+      const double dt =
+          (local ? steal_.latency_local : steal_.latency_remote) * compute_factor_;
+      busy_ += dt;
+      core_busy_[static_cast<std::size_t>(worker)] += dt;
+      engine_.after(dt, [this, worker, first = std::move(first)]() mutable {
+        start(std::move(first), worker);
+      });
+      return;
+    }
+  }
+  steal_stats_.steal_fail += 1;
+  if (tracer_ != nullptr) tracer_->record_steal_fail(rank_);
+  idle_workers_.push_back(worker);
+}
+
 void Scheduler::start(Ready task, int worker) {
   const double t_start = engine_.now();
   {
@@ -153,14 +256,17 @@ void Scheduler::start(Ready task, int worker) {
   engine_.after(task.cost, [this, t_start, worker, task = std::move(task)]() mutable {
     double extra = 0.0;
     in_task_ = true;
+    current_worker_ = worker;
     charge_accum_ = &extra;
     const bool traced = tracer_ != nullptr && task.trace_node != Tracer::kNoNode;
     if (traced) tracer_->set_context(task.trace_node);
     task.body();
     if (traced) tracer_->clear_context();
     in_task_ = false;
+    current_worker_ = -1;
     charge_accum_ = nullptr;
     busy_ += task.cost + extra;
+    core_busy_[static_cast<std::size_t>(worker)] += task.cost + extra;
     ++tasks_run_;
     queues_[task.job].counters.tasks_run += 1;
     if (traced) {
@@ -169,13 +275,7 @@ void Scheduler::start(Ready task, int worker) {
     // The worker stays busy for `extra` more seconds (post-body copies),
     // then picks up the next ready task.
     engine_.after(extra, [this, worker, job = task.job]() {
-      queues_[job].counters.inflight -= 1;
-      Ready next;
-      if (pop_next(next)) {
-        start(std::move(next), worker);
-      } else {
-        idle_workers_.push_back(worker);
-      }
+      release_worker(worker, job);
     });
   });
 }

@@ -1,14 +1,41 @@
-// Per-rank task scheduler.
+// Per-rank task scheduler: a pool of virtual cores over two queueing
+// substrates.
 //
-// Each simulated rank runs a pool of worker threads (60 on Hawk, 40 on
-// Seawulf in the paper's runs). Ready tasks carry a priority — the paper
-// added priority maps to TTG precisely so the runtime can favor the
-// critical path (e.g. small-k panels in POTRF) — and are executed
-// highest-priority-first, FIFO among equals.
+// Each simulated rank runs `MachineModel::cores_per_node` worker cores
+// (overridable per World via WorldConfig::workers_per_rank). Ready tasks
+// carry a priority — the paper added priority maps to TTG precisely so the
+// runtime can favor the critical path (e.g. small-k panels in POTRF) — and
+// are dispatched through one of two substrates:
 //
-// Multi-tenancy: every task belongs to a job (JobId; 0 is the default job)
-// and ready tasks queue per job. A freed worker picks its next task under
-// the rank's fairness policy:
+//   single queue (default, WorldConfig::work_stealing = off)
+//     All cores pull from one per-rank priority queue,
+//     highest-priority-first, FIFO among equals. This is the historical
+//     scheduler every checked-in CI baseline was produced with; the steal
+//     substrate below degenerates to it bit-identically when disabled
+//     (pinned by tests/test_steal.cpp).
+//
+//   per-core deques with steal-half (WorldConfig::work_stealing = on)
+//     Every core owns a deque. Tasks made ready inside a task body land on
+//     the executing core's deque (producer-consumer locality); tasks made
+//     ready outside any body (graph injection, message delivery) are placed
+//     round-robin. A core pops its own deque LIFO (depth-first along its
+//     continuation); a core whose deque runs dry first drains the per-job
+//     overflow heaps, then steals the oldest half of a victim's deque —
+//     same-socket victims first, then cross-socket, paying the NUMA-ish
+//     steal distance from MachineModel::steal_latency_{local,remote}.
+//     Victim selection is a pure function of (World seed, rank, attempt
+//     ordinal), so seeded reruns are bit-identical. Priorities still order
+//     the overflow heaps but not the deques: locality wins over priority
+//     inside a core, which is exactly the trade work-stealing runtimes
+//     make.
+//
+// Multi-tenancy (either substrate): every task belongs to a job (JobId; 0
+// is the default job). A job may carry an in-flight cap: at most that many
+// of its tasks occupy workers of this rank simultaneously; excess ready
+// tasks stay queued even if workers are idle (admission pressure yields to
+// other jobs). Capped jobs always queue through their per-job heap — never
+// through a deque — so cap accounting is identical under stealing. A freed
+// worker arbitrates between jobs' heaps under the rank's fairness policy:
 //
 //   Strict     — the globally best head by (priority desc, job id asc,
 //                enqueue seq asc). Deterministic across jobs by
@@ -20,10 +47,6 @@
 //                visited in ascending JobId order, and within one job the
 //                (priority, FIFO) order is preserved.
 //
-// A job may carry an in-flight cap: at most that many of its tasks occupy
-// workers of this rank simultaneously; excess ready tasks stay queued even
-// if workers are idle (admission pressure yields to other jobs).
-//
 // Execution model: a task's body (real C++ code) runs at its *completion*
 // instant on the virtual clock. Inputs are immutable once the task is
 // ready, so running the body at start or at end of its virtual duration is
@@ -34,6 +57,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <queue>
@@ -45,7 +69,26 @@
 
 namespace ttg::rt {
 
-/// Priority scheduler over `workers` identical virtual cores of one rank.
+/// Work-stealing knobs for one rank's scheduler (wired by the World from
+/// MachineModel + WorldConfig; see the header comment).
+struct StealConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;         ///< World seed; victim draws derive from it
+  int sockets = 1;                ///< sockets per node (cores split evenly)
+  double latency_local = 0.0;     ///< intra-socket steal cost [s]
+  double latency_remote = 0.0;    ///< cross-socket steal cost [s]
+};
+
+/// Per-rank work-stealing counters (surfaced in --trace-summary and the
+/// bench --json outputs; all zero when stealing is off).
+struct StealStats {
+  std::uint64_t steals_local = 0;   ///< successful same-socket steals
+  std::uint64_t steals_remote = 0;  ///< successful cross-socket steals
+  std::uint64_t steal_fail = 0;     ///< scans that found every deque empty
+  std::uint64_t tasks_stolen = 0;   ///< tasks moved by all steals
+};
+
+/// Priority scheduler over `workers` virtual cores of one rank.
 class Scheduler {
  public:
   /// Per-job scheduling counters (tests assert cap compliance on these).
@@ -85,6 +128,12 @@ class Scheduler {
   void set_fairness(FairnessMode mode) { fairness_ = mode; }
   [[nodiscard]] FairnessMode fairness() const { return fairness_; }
 
+  /// Arm (or disable) the per-core deque substrate. Call before any task is
+  /// submitted; the off state is the historical single-queue scheduler.
+  void configure_steal(const StealConfig& cfg);
+  [[nodiscard]] const StealConfig& steal_config() const { return steal_; }
+  [[nodiscard]] const StealStats& steal_stats() const { return steal_stats_; }
+
   /// Per-job counters (a zero record for jobs never seen on this rank).
   [[nodiscard]] const JobCounters& job_counters(JobId job) const;
 
@@ -112,6 +161,13 @@ class Scheduler {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int workers() const { return workers_; }
   [[nodiscard]] double busy_time() const { return busy_; }
+  /// Busy seconds of one core (task spans + charges + steal scans).
+  [[nodiscard]] double core_busy(int worker) const {
+    return core_busy_[static_cast<std::size_t>(worker)];
+  }
+  /// Socket a core belongs to (cores split evenly over the configured
+  /// sockets; the last socket absorbs the remainder).
+  [[nodiscard]] int socket_of(int worker) const;
   [[nodiscard]] std::uint64_t tasks_run() const { return tasks_run_; }
   [[nodiscard]] std::size_t queued() const;
 
@@ -142,6 +198,13 @@ class Scheduler {
   void submit_node(JobId job, int priority, double cost, std::uint32_t trace_node,
                    std::function<void()> body);
   void start(Ready task, int worker);
+  /// A core finished its task (post-body charges drained): find it more
+  /// work or park it on the idle list.
+  void release_worker(int worker, JobId job);
+  /// Steal-mode scan: steal the oldest half of a victim deque (same-socket
+  /// victims first) or park the core. Only called with every local source
+  /// (own deque, job heaps) exhausted.
+  void try_steal(int worker);
   [[nodiscard]] static bool eligible(const JobQueue& jq) {
     return !jq.heap.empty() && (jq.cap == 0 || jq.counters.inflight < jq.cap);
   }
@@ -165,12 +228,20 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   std::uint64_t tasks_run_ = 0;
   double busy_ = 0.0;
+  std::vector<double> core_busy_;  ///< per-core slice of busy_
   double compute_factor_ = 1.0;
   bool in_task_ = false;
+  int current_worker_ = -1;  ///< core whose body is executing (-1 outside)
   double* charge_accum_ = nullptr;
   Tracer* tracer_ = nullptr;
   FairnessMode fairness_ = FairnessMode::Strict;
   std::map<JobId, JobQueue> queues_;  ///< ordered: deterministic job scans
+  // --- steal substrate (empty/zero when steal_.enabled is false) ---
+  StealConfig steal_;
+  StealStats steal_stats_;
+  std::vector<std::deque<Ready>> deques_;  ///< per-core deques (steal mode)
+  std::uint64_t steal_attempts_ = 0;       ///< victim-draw ordinal
+  int rr_cursor_ = 0;  ///< round-robin core for outside-body submissions
 };
 
 }  // namespace ttg::rt

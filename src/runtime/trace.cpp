@@ -50,6 +50,9 @@ CommCounters Tracer::totals() const {
     t.reduce_combines += c.reduce_combines;
     t.intra_node_hops += c.intra_node_hops;
     t.inter_node_hops += c.inter_node_hops;
+    t.steals_local += c.steals_local;
+    t.steals_remote += c.steals_remote;
+    t.steal_fail += c.steal_fail;
     t.charged_cpu += c.charged_cpu;
     t.server_wait += c.server_wait;
     t.server_busy += c.server_busy;
@@ -324,6 +327,18 @@ support::Table Tracer::forwarding_table() const {
                std::to_string(c.intra_node_hops), std::to_string(c.inter_node_hops),
                std::to_string(c.am_batches), std::to_string(c.batched_msgs),
                std::to_string(c.msg_sends)});
+  }
+  return t;
+}
+
+support::Table Tracer::steal_table() const {
+  support::Table t("work-stealing scheduler (per-core deques, steal-half)",
+                   {"rank", "steals local", "steals remote", "failed scans"});
+  for (int r = 0; r < static_cast<int>(counters_.size()); ++r) {
+    const auto& c = counters_[static_cast<std::size_t>(r)];
+    if (c.steals_local == 0 && c.steals_remote == 0 && c.steal_fail == 0) continue;
+    t.add_row({std::to_string(r), std::to_string(c.steals_local),
+               std::to_string(c.steals_remote), std::to_string(c.steal_fail)});
   }
   return t;
 }

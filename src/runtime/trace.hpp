@@ -143,6 +143,10 @@ struct CommCounters {
   // --- machine-topology split of payload-bearing tree hops ---
   std::uint64_t intra_node_hops = 0;  ///< hops staying on the sender's node
   std::uint64_t inter_node_hops = 0;  ///< hops crossing the network
+  // --- work-stealing substrate (zero when WorldConfig::work_stealing off) ---
+  std::uint64_t steals_local = 0;   ///< same-socket deque steals on this rank
+  std::uint64_t steals_remote = 0;  ///< cross-socket deque steals
+  std::uint64_t steal_fail = 0;     ///< steal scans that found no victim
   double charged_cpu = 0.0;   ///< CPU charged inside task bodies (send copies)
   double server_wait = 0.0;   ///< queueing on the comm/AM server thread
   double server_busy = 0.0;   ///< service time on the comm/AM server thread
@@ -264,6 +268,20 @@ class Tracer {
   /// Per-rank collective data-plane table (tree forwards + AM batches) for
   /// --trace-summary; rows only for ranks with non-zero activity.
   [[nodiscard]] support::Table forwarding_table() const;
+
+  // --- recording: work-stealing scheduler substrate ---
+
+  /// One successful deque steal on `rank` (`local` = same-socket victim).
+  void record_steal(int rank, bool local) {
+    auto& c = counters(rank);
+    (local ? c.steals_local : c.steals_remote) += 1;
+  }
+  /// A steal scan on `rank` found every other core's deque empty.
+  void record_steal_fail(int rank) { counters(rank).steal_fail += 1; }
+
+  /// Per-rank work-stealing table (local/remote steals + failed scans) for
+  /// --trace-summary; rows only for ranks with non-zero activity.
+  [[nodiscard]] support::Table steal_table() const;
 
   // --- recording: backend comm engines ---
 

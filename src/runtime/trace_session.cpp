@@ -65,6 +65,8 @@ void TraceSession::finish(World& world, const std::string& label,
     if (totals.broadcast_forwards > 0 || totals.am_batches > 0 ||
         totals.reduce_forwards > 0 || totals.reduce_combines > 0)
       std::printf("%s\n", tracer.forwarding_table().str().c_str());
+    if (totals.steals_local > 0 || totals.steals_remote > 0 || totals.steal_fail > 0)
+      std::printf("%s\n", tracer.steal_table().str().c_str());
     std::printf("%s\n", tracer.critical_path_report().c_str());
     if (world.config().faults.enabled()) {
       std::printf("# faults: %s\n", world.config().faults.describe().c_str());

@@ -64,6 +64,15 @@ World::World(WorldConfig cfg) : cfg_(cfg), engine_(derive_engine_config(cfg_)) {
   for (int r = 0; r < cfg_.nranks; ++r) {
     sched_.push_back(std::make_unique<Scheduler>(engine_, r, workers_));
   }
+  if (cfg_.work_stealing) {
+    StealConfig sc;
+    sc.enabled = true;
+    sc.seed = cfg_.seed;
+    sc.sockets = std::max(1, cfg_.machine.sockets_per_node);
+    sc.latency_local = cfg_.machine.steal_latency_local;
+    sc.latency_remote = cfg_.machine.steal_latency_remote;
+    for (auto& s : sched_) s->configure_steal(sc);
+  }
   if (cfg_.faults.enabled()) {
     network_->configure_faults(cfg_.faults);
     for (int r = 0; r < cfg_.nranks; ++r) {

@@ -39,6 +39,13 @@ struct WorldConfig {
   int nranks = 1;
   int workers_per_rank = 0;  ///< 0 → machine.cores_per_node
   BackendKind backend = BackendKind::Parsec;
+  // Intra-node work-stealing substrate (DESIGN.md "Intra-node scheduling").
+  // Off = the historical single-queue scheduler, bit-identical to every
+  // checked-in baseline. On = per-core deques with steal-half; victim draws
+  // derive from `seed`, steal distances from machine.steal_latency_* and
+  // machine.sockets_per_node.
+  bool work_stealing = false;
+  std::uint64_t seed = 1;  ///< world seed (steal victim selection)
   bool optimized_broadcast = true;  ///< group broadcast keys by destination rank
   bool enable_splitmd = true;       ///< allow the split-metadata protocol
   // Data-lifecycle CopyPolicy overrides (bench/ablation_copies): tri-state,

@@ -10,6 +10,10 @@ MachineModel hawk() {
   m.cores_per_node = 60;
   m.core_gflops = 30.0;
   m.copy_bw = 10.0e9;
+  // Dual-socket node; Infinity Fabric keeps cross-socket line bounces cheap.
+  m.sockets_per_node = 2;
+  m.steal_latency_local = 2.0e-7;
+  m.steal_latency_remote = 8.0e-7;
   // IB HDR200: 200 Gb/s = 25 GB/s line rate, ~1.2 us MPI latency; achieved
   // injection ~23 GB/s with Open MPI/UCX.
   m.net_latency = 1.2e-6;
@@ -28,6 +32,10 @@ MachineModel seawulf() {
   m.cores_per_node = 40;
   m.core_gflops = 45.0;
   m.copy_bw = 9.0e9;
+  // Dual-socket Xeon; UPI cross-socket transfers are slower than Hawk's IF.
+  m.sockets_per_node = 2;
+  m.steal_latency_local = 2.5e-7;
+  m.steal_latency_remote = 1.0e-6;
   // IB FDR: 56 Gb/s = 7 GB/s line rate, ~1.7 us latency (Intel MPI).
   m.net_latency = 1.7e-6;
   m.nic_bw = 6.0e9;

@@ -28,6 +28,16 @@ struct MachineModel {
   double core_gflops = 10.0;     ///< effective per-core DGEMM rate [GFLOP/s]
   double copy_bw = 8.0e9;        ///< single-thread memcpy bandwidth [B/s]
 
+  // --- intra-node scheduling (work-stealing substrate) ---
+  // Cores split evenly over sockets; a thief core popping another core's
+  // deque pays the steal distance in virtual time: bouncing the deque's
+  // cache lines stays cheap inside one socket and crosses the inter-socket
+  // fabric (Infinity Fabric / UPI) otherwise. Only exercised when
+  // WorldConfig::work_stealing is on.
+  int sockets_per_node = 1;             ///< NUMA domains per node
+  double steal_latency_local = 2.5e-7;  ///< intra-socket steal cost [s]
+  double steal_latency_remote = 1.0e-6; ///< cross-socket steal cost [s]
+
   // --- network ---
   double net_latency = 1.5e-6;   ///< end-to-end small-message latency [s]
   double nic_bw = 12.0e9;        ///< per-node injection bandwidth [B/s]

@@ -1,0 +1,140 @@
+// Process-map-aware keymaps.
+//
+// The paper's apps install a keymap on every template task to place tasks
+// (and thereby their output tiles) on ranks. The classic choice is 2D
+// block-cyclic over a near-square process grid (linalg::BlockCyclic2D),
+// which is oblivious to *machine* topology: with several ranks per node the
+// cyclic layout scatters a tile's neighborhood across nodes and every halo
+// edge crosses the network.
+//
+// These helpers make the keymap see WorldConfig::ranks_per_node (the same
+// knob collective::Topology uses for tree layout), so neighboring tiles
+// land on ranks that share a node and their edges become intra-node hops:
+//
+//   cyclic     — exactly BlockCyclic2D::make(nranks); the historical layout
+//                every checked-in baseline was produced with. The other two
+//                kinds degenerate to it bit-identically at ranks_per_node=1.
+//   node2d     — two-level grid: nodes form a near-square node grid
+//                (block-cyclic over supertiles of ranks_per_node tiles), and
+//                within a node the tile is scattered cyclically over the
+//                node's ranks. Keeps load balance of cyclic, adds node
+//                locality along one axis.
+//   node-aware — supertile placement: a ri x rj block of adjacent tiles
+//                (ri*rj == ranks_per_node) maps onto one node, one tile per
+//                rank; supertiles are block-cyclic over the node grid. Both
+//                axes gain node locality (the bulk of a tile's halo stays
+//                on-node), at the cost of slightly coarser balance.
+//
+// For tree-structured keys (MRA), node_aware_owner() routes a coarse
+// ancestor hash to a node and a finer hash to a lane within it, so whole
+// subtrees share a node while leaves still spread over its ranks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/dist.hpp"
+#include "support/error.hpp"
+
+namespace ttg {
+
+enum class KeymapKind { Cyclic, Node2D, NodeAware };
+
+[[nodiscard]] inline const char* to_string(KeymapKind k) {
+  switch (k) {
+    case KeymapKind::Cyclic:
+      return "cyclic";
+    case KeymapKind::Node2D:
+      return "node2d";
+    case KeymapKind::NodeAware:
+      return "node-aware";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline KeymapKind keymap_from_string(const std::string& s) {
+  if (s == "cyclic") return KeymapKind::Cyclic;
+  if (s == "node2d") return KeymapKind::Node2D;
+  if (s == "node-aware" || s == "node_aware") return KeymapKind::NodeAware;
+  TTG_REQUIRE(false, "unknown keymap '" + s + "' (cyclic|node2d|node-aware)");
+  return KeymapKind::Cyclic;
+}
+
+/// Tile-indexed keymap: owner(i, j) under one of the three placement kinds.
+/// Construct through make_keymap2d().
+struct Keymap2D {
+  KeymapKind kind = KeymapKind::Cyclic;
+  linalg::BlockCyclic2D grid;  ///< cyclic: rank grid; others: node grid
+  int rpn = 1;                 ///< ranks per node
+  int ri = 1, rj = 1;          ///< node-aware: in-node supertile shape
+
+  [[nodiscard]] int owner(int i, int j) const {
+    switch (kind) {
+      case KeymapKind::Cyclic:
+        return grid.owner(i, j);
+      case KeymapKind::Node2D: {
+        // Node via the node grid, lane via a cyclic scatter of the tile's
+        // flattened diagonal index over the node's ranks.
+        const int node = grid.owner(i, j);
+        const int lane = (i / grid.P + j / grid.Q) % rpn;
+        return node * rpn + lane;
+      }
+      case KeymapKind::NodeAware: {
+        // Adjacent ri x rj tiles share a node, one tile per rank.
+        const int node = grid.owner(i / ri, j / rj);
+        const int lane = (i % ri) * rj + (j % rj);
+        return node * rpn + lane;
+      }
+    }
+    return 0;
+  }
+
+  [[nodiscard]] int nranks() const {
+    return kind == KeymapKind::Cyclic ? grid.nranks() : grid.nranks() * rpn;
+  }
+};
+
+/// Build a keymap for `nranks` ranks with `ranks_per_node` packed per node
+/// (consecutive ranks share a node, as in collective::Topology). Falls back
+/// to cyclic when the node structure is degenerate (ranks_per_node <= 1 or
+/// not dividing nranks), so every kind is total.
+[[nodiscard]] inline Keymap2D make_keymap2d(KeymapKind kind, int nranks,
+                                            int ranks_per_node) {
+  TTG_CHECK(nranks >= 1, "need at least one rank");
+  Keymap2D km;
+  const bool nodal = ranks_per_node > 1 && nranks % ranks_per_node == 0;
+  if (kind == KeymapKind::Cyclic || !nodal) {
+    km.kind = KeymapKind::Cyclic;
+    km.grid = linalg::BlockCyclic2D::make(nranks);
+    return km;
+  }
+  km.kind = kind;
+  km.rpn = ranks_per_node;
+  km.grid = linalg::BlockCyclic2D::make(nranks / ranks_per_node);
+  // Near-square in-node supertile: ri <= rj, ri * rj == ranks_per_node.
+  km.ri = 1;
+  for (int f = 1; f * f <= ranks_per_node; ++f) {
+    if (ranks_per_node % f == 0) km.ri = f;
+  }
+  km.rj = ranks_per_node / km.ri;
+  return km;
+}
+
+/// Node-aware owner for tree-structured keys (MRA): the coarse hash (of an
+/// ancestor a few levels up) picks the node, the fine hash (of the key
+/// itself) picks the lane, so whole subtrees share a node while leaves
+/// spread over its ranks. Degenerates to `fine_hash % nranks` when the node
+/// structure is degenerate.
+[[nodiscard]] inline int node_aware_owner(std::uint64_t coarse_hash,
+                                          std::uint64_t fine_hash, int nranks,
+                                          int ranks_per_node) {
+  if (ranks_per_node <= 1 || nranks % ranks_per_node != 0)
+    return static_cast<int>(fine_hash % static_cast<std::uint64_t>(nranks));
+  const int nodes = nranks / ranks_per_node;
+  const int node = static_cast<int>(coarse_hash % static_cast<std::uint64_t>(nodes));
+  const int lane =
+      static_cast<int>(fine_hash % static_cast<std::uint64_t>(ranks_per_node));
+  return node * ranks_per_node + lane;
+}
+
+}  // namespace ttg

@@ -265,6 +265,67 @@ TEST(GraphCache, CachedInstanceRunsBitIdenticalToRebuilt) {
   EXPECT_EQ(res_hit[0], res_hit[1]);
 }
 
+TEST(GraphCache, KeymapSwitchEvictsAndRebuildsBitIdentical) {
+  // Serving analogue of the apps' --keymap knob. apply_keymap() re-applies
+  // every TT's placement map via set_keymap, which bumps the mutation
+  // counters: a pooled instance rekeyed after release is stale, so the next
+  // same-key acquire must evict and rebuild. And because placement moves
+  // tasks without touching numerics, a job on the rekeyed (node-aware)
+  // graph produces the bitwise-identical factor as the cyclic run.
+  WorldConfig cfg;
+  cfg.nranks = 4;
+  cfg.ranks_per_node = 2;
+  World world(cfg);
+  auto& cache = world.jobs().cache();
+  const GraphKey key{"potrf", {384, 128, 0, 0}};
+
+  auto run_job = [&world](const std::shared_ptr<apps::serve::JobGraph>& g,
+                          std::uint64_t seed) {
+    ResultMap out;
+    world.jobs().submit(rt::JobSpec{"potrf", 1, 0},
+                        [&world, &out, &g, seed](rt::JobId id) {
+                          g->start(seed, [&world, &out, &g, id]() {
+                            out = g->result();
+                            world.jobs().complete(id);
+                          });
+                        });
+    world.fence();
+    return out;
+  };
+
+  // Job 1: cyclic placement (the build default), then cache the instance.
+  auto g1 = apps::serve::acquire_graph(world, key);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  const ResultMap cyclic = run_job(g1, 5);
+  apps::serve::release_graph(world, g1);
+
+  // Switching the keymap on the pooled instance bumps its mutation count...
+  const std::uint64_t before = g1->mutation_count();
+  g1->apply_keymap(KeymapKind::NodeAware);
+  EXPECT_GT(g1->mutation_count(), before);
+
+  // ...so the next acquire evicts it and rebuilds from scratch.
+  auto g2 = apps::serve::acquire_graph(world, key);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_NE(g2.get(), g1.get());
+
+  // Job 2 on the rebuilt instance, rekeyed to node-aware while checked out:
+  // same seed, bitwise-identical result (POTRF is timing-independent).
+  g2->apply_keymap(KeymapKind::NodeAware);
+  const ResultMap node_aware = run_job(g2, 5);
+  EXPECT_EQ(node_aware, cyclic);
+  apps::serve::release_graph(world, g2);
+
+  // release_graph stamps the mutation count at release time, so a rekey
+  // done before release does not poison the pool: next acquire is a hit.
+  auto g3 = apps::serve::acquire_graph(world, key);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(g3.get(), g2.get());
+  apps::serve::release_graph(world, g3);
+}
+
 TEST(Admission, BoundsConcurrencyAndAdmitsFifo) {
   WorldConfig cfg;
   cfg.nranks = 2;
