@@ -3,6 +3,9 @@
 // small end-to-end TTG pipeline.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+
 #include "linalg/tile.hpp"
 #include "serialization/traits.hpp"
 #include "ttg/ttg.hpp"
@@ -65,6 +68,84 @@ void BM_EngineCancellableEvents(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_EngineCancellableEvents)->Arg(1024)->Arg(16384);
+
+// One construct + dispatch + destroy round-trip of an event closure.
+// Arg 0: EventFn, 16-byte capture (inline buffer — the steady-state path).
+// Arg 1: EventFn, 88-byte capture from a FnArena (pooled overflow).
+// Arg 2: std::function with the same 88-byte capture — the engine's former
+//        closure representation, one heap allocation per event.
+void BM_EventClosureDispatch(benchmark::State& state) {
+  struct Fat {
+    std::uint64_t pad[10] = {};
+    std::uint64_t* out = nullptr;
+    void operator()() const { ++*out; }
+  };
+  static_assert(sizeof(Fat) > sim::EventFn::kInlineSize);
+  static_assert(sizeof(Fat) <= sim::FnArena::kPayload);
+  sim::FnArena arena;
+  // As on the engine hot path: the draining thread owns the arena it is
+  // recycling through, so frees take the non-atomic local-list route.
+  sim::FnArena::OwnerScope own(arena);
+  std::uint64_t sink = 0;
+  const int mode = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    switch (mode) {
+      case 0: {
+        sim::EventFn fn([&sink] { ++sink; });
+        fn();
+        break;
+      }
+      case 1: {
+        sim::EventFn fn(Fat{.out = &sink}, &arena);
+        fn();
+        break;
+      }
+      default: {
+        std::function<void()> fn{Fat{.out = &sink}};
+        fn();
+        break;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventClosureDispatch)->Arg(0)->Arg(1)->Arg(2);
+
+// Sharded-engine epoch turnover: chains of cross-lane hops, each paying
+// exactly the lookahead, so every event is deferred, merged, renumbered and
+// redistributed at a barrier. Measures the k-way merge + renumber +
+// parallel-redistribution machinery as lane count grows.
+void BM_BarrierMergeRenumber(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  const int ranks = lanes * 8;
+  constexpr int kHops = 32;
+  struct Hop {
+    sim::Engine* e;
+    int ranks;
+    int r;
+    int left;
+    void operator()() const {
+      if (left <= 0) return;
+      const int nxt = (r + 7) % ranks;
+      e->after_on(e->lane_of(nxt), 1e-6, Hop{e, ranks, nxt, left - 1});
+    }
+  };
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.lanes = lanes;
+    cfg.nranks = ranks;
+    cfg.lookahead = 1e-6;
+    sim::Engine e(cfg);
+    for (int r = 0; r < ranks; ++r)
+      e.at_on(e.lane_of(r), 0.0, Hop{&e, ranks, r, kHops});
+    e.run();
+    benchmark::DoNotOptimize(e.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * ranks *
+                          (kHops + 1));
+}
+BENCHMARK(BM_BarrierMergeRenumber)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_SchedulerThroughput(benchmark::State& state) {
   for (auto _ : state) {

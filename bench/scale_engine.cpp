@@ -34,6 +34,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/cholesky/cholesky_ttg.hpp"
@@ -141,12 +142,15 @@ struct StormRun {
   double end = 0.0;             ///< final virtual time (exact)
   std::uint64_t events = 0;     ///< events processed (exact)
   double events_per_sec = 0.0;  ///< host throughput (wall-clock)
+  std::uint64_t epochs = 0;     ///< sharded epochs (exact; 0 for serial)
+  double barrier_fraction = 0.0;  ///< barrier wall / run wall (wall-clock)
+  double epochs_per_sec = 0.0;    ///< epoch turnover (wall-clock)
 };
 
-StormRun run_storm(int ranks, int lanes) {
+StormRun run_storm(int ranks, int lanes, int threads) {
   sim::EngineConfig cfg;
   cfg.lanes = lanes;
-  cfg.threads = 1;
+  cfg.threads = threads;
   cfg.nranks = ranks;
   cfg.lookahead = kStormDt;
   sim::Engine eng(cfg);
@@ -166,7 +170,97 @@ StormRun run_storm(int ranks, int lanes) {
   const double wall = std::chrono::duration<double>(t1 - t0).count();
   sr.events = eng.events_processed();
   sr.events_per_sec = static_cast<double>(sr.events) / (wall > 0.0 ? wall : 1e-9);
+  if (lanes > 0) {
+    const auto es = eng.stats();
+    sr.epochs = es.epochs;
+    sr.barrier_fraction =
+        es.run_seconds > 0.0 ? es.barrier_seconds / es.run_seconds : 0.0;
+    sr.epochs_per_sec =
+        static_cast<double>(sr.epochs) / (wall > 0.0 ? wall : 1e-9);
+  }
   return sr;
+}
+
+// ---- steady-state allocation check ---------------------------------------
+//
+// The engine's closures must allocate nothing once warm: small captures live
+// in EventFn's inline buffer, oversized ones recycle through the per-lane
+// FnArena free lists. Run the same event wave twice on one engine with
+// deliberately fat closures and require both the arena slab count and the
+// heap-fallback count to stay exactly flat across the second wave.
+
+constexpr std::uint64_t kAllocPending = 1ull << 17;
+
+/// A self-rescheduling hop whose capture overflows EventFn's inline buffer,
+/// forcing every reschedule through the arena path.
+struct FatHop {
+  sim::Engine* eng = nullptr;
+  std::uint64_t s = 0;
+  std::uint64_t pad[7] = {};
+  void operator()() const {
+    const int h = static_cast<int>(s & 15u);
+    if (h == 0) return;
+    FatHop nxt = *this;
+    nxt.s = (mix(s) & ~15ull) | static_cast<unsigned>(h - 1);
+    const double u = static_cast<double>(nxt.s >> 11) * 0x1p-53;
+    eng->after(kStormDt * (0.25 + 1.5 * u), nxt);
+  }
+};
+static_assert(sizeof(FatHop) > sim::EventFn::kInlineSize,
+              "FatHop must overflow the inline buffer to exercise the arena");
+static_assert(sizeof(FatHop) <= sim::FnArena::kPayload,
+              "FatHop must fit an arena block (not the heap fallback)");
+
+struct AllocPoint {
+  int ranks = 0;
+  int lanes = 0;
+  std::uint64_t events = 0;        ///< total over both waves (exact)
+  double end = 0.0;                ///< final virtual time (exact)
+  std::uint64_t fn_arena_slabs = 0;  ///< slabs after warm-up (exact)
+  std::uint64_t arena_slab_delta = 0;  ///< wave-2 slab growth (exact: 0)
+  std::uint64_t fn_heap_delta = 0;     ///< wave-2 heap fallbacks (exact: 0)
+};
+
+AllocPoint run_alloc_check(int ranks, int lanes) {
+  sim::EngineConfig cfg;
+  cfg.lanes = lanes;
+  cfg.threads = 1;
+  cfg.nranks = ranks;
+  cfg.lookahead = kStormDt;
+  sim::Engine eng(cfg);
+  const int depth = static_cast<int>(kAllocPending / static_cast<unsigned>(ranks));
+  // Both waves use identical seeds (and therefore identical relative event
+  // patterns): the second wave's per-arena peak block population exactly
+  // matches the warm-up's, so any slab growth is a recycling bug, not jitter.
+  const auto seed = [&] {
+    for (int r = 0; r < ranks; ++r) {
+      for (int d = 0; d < depth; ++d) {
+        const std::uint64_t s0 = mix(static_cast<std::uint64_t>(r) * 65551u + d);
+        const std::uint64_t s = (s0 & ~15ull) | static_cast<unsigned>(kStormHops);
+        const double u = static_cast<double>(s >> 11) * 0x1p-53;
+        eng.after_on(eng.lane_of(r), kStormDt * (0.25 + 1.5 * u),
+                     FatHop{&eng, s});
+      }
+    }
+  };
+  seed();
+  eng.run();
+  const auto warm = eng.stats();
+  seed();
+  AllocPoint a;
+  a.ranks = ranks;
+  a.lanes = lanes;
+  a.end = eng.run();
+  a.events = eng.events_processed();
+  const auto steady = eng.stats();
+  a.fn_arena_slabs = steady.fn_arena_slabs;
+  a.arena_slab_delta = steady.fn_arena_slabs - warm.fn_arena_slabs;
+  a.fn_heap_delta = steady.fn_heap_allocs - warm.fn_heap_allocs;
+  TTG_CHECK(a.arena_slab_delta == 0,
+            "closure arena grew at steady state (wave 2 allocated slabs)");
+  TTG_CHECK(a.fn_heap_delta == 0,
+            "closure fell back to the heap at steady state");
+  return a;
 }
 
 struct StormPoint {
@@ -178,10 +272,31 @@ struct StormPoint {
   double serial_evps = 0.0;
   double sharded_evps = 0.0;
   double speedup = 0.0;  ///< sharded/serial, gated >= 2.0 in CI
+  std::uint64_t epochs = 0;       ///< sharded epoch count (exact)
+  double barrier_fraction = 0.0;  ///< sharded barrier share (wall-clock)
+  double epochs_per_sec = 0.0;    ///< sharded epoch turnover (wall-clock)
+};
+
+struct ThreadPoint {
+  int ranks = 0;
+  int lanes = 0;
+  int threads = 0;
+  std::uint64_t pending = 0;
+  std::uint64_t events = 0;  ///< identical across thread counts (exact)
+  double end = 0.0;          ///< identical across thread counts (exact)
+  double events_per_sec = 0.0;
+  std::uint64_t epochs = 0;       ///< identical across thread counts (exact)
+  double barrier_fraction = 0.0;
+  double epochs_per_sec = 0.0;
+  double threads_speedup = 0.0;  ///< evps vs the threads=1 run of this sweep
+  bool gate_speedup = false;     ///< emit threads_speedup to JSON (host has
+                                 ///< enough cores for the floor to be fair)
 };
 
 void write_json(const std::string& path, int bs, const std::vector<Point>& potrf,
-                const std::vector<StormPoint>& storm) {
+                const std::vector<StormPoint>& storm,
+                const std::vector<ThreadPoint>& tpoints,
+                const std::vector<AllocPoint>& apoints) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   TTG_REQUIRE(f != nullptr, "cannot open --json output file: " + path);
   std::fprintf(f, "{\"bench\":\"scale_engine\",\"bs\":%d,\"points\":[", bs);
@@ -204,11 +319,43 @@ void write_json(const std::string& path, int bs, const std::vector<Point>& potrf
                  "%s\n{\"phase\":\"storm\",\"ranks\":%d,\"mode\":\"both\","
                  "\"lanes\":%d,\"pending\":%llu,\"events\":%llu,\"end\":%.17g,"
                  "\"serial_events_per_sec\":%.17g,\"sharded_events_per_sec\":%.17g,"
-                 "\"speedup\":%.17g}",
+                 "\"speedup\":%.17g,\"epochs\":%llu,\"barrier_fraction\":%.17g,"
+                 "\"epochs_per_sec\":%.17g}",
                  first ? "" : ",", s.ranks, s.lanes,
                  static_cast<unsigned long long>(s.pending),
                  static_cast<unsigned long long>(s.events), s.end, s.serial_evps,
-                 s.sharded_evps, s.speedup);
+                 s.sharded_evps, s.speedup,
+                 static_cast<unsigned long long>(s.epochs), s.barrier_fraction,
+                 s.epochs_per_sec);
+    first = false;
+  }
+  for (const auto& t : tpoints) {
+    std::fprintf(f,
+                 "%s\n{\"phase\":\"storm_threads\",\"ranks\":%d,\"mode\":\"t%d\","
+                 "\"lanes\":%d,\"threads\":%d,\"pending\":%llu,\"events\":%llu,"
+                 "\"end\":%.17g,\"events_per_sec\":%.17g,\"epochs\":%llu,"
+                 "\"barrier_fraction\":%.17g,\"epochs_per_sec\":%.17g",
+                 first ? "" : ",", t.ranks, t.threads, t.lanes, t.threads,
+                 static_cast<unsigned long long>(t.pending),
+                 static_cast<unsigned long long>(t.events), t.end,
+                 t.events_per_sec, static_cast<unsigned long long>(t.epochs),
+                 t.barrier_fraction, t.epochs_per_sec);
+    if (t.gate_speedup)
+      std::fprintf(f, ",\"threads_speedup\":%.17g", t.threads_speedup);
+    std::fprintf(f, "}");
+    first = false;
+  }
+  for (const auto& a : apoints) {
+    std::fprintf(f,
+                 "%s\n{\"phase\":\"storm_alloc\",\"ranks\":%d,\"mode\":\"fat\","
+                 "\"lanes\":%d,\"events\":%llu,\"end\":%.17g,"
+                 "\"fn_arena_slabs\":%llu,\"arena_slab_delta\":%llu,"
+                 "\"fn_heap_delta\":%llu}",
+                 first ? "" : ",", a.ranks, a.lanes,
+                 static_cast<unsigned long long>(a.events), a.end,
+                 static_cast<unsigned long long>(a.fn_arena_slabs),
+                 static_cast<unsigned long long>(a.arena_slab_delta),
+                 static_cast<unsigned long long>(a.fn_heap_delta));
     first = false;
   }
   std::fprintf(f, "\n]}\n");
@@ -274,13 +421,13 @@ int main(int argc, char** argv) {
 
   support::Table st("storm: 2^21 in-flight events, throughput gate (>= 2x)",
                     {"ranks", "lanes", "pending/rank", "events", "serial ev/s",
-                     "sharded ev/s", "speedup"});
+                     "sharded ev/s", "speedup", "epochs", "barrier"});
   std::vector<StormPoint> storm;
   for (int ranks : {1024, 2048, 4096}) {
     if (ranks > max_ranks) break;
     const int lanes = std::min(128, ranks / 8);
-    const StormRun serial = run_storm(ranks, 0);
-    const StormRun sharded = run_storm(ranks, lanes);
+    const StormRun serial = run_storm(ranks, 0, 1);
+    const StormRun sharded = run_storm(ranks, lanes, 1);
     TTG_CHECK(serial.end == sharded.end && serial.events == sharded.events,
               "sharded storm diverged from the serial reference");
     StormPoint s;
@@ -292,25 +439,101 @@ int main(int argc, char** argv) {
     s.serial_evps = serial.events_per_sec;
     s.sharded_evps = sharded.events_per_sec;
     s.speedup = sharded.events_per_sec / serial.events_per_sec;
+    s.epochs = sharded.epochs;
+    s.barrier_fraction = sharded.barrier_fraction;
+    s.epochs_per_sec = sharded.epochs_per_sec;
     storm.push_back(s);
     st.add_row({std::to_string(ranks), std::to_string(lanes),
                 std::to_string(kStormPending / static_cast<unsigned>(ranks)),
                 std::to_string(s.events),
                 support::fmt(s.serial_evps / 1e6, 2) + "M",
                 support::fmt(s.sharded_evps / 1e6, 2) + "M",
-                support::fmt(s.speedup, 2) + "x"});
+                support::fmt(s.speedup, 2) + "x", std::to_string(s.epochs),
+                support::fmt(100.0 * s.barrier_fraction, 1) + "%"});
   }
   st.print();
 
+  // Thread sweep: the same storm at a fixed shape, draining lanes and
+  // redistributing barriers on 1..8 OS threads. The parallel barrier's
+  // claim: counts, epochs and the final virtual time are bit-identical at
+  // every thread count, and on a host with >= 4 cores the 4-thread run
+  // clears an additional >= 1.5x over 1 thread (gated via the
+  // "threads_speedup" floor — the field is only emitted where the hardware
+  // can honestly answer, so single-core CI hosts skip the floor, and the
+  // baseline must be refreshed on the same class of host).
+  std::vector<ThreadPoint> tpoints;
+  std::vector<AllocPoint> apoints;
+  if (max_ranks >= 1024) {
+    const int ranks = 1024;
+    const int lanes = 128;
+    const bool can_gate = std::thread::hardware_concurrency() >= 4;
+    support::Table tt("storm thread sweep: parallel drain + barrier at " +
+                          std::to_string(ranks) + " ranks",
+                      {"threads", "events", "epochs", "ev/s", "epochs/s",
+                       "barrier", "vs 1T"});
+    double evps1 = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      const StormRun r = run_storm(ranks, lanes, threads);
+      ThreadPoint t;
+      t.ranks = ranks;
+      t.lanes = lanes;
+      t.threads = threads;
+      t.pending = kStormPending;
+      t.events = r.events;
+      t.end = r.end;
+      t.events_per_sec = r.events_per_sec;
+      t.epochs = r.epochs;
+      t.barrier_fraction = r.barrier_fraction;
+      t.epochs_per_sec = r.epochs_per_sec;
+      if (threads == 1) evps1 = r.events_per_sec;
+      t.threads_speedup = evps1 > 0.0 ? r.events_per_sec / evps1 : 0.0;
+      t.gate_speedup = threads == 4 && can_gate;
+      TTG_CHECK(storm.empty() ||
+                    (t.events == storm.front().events && t.end == storm.front().end),
+                "threaded storm diverged from the single-threaded reference");
+      TTG_CHECK(tpoints.empty() || t.epochs == tpoints.front().epochs,
+                "thread count changed the epoch structure");
+      tpoints.push_back(t);
+      tt.add_row({std::to_string(threads), std::to_string(t.events),
+                  std::to_string(t.epochs),
+                  support::fmt(t.events_per_sec / 1e6, 2) + "M",
+                  support::fmt(t.epochs_per_sec / 1e3, 1) + "k",
+                  support::fmt(100.0 * t.barrier_fraction, 1) + "%",
+                  support::fmt(t.threads_speedup, 2) + "x"});
+    }
+    tt.print();
+    if (!can_gate)
+      std::printf("# threads_speedup not emitted: host has %u cores (< 4)\n",
+                  std::thread::hardware_concurrency());
+
+    // Steady-state allocation gate: fat closures, two identical waves on one
+    // engine — the second wave must allocate nothing (slab and heap counters
+    // exactly flat), in both engine modes, with bit-identical results.
+    const AllocPoint aser = run_alloc_check(ranks, 0);
+    const AllocPoint ashr = run_alloc_check(ranks, lanes);
+    TTG_CHECK(aser.end == ashr.end && aser.events == ashr.events,
+              "fat-closure storm diverged between serial and sharded");
+    apoints.push_back(ashr);
+    std::printf(
+        "# steady-state allocs: %llu events, %llu arena slabs warm, wave-2 "
+        "slab delta %llu, heap delta %llu (gated == 0)\n",
+        static_cast<unsigned long long>(ashr.events),
+        static_cast<unsigned long long>(ashr.fn_arena_slabs),
+        static_cast<unsigned long long>(ashr.arena_slab_delta),
+        static_cast<unsigned long long>(ashr.fn_heap_delta));
+  }
+
   if (!json_path.empty()) {
-    write_json(json_path, bs, potrf, storm);
+    write_json(json_path, bs, potrf, storm, tpoints, apoints);
     std::printf("# json: wrote %s (%zu points)\n", json_path.c_str(),
-                potrf.size() + storm.size());
+                potrf.size() + storm.size() + tpoints.size() + apoints.size());
   }
   std::printf(
       "expected shape: identical counts/makespans per row (bit-identical\n"
-      "engines); potrf peak live bytes/rank flat across ranks; storm speedup\n"
-      "exceeds 2x at >= 1024 ranks (per-lane heaps stay cache-resident while\n"
-      "the serial heap percolates through tens of MB of cold events).\n");
+      "engines, at every thread count); potrf peak live bytes/rank flat across\n"
+      "ranks; storm speedup exceeds 2x at >= 1024 ranks (per-lane heaps stay\n"
+      "cache-resident while the serial heap percolates through tens of MB of\n"
+      "cold events); 4-thread storm adds >= 1.5x over 1 thread where the host\n"
+      "has the cores; steady-state waves allocate nothing (flat arena/heap).\n");
   return 0;
 }

@@ -68,6 +68,19 @@ void TraceSession::finish(World& world, const std::string& label,
     if (totals.steals_local > 0 || totals.steals_remote > 0 || totals.steal_fail > 0)
       std::printf("%s\n", tracer.steal_table().str().c_str());
     std::printf("%s\n", tracer.critical_path_report().c_str());
+    if (world.engine().sharded()) {
+      const auto es = world.engine().stats();
+      const double barrier_share =
+          es.run_seconds > 0.0 ? es.barrier_seconds / es.run_seconds : 0.0;
+      std::printf(
+          "# engine: lanes=%d epochs=%llu deferred_events=%llu "
+          "deferred_txns=%llu adaptive_extensions=%llu barrier_share=%.1f%%\n",
+          world.engine().lanes(), static_cast<unsigned long long>(es.epochs),
+          static_cast<unsigned long long>(es.deferred_events),
+          static_cast<unsigned long long>(es.deferred_txns),
+          static_cast<unsigned long long>(es.adaptive_extensions),
+          100.0 * barrier_share);
+    }
     if (world.config().faults.enabled()) {
       std::printf("# faults: %s\n", world.config().faults.describe().c_str());
       const std::string faults = tracer.fault_report();

@@ -33,6 +33,8 @@ sim::EngineConfig derive_engine_config(const WorldConfig& cfg) {
     double factor = cfg.faults.enabled() ? cfg.faults.min_latency_factor() : 1.0;
     ec.lookahead = cfg.machine.net_latency * std::min(1.0, factor);
   }
+  ec.adaptive = cfg.engine_adaptive_lookahead;
+  ec.window_cap = cfg.engine_window_cap;
   return ec;
 }
 

@@ -70,9 +70,19 @@ struct WorldConfig {
   // results bit-identical to serial (tests/test_scale_equiv.cpp). Sharded
   // multi-tenant serving (JobManager) is not supported yet.
   int engine_lanes = 0;
-  int engine_threads = 1;  ///< OS threads draining lanes (keep 1 for runtime
-                           ///< workloads; >1 is exercised by engine tests)
+  int engine_threads = 1;  ///< OS threads draining lanes and redistributing
+                           ///< at barriers (sharded engine only)
   double engine_lookahead = -1.0;  ///< <= 0 → net_latency * min latency factor
+  /// Adaptive lookahead: when a low-traffic phase leaves every pending
+  /// event on a single lane (a straggler finishing a tail, gaps between
+  /// serving-mode jobs), extend that lane's epoch window up to
+  /// engine_window_cap lookaheads so one wide epoch replaces many barrier
+  /// crossings. Bit-identical to the conservative window for any workload;
+  /// off by default so the conservative path stays the reference.
+  bool engine_adaptive_lookahead = false;
+  /// Cap on adaptive windows, in lookahead units past the epoch start
+  /// (bounds per-epoch deferred-buffer growth). Ignored unless adaptive.
+  double engine_window_cap = 64.0;
 };
 
 /// Type-erased base of every template task, for registration and

@@ -7,13 +7,12 @@ namespace ttg::sim {
 FifoResource::FifoResource(Engine& engine, std::string name)
     : engine_(engine), name_(std::move(name)) {}
 
-Time FifoResource::submit(Time service_time, std::function<void()> on_done) {
+Time FifoResource::reserve(Time service_time) {
   TTG_CHECK(service_time >= 0.0, "negative service time");
   const Time start = std::max(engine_.now(), free_at_);
   const Time done = start + service_time;
   free_at_ = done;
   busy_ += service_time;
-  engine_.at(done, std::move(on_done));
   return done;
 }
 
@@ -22,14 +21,13 @@ PoolResource::PoolResource(Engine& engine, std::string name, int servers)
   TTG_CHECK(servers > 0, "pool needs at least one server");
 }
 
-Time PoolResource::submit(Time service_time, std::function<void()> on_done) {
+Time PoolResource::reserve(Time service_time) {
   TTG_CHECK(service_time >= 0.0, "negative service time");
   auto it = std::min_element(free_at_.begin(), free_at_.end());
   const Time start = std::max(engine_.now(), *it);
   const Time done = start + service_time;
   *it = done;
   busy_ += service_time;
-  engine_.at(done, std::move(on_done));
   return done;
 }
 

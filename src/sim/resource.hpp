@@ -6,9 +6,15 @@
 // This is how per-rank NIC injection bandwidth, the MADNESS backend's
 // active-message server thread, and the global fabric bisection capacity
 // are all modeled.
+//
+// submit() is a template so the completion closure converts to EventFn at
+// the engine boundary — inside the engine's arena-aware at() — rather than
+// through a std::function hop that would heap-allocate capture-heavy
+// callbacks on the hot path.
 #pragma once
 
-#include <functional>
+#include <string>
+#include <utility>
 
 #include "sim/engine.hpp"
 
@@ -21,7 +27,12 @@ class FifoResource {
 
   /// Occupy the server for `service_time` seconds (queued after earlier
   /// requests); calls `on_done` on completion. Returns the completion time.
-  Time submit(Time service_time, std::function<void()> on_done);
+  template <class F>
+  Time submit(Time service_time, F&& on_done) {
+    const Time done = reserve(service_time);
+    engine_.at(done, std::forward<F>(on_done));
+    return done;
+  }
 
   /// Time at which the server next becomes free.
   [[nodiscard]] Time free_at() const { return free_at_; }
@@ -32,6 +43,10 @@ class FifoResource {
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
+  /// Queue one request: advance the server's busy horizon and return the
+  /// completion time (the non-template half of submit()).
+  Time reserve(Time service_time);
+
   Engine& engine_;
   std::string name_;
   Time free_at_ = 0.0;
@@ -45,12 +60,19 @@ class PoolResource {
  public:
   PoolResource(Engine& engine, std::string name, int servers);
 
-  Time submit(Time service_time, std::function<void()> on_done);
+  template <class F>
+  Time submit(Time service_time, F&& on_done) {
+    const Time done = reserve(service_time);
+    engine_.at(done, std::forward<F>(on_done));
+    return done;
+  }
 
   [[nodiscard]] int servers() const { return static_cast<int>(free_at_.size()); }
   [[nodiscard]] Time busy_time() const { return busy_; }
 
  private:
+  Time reserve(Time service_time);
+
   Engine& engine_;
   std::string name_;
   std::vector<Time> free_at_;

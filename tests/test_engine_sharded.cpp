@@ -260,6 +260,221 @@ TEST(EngineSharded, DriverPushesBetweenRunsStaySerial) {
   EXPECT_EQ(eng.now(), serial.now());
 }
 
+EngineConfig adaptive_cfg(int lanes, int nranks, int threads = 1,
+                          double cap = 64.0) {
+  EngineConfig cfg = sharded_cfg(lanes, nranks, threads);
+  cfg.adaptive = true;
+  cfg.window_cap = cap;
+  return cfg;
+}
+
+TEST(EngineSharded, ThreadedBarrierDeterministicAcrossThreadCounts) {
+  // The barrier's parallel phases (pre-sorted drain, k-way merge, threaded
+  // redistribution) must produce the serial pop order at every thread count,
+  // including threads > lanes (idle workers) and threads > hardware cores.
+  Engine serial{};
+  const auto want = run_cascade(serial, 8);
+  for (const int threads : {1, 2, 4, 8}) {
+    Engine eng(sharded_cfg(8, 8, threads));
+    const auto got = run_cascade(eng, 8);
+    EXPECT_EQ(got, want) << "threads=" << threads;
+    EXPECT_EQ(eng.events_processed(), serial.events_processed())
+        << "threads=" << threads;
+  }
+}
+
+TEST(EngineSharded, StatsCountersTrackTheRun) {
+  Engine eng(sharded_cfg(4, 8, 2));
+  run_cascade(eng, 8);
+  const auto st = eng.stats();
+  EXPECT_GT(st.epochs, 0u);
+  EXPECT_GT(st.deferred_events, 0u);  // the cascade hops cross-lane
+  EXPECT_GE(st.run_seconds, st.barrier_seconds);
+  EXPECT_GE(st.barrier_seconds, 0.0);
+  // Serial engines keep the sharded counters at zero but still time the run.
+  Engine serial{};
+  run_cascade(serial, 8);
+  EXPECT_EQ(serial.stats().epochs, 0u);
+  EXPECT_GT(serial.stats().run_seconds, 0.0);
+}
+
+TEST(EngineSharded, AdaptiveWindowsMatchSerialExactly) {
+  Engine serial{};
+  const auto want = run_cascade(serial, 8);
+  for (const int threads : {1, 4}) {
+    Engine eng(adaptive_cfg(4, 8, threads));
+    const auto got = run_cascade(eng, 8);
+    EXPECT_EQ(got, want) << "adaptive threads=" << threads;
+    EXPECT_EQ(eng.now(), serial.now());
+    EXPECT_EQ(eng.events_processed(), serial.events_processed());
+  }
+}
+
+TEST(EngineSharded, AdaptiveExtensionsAmortizeEpochs) {
+  // A sparse same-lane chain (events 10 lookaheads apart, every other lane
+  // idle) forces the conservative engine through one ~lookahead-wide epoch
+  // per event; the adaptive engine sees the other lanes' next-event time at
+  // infinity, extends the window to the cap, and batches several events per
+  // epoch. The chain itself must be untouched by the partition.
+  auto chain = [](Engine& eng, std::vector<Time>& log) {
+    struct Step {
+      Engine* e;
+      std::vector<Time>* log;
+      int left;
+      void operator()() const {
+        log->push_back(e->now());
+        if (left > 0) e->after_on(0, 10 * kLat, Step{e, log, left - 1});
+      }
+    };
+    eng.at_on(0, kLat, Step{&eng, &log, 31});
+    eng.run();
+  };
+  std::vector<Time> want;
+  Engine serial{};
+  chain(serial, want);
+  ASSERT_EQ(want.size(), 32u);
+
+  std::vector<Time> conservative_log, adaptive_log;
+  Engine cons(sharded_cfg(4, 8));
+  chain(cons, conservative_log);
+  Engine adap(adaptive_cfg(4, 8));
+  chain(adap, adaptive_log);
+  EXPECT_EQ(conservative_log, want);
+  EXPECT_EQ(adaptive_log, want);
+  EXPECT_GT(adap.stats().adaptive_extensions, 0u);
+  EXPECT_LT(adap.stats().epochs, cons.stats().epochs);
+}
+
+TEST(EngineSharded, DegenerateEpochWindowStillTerminates) {
+  // Regression for the std::nextafter epoch guard: at t ~ 1e18 a lookahead
+  // of 1e-9 vanishes in double rounding (start + lookahead == start), so an
+  // unguarded window would drain zero events per epoch and spin forever.
+  // The guard widens the window by one ULP; ties at the epoch start must
+  // still replay in serial push order.
+  constexpr Time kHuge = 1e18;
+  auto workload = [](Engine& eng, std::vector<int>& order) {
+    for (int r = 0; r < 4; ++r) {
+      eng.at_on(eng.lane_of(r), kHuge, [&eng, &order, r] {
+        eng.shared([&order, r] { order.push_back(r); });
+        eng.after_on(eng.lane_of(r), 0.0, [&eng, &order, r] {
+          eng.shared([&order, r] { order.push_back(10 + r); });
+        });
+      });
+    }
+    eng.run();
+  };
+  std::vector<int> want;
+  Engine serial{};
+  workload(serial, want);
+  ASSERT_EQ(want.size(), 8u);
+  for (const bool adaptive : {false, true}) {
+    EngineConfig cfg = sharded_cfg(4, 4);
+    cfg.lookahead = 1e-9;
+    cfg.adaptive = adaptive;
+    std::vector<int> got;
+    Engine eng(cfg);
+    workload(eng, got);
+    EXPECT_EQ(got, want) << "adaptive=" << adaptive;
+    EXPECT_EQ(eng.now(), serial.now());
+    EXPECT_GT(eng.stats().epochs, 0u);
+  }
+}
+
+// A closure two uint64 lanes too big for EventFn's inline buffer: forces the
+// arena (or heap-fallback) path while staying under FnArena::kPayload.
+struct FatPayload {
+  std::uint64_t pad[7] = {1, 2, 3, 4, 5, 6, 7};
+  std::uint64_t* sink;
+  void operator()() const { *sink += pad[6]; }
+};
+static_assert(sizeof(FatPayload) > ttg::sim::EventFn::kInlineSize);
+static_assert(sizeof(FatPayload) <= ttg::sim::FnArena::kPayload);
+
+TEST(EventFnTest, InlineDispatchAndMove) {
+  using ttg::sim::EventFn;
+  std::uint64_t hits = 0;
+  EventFn fn([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EventFn moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  moved();
+  EXPECT_EQ(hits, 1u);
+  moved.reset();
+  EXPECT_FALSE(static_cast<bool>(moved));
+}
+
+TEST(EventFnTest, ArenaOverflowRecyclesBlocks) {
+  using ttg::sim::EventFn;
+  using ttg::sim::FnArena;
+  FnArena arena;
+  const std::uint64_t heap_before = EventFn::heap_allocations();
+  std::uint64_t sink = 0;
+  // First wave populates the slab; every later wave reuses freed blocks.
+  for (int wave = 0; wave < 4; ++wave) {
+    std::vector<EventFn> fns;
+    for (int i = 0; i < 64; ++i) fns.emplace_back(FatPayload{.sink = &sink}, &arena);
+    for (auto& f : fns) f();
+  }
+  EXPECT_EQ(sink, 4u * 64u * 7u);
+  EXPECT_EQ(arena.slabs_allocated(), 1u);  // 256-block slab covers all waves
+  EXPECT_EQ(EventFn::heap_allocations(), heap_before);
+}
+
+TEST(EventFnTest, NullArenaAndOversizeFallBackToHeapCounted) {
+  using ttg::sim::EventFn;
+  const std::uint64_t before = EventFn::heap_allocations();
+  std::uint64_t sink = 0;
+  {
+    EventFn no_arena(FatPayload{.sink = &sink});  // fat + no arena -> heap
+    no_arena();
+  }
+  EXPECT_EQ(EventFn::heap_allocations(), before + 1);
+  struct Huge {
+    std::uint64_t pad[32];
+    std::uint64_t* sink;
+    void operator()() const { *sink += 1; }
+  };
+  static_assert(sizeof(Huge) > ttg::sim::FnArena::kPayload);
+  ttg::sim::FnArena arena;
+  {
+    EventFn oversize(Huge{.sink = &sink}, &arena);  // arena present but too small
+    oversize();
+  }
+  EXPECT_EQ(EventFn::heap_allocations(), before + 2);
+  EXPECT_EQ(arena.slabs_allocated(), 0u);
+  EXPECT_EQ(sink, 8u);
+}
+
+TEST(EngineSharded, FatClosuresStayInArenasAcrossEpochs) {
+  // Capture-heavy timers (> inline size) must come from the per-lane arenas:
+  // after a warm-up wave, further waves on the same engine allocate no new
+  // slabs and never touch the heap fallback.
+  Engine eng(sharded_cfg(2, 4));
+  std::uint64_t sink = 0;
+  auto wave = [&] {
+    const Time base = eng.now();
+    for (int r = 0; r < 4; ++r) {
+      eng.at_on(eng.lane_of(r), base + kLat * (r + 1),
+                FatPayload{.sink = &sink});
+      // Cancellable fat timers exercise slot + arena recycling together.
+      eng.at_on(eng.lane_of(r), base + kLat * (r + 1) + 1e-6, [&eng, &sink] {
+        eng.after_cancellable(1e-6, FatPayload{.sink = &sink});
+      });
+    }
+    eng.run();
+  };
+  const std::uint64_t heap_before = ttg::sim::EventFn::heap_allocations();
+  wave();
+  const auto warm = eng.stats();
+  for (int i = 0; i < 3; ++i) wave();
+  const auto done = eng.stats();
+  EXPECT_EQ(done.fn_arena_slabs, warm.fn_arena_slabs);  // steady state: flat
+  EXPECT_EQ(ttg::sim::EventFn::heap_allocations(), heap_before);
+  EXPECT_EQ(done.fn_heap_allocs, warm.fn_heap_allocs);
+  EXPECT_GT(sink, 0u);
+  EXPECT_LE(eng.pooled_cancel_slots(), 4u);
+}
+
 // GTEST_FLAG_SET only exists in googletest >= 1.12; fall back to the classic
 // flag accessor on older releases.
 void use_threadsafe_death_tests() {
@@ -278,6 +493,23 @@ TEST(EngineShardedDeathTest, CrossLaneEventInsideLookaheadAborts) {
         eng.at_on(0, 0.0, [&eng] {
           // Tries to reach another lane in under the lookahead: forbidden.
           eng.after_on(eng.lanes() - 1, 1e-9, [] {});
+        });
+        eng.run();
+      },
+      "cross-lane event inside the lookahead window");
+}
+
+TEST(EngineShardedDeathTest, AdaptiveWindowStillRejectsLookaheadViolations) {
+  use_threadsafe_death_tests();
+  EXPECT_DEATH(
+      {
+        Engine eng(adaptive_cfg(4, 8));
+        // Park late events on the other lanes (multi-active epoch, so the
+        // windows stay conservative): adaptive mode must enforce the same
+        // cross-lane latency contract as the conservative engine.
+        for (int l = 1; l < 4; ++l) eng.at_on(l, 20 * kLat, [] {});
+        eng.at_on(0, 0.0, [&eng] {
+          eng.after_on(1, kLat / 2, [] {});  // sub-lookahead hop: forbidden
         });
         eng.run();
       },

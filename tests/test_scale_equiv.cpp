@@ -203,6 +203,42 @@ TEST(ScaleEquiv, FaultInjectionBitIdenticalAcrossLaneCounts) {
   }
 }
 
+TEST(ScaleEquiv, ThreadedBarrierBitIdenticalAcrossThreadCounts) {
+  // Worker threads drain lanes and redistribute at barriers; the merge +
+  // renumber must keep the serial pop order at every thread count.
+  const Snapshot want = run_potrf_ghost(make_cfg(8, 0), 240, 48);
+  for (const int threads : {2, 4}) {
+    auto cfg = make_cfg(8, 4);
+    cfg.engine_threads = threads;
+    expect_identical(run_potrf_ghost(cfg, 240, 48), want,
+                     "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ScaleEquiv, AdaptiveLookaheadBitIdentical) {
+  // Adaptive windows change the epoch partition (fewer, wider epochs), never
+  // the result — with the default cap and with a tight one.
+  const Snapshot want = run_potrf_ghost(make_cfg(8, 0), 240, 48);
+  for (const double cap : {64.0, 2.0}) {
+    auto cfg = make_cfg(8, 4);
+    cfg.engine_adaptive_lookahead = true;
+    cfg.engine_window_cap = cap;
+    expect_identical(run_potrf_ghost(cfg, 240, 48), want,
+                     "adaptive cap=" + std::to_string(cap));
+  }
+}
+
+TEST(ScaleEquiv, ThreadedAdaptiveUnderFaultsBitIdentical) {
+  // The full stack at once: worker threads, adaptive windows, and a fault
+  // plan that shrinks the lookahead and arms retransmission timers.
+  const Snapshot want = run_potrf_ghost(make_cfg(8, 0, kFaultSpec), 240, 48);
+  auto cfg = make_cfg(8, 3, kFaultSpec);
+  cfg.engine_threads = 4;
+  cfg.engine_adaptive_lookahead = true;
+  expect_identical(run_potrf_ghost(cfg, 240, 48), want,
+                   "threads=4 adaptive faults");
+}
+
 TEST(ScaleEquiv, ExplicitLookaheadOverrideStaysIdentical) {
   // A much smaller window changes the epoch partition, never the result.
   const Snapshot want = run_potrf_ghost(make_cfg(8, 0), 240, 48);
