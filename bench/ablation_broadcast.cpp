@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
     cfg.machine = m;
     cfg.nranks = nodes;
     cfg.broadcast_tree_arity = arity;
-    trace.apply_faults(cfg);
+    trace.apply(cfg);
     rt::World world(cfg);
     trace.attach(world);
     Edge<Int1, linalg::Tile> in("in"), out_e("out");
@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
     cfg.nranks = nodes;
     cfg.optimized_broadcast = optimized;
     cfg.broadcast_tree_arity = arity;
-    trace.apply_faults(cfg);
+    trace.apply(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::cholesky::Options opt;

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     rt::WorldConfig cfg;
     cfg.machine = sim::hawk();
     cfg.nranks = nodes;
-    trace.apply_faults(cfg);
+    trace.apply(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::cholesky::Options opt;

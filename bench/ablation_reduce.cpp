@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
     cfg.nranks = ranks;
     cfg.reduce_tree_arity = arity;
     cfg.ranks_per_node = rpn;
-    trace.apply_faults(cfg);
+    trace.apply(cfg);
     rt::World world(cfg);
     trace.attach(world);
     rt::World* wp = &world;
@@ -224,7 +224,7 @@ int main(int argc, char** argv) {
     cfg.machine = m;
     cfg.nranks = ranks;
     cfg.reduce_tree_arity = arity;
-    trace.apply_faults(cfg);
+    trace.apply(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::bspmm::Options opt;

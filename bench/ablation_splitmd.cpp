@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
     cfg.machine = m;
     cfg.nranks = nodes;
     cfg.enable_splitmd = sm;
-    trace.apply_faults(cfg);
+    trace.apply(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::fw::Options opt;
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
     cfg.machine = m;
     cfg.nranks = nodes;
     cfg.enable_splitmd = sm;
-    trace.apply_faults(cfg);
+    trace.apply(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::mra::Options opt;

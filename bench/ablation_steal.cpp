@@ -145,7 +145,7 @@ int main(int argc, char** argv) {
 
   auto mra_run = [&](bool steal, KeymapKind km) {
     rt::WorldConfig cfg = make_cfg(steal);
-    trace.apply_faults(cfg);
+    trace.apply(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::mra::Options opt;
@@ -182,7 +182,7 @@ int main(int argc, char** argv) {
 
   auto bspmm_run = [&](bool steal, KeymapKind km) {
     rt::WorldConfig cfg = make_cfg(steal);
-    trace.apply_faults(cfg);
+    trace.apply(cfg);
     rt::World world(cfg);
     trace.attach(world);
     apps::bspmm::Options opt;

@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
       cfg.ranks_per_node = static_cast<int>(cli.get_int("rpn"));
       const int lanes = static_cast<int>(cli.get_int("lanes"));
       cfg.engine_lanes = lanes >= 0 ? lanes : (nodes > 64 ? 8 : 0);
-      trace.apply_faults(cfg);
+      trace.apply(cfg);
       rt::World world(cfg);
       trace.attach(world);
       apps::bspmm::Options opt;

@@ -58,7 +58,7 @@ inline int run_fig13(const char* figure, const sim::MachineModel& machine,
       cfg.backend = b;
       cfg.work_stealing = cli.get_flag("steal");
       cfg.ranks_per_node = static_cast<int>(cli.get_int("rpn"));
-      trace.apply_faults(cfg);
+      trace.apply(cfg);
       rt::World world(cfg);
       trace.attach(world);
       apps::mra::Options opt;

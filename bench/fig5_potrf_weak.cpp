@@ -67,7 +67,7 @@ TtgPoint ttg_run(const sim::MachineModel& m, int nodes, int n, int bs,
   // Past 64 ranks the serial reference engine gets slow; shard the event
   // queue (bit-identical to serial, tests/test_scale_equiv.cpp).
   cfg.engine_lanes = so.lanes >= 0 ? so.lanes : (nodes > 64 ? 8 : 0);
-  trace.apply_faults(cfg);
+  trace.apply(cfg);
   rt::World world(cfg);
   trace.attach(world);
   apps::cholesky::Options opt;

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       cfg.machine = m;
       cfg.nranks = nodes;
       cfg.backend = b;
-      trace.apply_faults(cfg);
+      trace.apply(cfg);
       rt::World world(cfg);
       trace.attach(world);
       apps::cholesky::Options opt;

@@ -33,7 +33,7 @@ std::string ttg_time(const sim::MachineModel& m, int nodes, int n, int bs,
   cfg.backend = backend;
   cfg.work_stealing = so.steal;
   cfg.ranks_per_node = so.rpn;
-  trace.apply_faults(cfg);
+  trace.apply(cfg);
   rt::World world(cfg);
   trace.attach(world);
   apps::fw::Options opt;

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
         cfg.backend = backend;
         cfg.work_stealing = cli.get_flag("steal");
         cfg.ranks_per_node = static_cast<int>(cli.get_int("rpn"));
-        trace.apply_faults(cfg);
+        trace.apply(cfg);
         rt::World world(cfg);
         trace.attach(world);
         apps::fw::Options opt;

@@ -15,7 +15,12 @@ What is gated is declared by the *baseline* via an optional top-level
       "exact":     ["messages", "makespan"],  # == between current/baseline
       "tolerance": {"makespan": 0.15,         # shorthand: higher is worse
                     "events_per_sec": {"rel": 0.9, "worse": "below"}},
-      "floor":     {"speedup": 2.0}           # current value must be >= this
+      "floor":     {"speedup": 2.0},          # current value must be >= this
+      "relations": [                          # cross-point asserts, current run
+        {"metric": "makespan", "op": "<=", "factor": 0.5,
+         "left":  {"workload": "potrf", "placement": "gpu-greedy"},
+         "right": {"workload": "potrf", "placement": "cpu-only"}}
+      ]
     }
 
   * key       — tuple of point fields forming the point's identity.
@@ -30,6 +35,13 @@ What is gated is declared by the *baseline* via an optional top-level
                 the baseline value. For host-independent ratios (e.g. the
                 sharded/serial speedup) measured within a single run.
                 Points lacking the field are not gated on it.
+  * relations — ordering asserts between two points of the *current* run
+                (host-independent, like floor): left/right each name one
+                point by its full key, and the check is
+                left[metric] op factor * right[metric] with op "<" or "<="
+                (factor defaults to 1). This is how the device-placement
+                baseline pins "gpu-greedy beats cpu-only" structurally
+                instead of through drift-prone absolute values.
 
 Baselines without a "schema" use the legacy default (key nodes/backend,
 the historical exact-count list, makespan tolerance from --tolerance), so
@@ -79,6 +91,33 @@ def normalize_tolerance(spec):
     return out
 
 
+def normalize_relations(spec, key_fields):
+    """Validate relation entries and pre-resolve their selectors to keys."""
+    out = []
+    for rel in spec:
+        metric, op = rel.get("metric"), rel.get("op", "<")
+        factor = rel.get("factor", 1.0)
+        if not isinstance(metric, str) or not metric:
+            sys.exit(f"error: relation lacks a 'metric': {rel!r}")
+        if op not in ("<", "<="):
+            sys.exit(f"error: bad relation op {op!r} (use '<' or '<=')")
+        if not isinstance(factor, (int, float)) or factor <= 0:
+            sys.exit(f"error: bad relation factor for '{metric}': {factor!r}")
+        sides = {}
+        for side in ("left", "right"):
+            sel = rel.get(side)
+            if not isinstance(sel, dict):
+                sys.exit(f"error: relation '{metric}' lacks a '{side}' selector")
+            try:
+                sides[side] = tuple(sel[k] for k in key_fields)
+            except KeyError as e:
+                sys.exit(f"error: relation '{metric}' {side} selector lacks "
+                         f"key field {e}")
+        out.append({"metric": metric, "op": op, "factor": float(factor),
+                    "left": sides["left"], "right": sides["right"]})
+    return out
+
+
 def load_schema(baseline_doc, default_tolerance):
     raw = baseline_doc.get("schema")
     if raw is None:
@@ -87,6 +126,7 @@ def load_schema(baseline_doc, default_tolerance):
             "exact": list(LEGACY_EXACT),
             "tolerance": normalize_tolerance({"makespan": default_tolerance}),
             "floor": {},
+            "relations": [],
         }
     schema = {
         "key": list(raw.get("key", LEGACY_KEY)),
@@ -96,6 +136,8 @@ def load_schema(baseline_doc, default_tolerance):
     }
     if not schema["key"]:
         sys.exit("error: schema 'key' must name at least one field")
+    schema["relations"] = normalize_relations(raw.get("relations", ()),
+                                              schema["key"])
     return schema
 
 
@@ -140,6 +182,34 @@ def check_point(base, cur, schema):
     return problems
 
 
+def check_relations(cur, schema):
+    """Cross-point ordering asserts over the current run. Returns failures."""
+    failures = []
+    for rel in schema["relations"]:
+        metric, op, factor = rel["metric"], rel["op"], rel["factor"]
+        label = (f"{','.join(map(str, rel['left']))} {metric} {op} "
+                 f"{factor:g} * {','.join(map(str, rel['right']))} {metric}")
+        sides = []
+        for side in ("left", "right"):
+            p = cur.get(rel[side])
+            if p is None:
+                failures.append(f"{label}: current run lacks point {rel[side]}")
+                break
+            if metric not in p:
+                failures.append(f"{label}: point {rel[side]} lacks '{metric}'")
+                break
+            sides.append(p[metric])
+        if len(sides) != 2:
+            continue
+        lv, rv = sides
+        ok = lv < factor * rv if op == "<" else lv <= factor * rv
+        print(f"  relation {label}: {lv:.6g} vs {factor * rv:.6g} "
+              f"{'ok' if ok else 'VIOLATED'}")
+        if not ok:
+            failures.append(f"{label}: {lv:.6g} !{op} {factor * rv:.6g}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="freshly produced BENCH_*.json")
@@ -181,6 +251,9 @@ def main():
     if extra:
         print(f"note: current run has points absent from baseline "
               f"(not gated): {extra}")
+
+    for problem in check_relations(cur, schema):
+        failures.append(("relation", [problem]))
 
     if failures:
         print(f"\nFAIL: {len(failures)} point(s) out of bounds. If the change "

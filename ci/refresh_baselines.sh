@@ -21,7 +21,7 @@ BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$(nproc)" \
-  --target fig5_potrf_weak fig12_bspmm serve_jobs scale_engine
+  --target fig5_potrf_weak fig12_bspmm serve_jobs scale_engine ablation_device
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -67,10 +67,14 @@ merge "$TMP/jobs.json" ci/BENCH_jobs_baseline.json
 "./$BUILD/bench/scale_engine" --json "$TMP/scale.json"
 merge "$TMP/scale.json" ci/BENCH_scale_baseline.json
 
+"./$BUILD/bench/ablation_device" --json "$TMP/device.json"
+merge "$TMP/device.json" ci/BENCH_device_baseline.json
+
 echo
 echo "All baselines refreshed; self-gating each against its own output:"
 python3 ci/check_perf.py "$TMP/fig5.json"  ci/BENCH_baseline.json
 python3 ci/check_perf.py "$TMP/bspmm.json" ci/BENCH_bspmm_baseline.json
 python3 ci/check_perf.py "$TMP/jobs.json"  ci/BENCH_jobs_baseline.json
 python3 ci/check_perf.py "$TMP/scale.json" ci/BENCH_scale_baseline.json
+python3 ci/check_perf.py "$TMP/device.json" ci/BENCH_device_baseline.json
 echo "Review 'git diff ci/' before committing."

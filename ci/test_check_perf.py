@@ -198,5 +198,72 @@ class SchemaDriven(unittest.TestCase):
         self.assertEqual(code, 2)
 
 
+def relations_doc(greedy=0.4, cpu=1.0):
+    """Two-arm ablation document with a greedy-beats-cpu relation."""
+    return {
+        "bench": "ablation_device",
+        "schema": {
+            "key": ["workload", "placement"],
+            "exact": ["device_tasks"],
+            "relations": [
+                {"metric": "makespan", "op": "<=", "factor": 0.5,
+                 "left": {"workload": "potrf", "placement": "gpu-greedy"},
+                 "right": {"workload": "potrf", "placement": "cpu-only"}},
+            ],
+        },
+        "points": [
+            {"workload": "potrf", "placement": "cpu-only", "makespan": cpu,
+             "device_tasks": 0},
+            {"workload": "potrf", "placement": "gpu-greedy", "makespan": greedy,
+             "device_tasks": 16},
+        ],
+    }
+
+
+class Relations(unittest.TestCase):
+    """Cross-point ordering asserts evaluated on the current run."""
+
+    def test_satisfied_relation_passes(self):
+        code, out = run_gate(relations_doc(), relations_doc())
+        self.assertEqual(code, 0, out)
+
+    def test_violated_relation_fails(self):
+        # greedy only 1.25x faster: misses the <= 0.5x factor.
+        code, out = run_gate(relations_doc(), relations_doc(greedy=0.8))
+        self.assertEqual(code, 1, out)
+        self.assertIn("VIOLATED", out)
+
+    def test_relation_reads_the_current_run_not_the_baseline(self):
+        # Baseline itself violates the relation; only the current run counts.
+        code, out = run_gate(relations_doc(greedy=0.9), relations_doc())
+        self.assertEqual(code, 0, out)
+
+    def test_strict_less_than_rejects_equality(self):
+        base = relations_doc()
+        base["schema"]["relations"][0].update({"op": "<", "factor": 1.0})
+        cur = copy.deepcopy(base)
+        cur["points"][1]["makespan"] = cur["points"][0]["makespan"]
+        code, out = run_gate(base, cur)
+        self.assertEqual(code, 1, out)
+
+    def test_missing_relation_point_fails(self):
+        base = relations_doc()
+        base["schema"]["relations"][0]["left"]["placement"] = "gpu-always"
+        code, _ = run_gate(base, relations_doc())
+        self.assertEqual(code, 1)
+
+    def test_bad_relation_op_is_a_usage_error(self):
+        base = relations_doc()
+        base["schema"]["relations"][0]["op"] = ">"
+        code, _ = run_gate(base, relations_doc())
+        self.assertEqual(code, 2)
+
+    def test_selector_missing_key_field_is_a_usage_error(self):
+        base = relations_doc()
+        del base["schema"]["relations"][0]["left"]["workload"]
+        code, _ = run_gate(base, relations_doc())
+        self.assertEqual(code, 2)
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     cfg.machine = sim::hawk();
     cfg.nranks = static_cast<int>(cli.get_int("nranks"));
     cfg.backend = backend;
-    trace.apply_faults(cfg);
+    trace.apply(cfg);
     World world(cfg);
     trace.attach(world);
     auto res = apps::cholesky::run(world, a);

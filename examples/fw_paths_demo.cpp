@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   WorldConfig cfg;
   cfg.machine = sim::hawk();
   cfg.nranks = nranks;
-  trace.apply_faults(cfg);
+  trace.apply(cfg);
   World world(cfg);
   trace.attach(world);
   auto res = apps::fw::run(world, w0);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   cfg.nranks = nranks;
   cfg.backend =
       cli.get("backend") == "madness" ? BackendKind::Madness : BackendKind::Parsec;
-  trace.apply_faults(cfg);
+  trace.apply(cfg);
   World world(cfg);
   trace.attach(world);
 

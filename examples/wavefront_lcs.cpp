@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   WorldConfig cfg;
   cfg.machine = sim::hawk();
   cfg.nranks = static_cast<int>(cli.get_int("nranks"));
-  trace.apply_faults(cfg);
+  trace.apply(cfg);
   World world(cfg);
   world.enable_tracing();
 

@@ -259,6 +259,28 @@ Result run(rt::World& world, const BlockSparseMatrix& a, const BlockSparseMatrix
   mm_tt->set_costmap([&machine](const Int3&, const Tile& at, const Tile& bt) {
     return linalg::gemm_time(machine, at.rows(), bt.cols(), at.cols());
   });
+  /* Device variant: MultiplyAdd is the only kernel worth a GPU here. Tags
+     carry the matrix (A/B/C) in the top bits over the packed tile coords,
+     so an A tile reused across the row of C tiles it feeds stays resident. */
+  if (world.config().device != rt::DevicePlacement::Off) {
+    mm_tt->set_device_op([&machine](const Int3& key, const Tile& at, const Tile& bt) {
+      auto datum = [](std::uint64_t matrix, int i, int j, int rows, int cols,
+                      bool write) {
+        rt::DeviceDatum d;
+        d.tag = (matrix << 62) | pack_ij(i, j);
+        d.bytes = static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols) *
+                  sizeof(double);
+        d.write = write;
+        return d;
+      };
+      rt::DeviceCall dc;
+      dc.cost = linalg::gpu_gemm_time(machine, at.rows(), bt.cols(), at.cols());
+      dc.datums = {datum(1, key.i, key.k, at.rows(), at.cols(), /*write=*/false),
+                   datum(2, key.k, key.j, bt.rows(), bt.cols(), /*write=*/false),
+                   datum(3, key.i, key.j, at.rows(), bt.cols(), /*write=*/true)};
+      return dc;
+    });
+  }
   read_a_tt->set_costmap([&machine](const Int1&, const Void&) {
     return machine.am_cpu;  // memory load, negligible vs GEMM
   });

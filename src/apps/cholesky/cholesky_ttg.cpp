@@ -14,6 +14,19 @@ double flop_count(int n) { return n / 3.0 * n * n; }
 
 namespace {
 
+/// Device datum for factor tile (i,j): the logical tile coordinate is the
+/// residency tag, so a tile a device task wrote stays resident for the
+/// later kernels that read it on the same rank.
+rt::DeviceDatum tile_datum(int i, int j, const Tile& t, bool write) {
+  rt::DeviceDatum d;
+  d.tag = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+          static_cast<std::uint32_t>(j);
+  d.bytes = static_cast<std::uint64_t>(t.rows()) * static_cast<std::uint64_t>(t.cols()) *
+            sizeof(double);
+  d.write = write;
+  return d;
+}
+
 /// Shared graph construction: the input matrix is abstracted as a tile
 /// source so callers can feed either a materialized TiledMatrix or
 /// on-demand ghost synthesis (run_ghost) through the identical task graph.
@@ -145,6 +158,38 @@ Result run_impl(rt::World& world, int n, int bs,
         (void)b_;
         return linalg::gemm_time(machine, c_.rows(), c_.cols(), a_.cols());
       });
+
+  /* Device variants (op_cuda shape): TRSM/SYRK/GEMM gain simulated-GPU
+     kernels; POTRF's square-root-heavy panel math stays host-only, as it
+     does in GPU-accelerated tiled Cholesky. Registered only when the world
+     actually runs a device placement, so Off stays bit-identical. */
+  if (world.config().device != rt::DevicePlacement::Off) {
+    trsm_tt->set_device_op(
+        [&machine](const Int2& key, const Tile& lkk, const Tile& amk) {
+          rt::DeviceCall dc;
+          dc.cost = linalg::gpu_trsm_time(machine, amk.rows(), amk.cols());
+          dc.datums = {tile_datum(key.j, key.j, lkk, /*write=*/false),
+                       tile_datum(key.i, key.j, amk, /*write=*/true)};
+          return dc;
+        });
+    syrk_tt->set_device_op(
+        [&machine](const Int2& key, const Tile& l_mk, const Tile& c_mm) {
+          rt::DeviceCall dc;
+          dc.cost = linalg::gpu_syrk_time(machine, c_mm.rows(), l_mk.cols());
+          dc.datums = {tile_datum(key.j, key.i, l_mk, /*write=*/false),
+                       tile_datum(key.j, key.j, c_mm, /*write=*/true)};
+          return dc;
+        });
+    gemm_tt->set_device_op([&machine](const Int3& key, const Tile& l_mk,
+                                      const Tile& l_nk, const Tile& c_mn) {
+      rt::DeviceCall dc;
+      dc.cost = linalg::gpu_gemm_time(machine, c_mn.rows(), c_mn.cols(), l_mk.cols());
+      dc.datums = {tile_datum(key.i, key.k, l_mk, /*write=*/false),
+                   tile_datum(key.j, key.k, l_nk, /*write=*/false),
+                   tile_datum(key.i, key.j, c_mn, /*write=*/true)};
+      return dc;
+    });
+  }
 
   make_graph_executable(*potrf_tt);
   make_graph_executable(*trsm_tt);

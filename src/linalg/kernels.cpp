@@ -31,6 +31,16 @@ double minplus_time(const sim::MachineModel& m, int rows, int cols, int k) {
   return m.flops_time(flops::minplus(rows, cols, k), kMinplusEff);
 }
 
+double gpu_trsm_time(const sim::MachineModel& m, int rows, int n) {
+  return m.gpu_flops_time(flops::trsm(rows, n), kGpuTrsmEff);
+}
+double gpu_syrk_time(const sim::MachineModel& m, int n, int k) {
+  return m.gpu_flops_time(flops::syrk(n, k), kGpuSyrkEff);
+}
+double gpu_gemm_time(const sim::MachineModel& m, int rows, int cols, int k) {
+  return m.gpu_flops_time(flops::gemm(rows, cols, k), kGpuGemmEff);
+}
+
 std::uint64_t combine_sig(std::uint64_t a, std::uint64_t b, std::uint64_t tag) {
   std::uint64_t h = tag;
   support::hash_combine(h, a);

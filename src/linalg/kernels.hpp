@@ -49,6 +49,19 @@ inline constexpr double kMinplusEff = 0.35;
 [[nodiscard]] double gemm_time(const sim::MachineModel& m, int rows, int cols, int k);
 [[nodiscard]] double minplus_time(const sim::MachineModel& m, int rows, int cols, int k);
 
+// --- device-variant efficiencies vs the GPU's effective DGEMM rate ---
+// GEMM maps near-perfectly onto the device; SYRK wastes half the update's
+// symmetry; TRSM's triangular solves expose less parallelism per launch.
+inline constexpr double kGpuGemmEff = 0.90;
+inline constexpr double kGpuSyrkEff = 0.75;
+inline constexpr double kGpuTrsmEff = 0.55;
+
+/// Device-kernel times for the op_cuda-style task variants (simulated GPU;
+/// launch overhead and staging are charged separately by the scheduler).
+[[nodiscard]] double gpu_trsm_time(const sim::MachineModel& m, int rows, int n);
+[[nodiscard]] double gpu_syrk_time(const sim::MachineModel& m, int n, int k);
+[[nodiscard]] double gpu_gemm_time(const sim::MachineModel& m, int rows, int cols, int k);
+
 // --- kernels ---
 
 /// In-place lower Cholesky factorization of a square tile; the strict upper

@@ -5,11 +5,13 @@
 #include "runtime/collective.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 
 #include "runtime/comm.hpp"
 #include "sim/engine.hpp"
+#include "sim/machine.hpp"
 
 namespace ttg::rt::collective {
 
@@ -139,8 +141,34 @@ int pick_arity(const CollectivePolicy& policy, bool reduce, int fan,
   const int base = reduce ? policy.reduce_arity : policy.tree_arity;
   if (!policy.adaptive || base < 2) return base;
   if (payload_bytes >= 256 * 1024) return 2;
-  if (payload_bytes <= kAmCoalesceMaxBytes && fan >= 8 * base) return 2 * base;
+  if (payload_bytes <= policy.am_coalesce_max && fan >= 8 * base) return 2 * base;
   return base;
+}
+
+Tuning derive_tuning(const sim::MachineModel& m) {
+  Tuning t;
+  // Coalescing ceiling: the AM path's bandwidth-delay-like product (bytes
+  // the NIC injects during one per-message CPU interval), rounded up to a
+  // power of two, capped at half the eager threshold so a full batch plus
+  // framing stays eager.
+  const double bdp = m.nic_bw * m.am_cpu;
+  std::size_t coalesce = 1;
+  while (static_cast<double>(coalesce) < bdp) coalesce <<= 1;
+  t.am_coalesce_max = std::min(coalesce, m.eager_threshold / 2);
+  // One child per KiB of coalescing headroom, clamped to [2, 8].
+  t.arity = static_cast<int>(
+      std::clamp<std::size_t>(t.am_coalesce_max / 1024, 2, 8));
+  // Flush window: the AM service interval rounded to the nearest decade.
+  // The decade table keeps the window an exact decimal literal — the value
+  // feeds engine timers, so any ulp drift would shift every event time.
+  static constexpr double kDecades[] = {1e-9, 1e-8, 1e-7, 1e-6,
+                                        1e-5, 1e-4, 1e-3};
+  const double interval = m.am_cpu + m.net_latency / 2.0;
+  const int exp10 =
+      static_cast<int>(std::lround(std::log10(interval)));  // negative
+  const int idx = std::clamp(exp10 + 9, 0, 6);
+  t.window = kDecades[idx];
+  return t;
 }
 
 }  // namespace ttg::rt::collective
@@ -156,7 +184,7 @@ void CommEngine::send_message(int src, int dst, std::size_t wire_bytes,
     js.wire_bytes += static_cast<std::uint64_t>(wire_bytes);
   }
   if (flush_engine_ != nullptr && collective_.am_flush_window > 0.0 &&
-      wire_bytes <= kAmCoalesceMaxBytes && src != dst) {
+      wire_bytes <= collective_.am_coalesce_max && src != dst) {
     AmBatch& b = batches_[{src, dst}];
     if (b.window_open) {
       b.bytes += wire_bytes;

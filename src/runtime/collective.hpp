@@ -33,6 +33,9 @@
 namespace ttg::rt {
 struct CollectivePolicy;  // runtime/comm.hpp
 }
+namespace ttg::sim {
+struct MachineModel;  // sim/machine.hpp
+}
 
 namespace ttg::rt::collective {
 
@@ -112,5 +115,33 @@ struct TreeShape {
 /// serialized size since the root alone decides the shape.
 [[nodiscard]] int pick_arity(const CollectivePolicy& policy, bool reduce, int fan,
                              std::size_t payload_bytes);
+
+/// Collective tuning derived from the machine model instead of per-backend
+/// constants (carried-forward ROADMAP item). The shapes are functions of
+/// the AM path's bandwidth-delay-like product — the bytes the NIC moves in
+/// one per-message CPU interval:
+///
+///   am_coalesce_max — that product rounded up to a power of two, capped at
+///                     half the eager threshold so a coalesced batch (plus
+///                     framing) stays on the eager protocol;
+///   arity           — one tree child per KiB of coalescing headroom,
+///                     clamped to [2, 8]: fatter links amortize more
+///                     concurrent child sends per store-and-forward hop;
+///   window          — the AM service interval (per-message CPU plus half
+///                     the wire latency) rounded to the nearest decade, so
+///                     the window covers a burst issued back-to-back by one
+///                     task body without delaying unrelated traffic.
+///
+/// On the hawk and seawulf presets this reproduces the historical static
+/// tuning {arity 4, window 1 us, coalesce max 4096} bit-identically
+/// (pinned by tests/test_device.cpp), so checked-in baselines are
+/// unchanged; on machine models with very different NIC/CPU ratios the
+/// tuning scales instead of staying frozen.
+struct Tuning {
+  int arity = 0;
+  double window = 0.0;
+  std::size_t am_coalesce_max = 0;
+};
+[[nodiscard]] Tuning derive_tuning(const sim::MachineModel& m);
 
 }  // namespace ttg::rt::collective

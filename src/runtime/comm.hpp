@@ -98,6 +98,12 @@ struct CopyPolicy {
   bool serialize_once = false;
 };
 
+/// AMs at or below this wire size are eligible for flush-window coalescing;
+/// bulk payloads always go out as their own transfer. This is the historical
+/// static value; engines that derive their tuning from the machine model
+/// (collective::derive_tuning) may override it per CollectivePolicy.
+inline constexpr std::size_t kAmCoalesceMaxBytes = 4096;
+
 /// A backend's collective-routing semantics, declared per backend like
 /// CopyPolicy (the paper's asymmetry: PaRSEC's comm layer is engineered,
 /// MADNESS ships everything point-to-point through one AM server):
@@ -129,11 +135,14 @@ struct CollectivePolicy {
   double am_flush_window = 0.0;
   int reduce_arity = 0;
   bool adaptive = false;
+  /// Eager-AM payload ceiling for flush-window coalescing (and the adaptive
+  /// pick_arity small-payload test). Backends derive it from the machine
+  /// model via collective::derive_tuning; the default is the historical
+  /// static constant, which the derivation reproduces bit-identically on
+  /// the hawk/seawulf presets.
+  std::size_t am_coalesce_max = kAmCoalesceMaxBytes;
 };
 
-/// AMs at or below this wire size are eligible for flush-window coalescing;
-/// bulk payloads always go out as their own transfer.
-inline constexpr std::size_t kAmCoalesceMaxBytes = 4096;
 /// Per-AM framing overhead inside a coalesced batch (offset + length).
 inline constexpr std::size_t kAmBatchHeaderBytes = 16;
 /// Per-subtree routing header a tree-broadcast hop carries for each member

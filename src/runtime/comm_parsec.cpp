@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "runtime/collective.hpp"
 #include "runtime/resilience.hpp"
 
 namespace ttg::rt {
@@ -29,6 +30,13 @@ ParsecComm::ParsecComm(sim::Engine& engine, net::Network& network, double am_cpu
     comm_thread_.push_back(
         std::make_unique<sim::FifoResource>(engine, "parsec-comm" + std::to_string(r)));
   }
+}
+
+CollectivePolicy ParsecComm::default_collective() const {
+  const collective::Tuning t = collective::derive_tuning(network_.machine());
+  return {/*tree_arity=*/t.arity, /*am_flush_window=*/t.window,
+          /*reduce_arity=*/t.arity, /*adaptive=*/false,
+          /*am_coalesce_max=*/t.am_coalesce_max};
 }
 
 double ParsecComm::send_side_cpu(std::size_t bytes, ser::Protocol p) const {

@@ -32,15 +32,15 @@ class ParsecComm final : public CommEngine {
     return {/*zero_copy_local=*/true, /*serialize_once=*/true};
   }
 
-  // PaRSEC's engineered comm layer routes wide broadcasts down a 4-ary
-  // spanning tree, coalesces same-destination AMs within a 1 us window,
-  // and combines streaming reductions up the inverted 4-ary tree. Arity
+  // PaRSEC's engineered comm layer routes wide broadcasts down a k-ary
+  // spanning tree, coalesces small same-destination AMs within a flush
+  // window, and combines streaming reductions up the inverted tree. The
+  // arity, window, and eager-AM ceiling are derived from the machine model
+  // (collective::derive_tuning) — on the hawk/seawulf presets this lands on
+  // the historical {4, 1 us, 4096 B} tuning bit-identically. Arity
   // adaptation stays off by default (opt in via WorldConfig) so baseline
   // shapes are static.
-  [[nodiscard]] CollectivePolicy default_collective() const override {
-    return {/*tree_arity=*/4, /*am_flush_window=*/1.0e-6, /*reduce_arity=*/4,
-            /*adaptive=*/false};
-  }
+  [[nodiscard]] CollectivePolicy default_collective() const override;
 
   [[nodiscard]] double send_side_cpu(std::size_t bytes, ser::Protocol p) const override;
   [[nodiscard]] double per_message_cpu() const override { return am_cpu_; }

@@ -57,6 +57,28 @@ void DataTracker::on_input_copy(int rank, std::size_t bytes) {
   jobs_[current_job()].input_copies += 1;
 }
 
+void DataTracker::on_stage_h2d(int rank, std::size_t bytes) {
+  RankStats& s = at(rank);
+  s.h2d_transfers += 1;
+  s.h2d_bytes += bytes;
+  s.device_live_bytes += bytes;
+  if (s.device_live_bytes > s.device_watermark)
+    s.device_watermark = s.device_live_bytes;
+}
+
+void DataTracker::on_device_evict(int rank, std::size_t bytes, bool dirty) {
+  RankStats& s = at(rank);
+  TTG_CHECK(s.device_live_bytes >= bytes,
+            "device eviction without a matching staging");
+  s.device_live_bytes -= bytes;
+  if (dirty) {
+    s.d2h_transfers += 1;
+    s.d2h_bytes += bytes;
+  }
+}
+
+void DataTracker::on_device_hit(int rank) { at(rank).device_hits += 1; }
+
 const DataTracker::JobStats& DataTracker::job_stats(JobId job) const {
   static const JobStats kZero{};
   const auto it = jobs_.find(job);
@@ -81,6 +103,13 @@ DataTracker::RankStats DataTracker::totals() const {
     t.serialize_hits += s.serialize_hits;
     t.input_copies += s.input_copies;
     t.input_copy_bytes += s.input_copy_bytes;
+    t.h2d_transfers += s.h2d_transfers;
+    t.h2d_bytes += s.h2d_bytes;
+    t.d2h_transfers += s.d2h_transfers;
+    t.d2h_bytes += s.d2h_bytes;
+    t.device_hits += s.device_hits;
+    t.device_live_bytes += s.device_live_bytes;
+    t.device_watermark += s.device_watermark;  // sum of per-rank peaks
   }
   return t;
 }
@@ -123,6 +152,23 @@ void DataTracker::check_no_leaks() const {
   }
   TTG_REQUIRE(false, "DataCopy leak at fence — refcounts not back to zero (" + who +
                          "); a handle outlived the work that produced it");
+}
+
+void DataTracker::check_device_residency(
+    const std::vector<std::uint64_t>& scheduler_view) const {
+  std::string who;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const std::uint64_t sched =
+        r < scheduler_view.size() ? scheduler_view[r] : 0;
+    if (ranks_[r].device_live_bytes == sched) continue;
+    if (!who.empty()) who += ", ";
+    who += "rank " + std::to_string(r) + ": tracker " +
+           std::to_string(ranks_[r].device_live_bytes) + " B vs scheduler " +
+           std::to_string(sched) + " B";
+  }
+  TTG_REQUIRE(who.empty(),
+              "device-residency mismatch at fence — tracker and scheduler "
+              "disagree on resident bytes (" + who + ")");
 }
 
 support::Table DataTracker::memory_table() const {

@@ -72,6 +72,14 @@ class DataTracker {
     std::uint64_t serialize_hits = 0;   ///< sends served from the cached buffer
     std::uint64_t input_copies = 0;     ///< task-private input copies made
     std::uint64_t input_copy_bytes = 0; ///< bytes those copies moved
+    // --- device residency (all zero without the device plane) ---
+    std::uint64_t h2d_transfers = 0;       ///< host -> device stagings
+    std::uint64_t h2d_bytes = 0;
+    std::uint64_t d2h_transfers = 0;       ///< dirty-eviction writebacks
+    std::uint64_t d2h_bytes = 0;
+    std::uint64_t device_hits = 0;         ///< inputs found already resident
+    std::uint64_t device_live_bytes = 0;   ///< bytes currently device-resident
+    std::uint64_t device_watermark = 0;    ///< peak of device_live_bytes
   };
 
   /// Per-job data-lifecycle accounting (multi-tenant serving mode). A block
@@ -106,6 +114,12 @@ class DataTracker {
   void on_serialize(int rank, bool cache_hit);
   void on_input_copy(int rank, std::size_t bytes);
 
+  // --- device residency accounting (reported by the schedulers' device
+  // plane and by DataCopy::stage_to_device; all no-ops when never called) ---
+  void on_stage_h2d(int rank, std::size_t bytes);
+  void on_device_evict(int rank, std::size_t bytes, bool dirty);
+  void on_device_hit(int rank);
+
   [[nodiscard]] const RankStats& rank_stats(int rank) const;
   [[nodiscard]] RankStats totals() const;
   [[nodiscard]] std::uint64_t live_handles() const;
@@ -122,6 +136,12 @@ class DataTracker {
   /// job (no cross-job leaks). Throws support::ApiError naming the leaking
   /// ranks/jobs otherwise.
   void check_no_leaks() const;
+
+  /// Fence-time device-residency reconciliation: when the device plane is
+  /// enabled, the bytes the tracker believes are resident on each rank must
+  /// match the schedulers' own residency maps (`scheduler_view[rank]`).
+  /// Throws support::ApiError naming the mismatching ranks otherwise.
+  void check_device_residency(const std::vector<std::uint64_t>& scheduler_view) const;
 
   /// Per-rank memory table (live/peak bytes, handle and copy counts) for
   /// --trace-summary.
@@ -207,6 +227,38 @@ class DataCopy {
     if (b.tracer != nullptr) b.tracer->record_serialization(b.owner, true);
   }
 
+  /// Stage the payload into device `gpu`'s memory (simulated residency: the
+  /// handle keeps at most one device copy). Returns true when the H2D
+  /// transfer was actually paid; a repeat staging onto the same device is a
+  /// residency hit and costs nothing. Staging onto a *different* device
+  /// first writes the old copy back (clean eviction). All traffic lands in
+  /// the DataTracker's device counters.
+  bool stage_to_device(int gpu) {
+    TTG_CHECK(b_ != nullptr, "stage_to_device() on an empty DataCopy");
+    TTG_CHECK(gpu >= 0, "stage_to_device() needs a non-negative device id");
+    Block& b = *b_;
+    if (b.device == gpu) {
+      b.tracker->on_device_hit(b.owner);
+      return false;
+    }
+    if (b.device >= 0) b.tracker->on_device_evict(b.owner, b.bytes, /*dirty=*/false);
+    b.tracker->on_stage_h2d(b.owner, b.bytes);
+    b.device = gpu;
+    return true;
+  }
+
+  /// Drop the device copy; a dirty unstage pays the D2H writeback.
+  void unstage(bool dirty = false) {
+    TTG_CHECK(b_ != nullptr, "unstage() on an empty DataCopy");
+    Block& b = *b_;
+    if (b.device < 0) return;
+    b.tracker->on_device_evict(b.owner, b.bytes, dirty);
+    b.device = -1;
+  }
+
+  /// Device currently holding a staged copy, or -1 when host-only.
+  [[nodiscard]] int device() const { return b_ ? b_->device : -1; }
+
   /// Type-erased ownership share, e.g. for pinning the block (and its
   /// cached buffer) inside the comm layer across retransmissions.
   [[nodiscard]] std::shared_ptr<const void> pin() const { return b_; }
@@ -227,6 +279,9 @@ class DataCopy {
       if (tracer != nullptr) tracer->record_data_alloc(owner);
     }
     ~Block() {
+      // A still-staged device copy is dropped (clean) with the block so the
+      // fence-time residency reconciliation balances.
+      if (device >= 0) tracker->on_device_evict(owner, bytes, /*dirty=*/false);
       // Released against the allocating job, regardless of which job (if
       // any) is ambient when the last reference drops.
       tracker->on_release(owner, bytes, job);
@@ -241,6 +296,7 @@ class DataCopy {
     int owner;
     JobId job;
     std::size_t bytes;
+    int device = -1;  ///< device holding a staged copy, -1 when host-only
     V value;
     std::shared_ptr<const std::vector<std::byte>> cache;
   };

@@ -1,7 +1,10 @@
 #include "runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <string>
 
+#include "runtime/datacopy.hpp"
 #include "support/rng.hpp"
 
 namespace ttg::rt {
@@ -61,6 +64,36 @@ void Scheduler::configure_steal(const StealConfig& cfg) {
   if (steal_.enabled) deques_.resize(static_cast<std::size_t>(workers_));
 }
 
+void Scheduler::configure_device(const DeviceConfig& cfg) {
+  TTG_CHECK(next_seq_ == 0, "configure_device after tasks were submitted");
+  device_ = cfg;
+  gpu_lanes_.clear();
+  gpu_resident_.clear();
+  gpu_resident_bytes_.clear();
+  if (!device_.enabled) return;
+  TTG_CHECK(device_.gpus >= 1, "device plane needs at least one GPU");
+  TTG_CHECK(device_.stage_bw > 0.0, "staging bandwidth must be positive");
+  gpu_lanes_.reserve(static_cast<std::size_t>(device_.gpus));
+  for (int g = 0; g < device_.gpus; ++g) {
+    gpu_lanes_.push_back(std::make_unique<sim::FifoResource>(
+        engine_, "gpu" + std::to_string(rank_) + "." + std::to_string(g)));
+  }
+  gpu_resident_.resize(static_cast<std::size_t>(device_.gpus));
+  gpu_resident_bytes_.assign(static_cast<std::size_t>(device_.gpus), 0);
+}
+
+double Scheduler::device_busy() const {
+  double t = 0.0;
+  for (const auto& lane : gpu_lanes_) t += lane->busy_time();
+  return t;
+}
+
+std::uint64_t Scheduler::device_resident_bytes() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t b : gpu_resident_bytes_) n += b;
+  return n;
+}
+
 int Scheduler::socket_of(int worker) const {
   const int sockets = std::max(1, steal_.sockets);
   const int per = std::max(1, (workers_ + sockets - 1) / sockets);
@@ -106,6 +139,170 @@ void Scheduler::submit_node(JobId job, int priority, double cost,
   } else {
     jq.heap.push(std::move(task));
   }
+}
+
+void Scheduler::submit_device(JobId job, int priority, double host_cost,
+                              DeviceCall dev, std::function<void()> body) {
+  submit_device_node(job, priority, host_cost, std::move(dev), Tracer::kNoNode,
+                     std::move(body));
+}
+
+void Scheduler::submit_device(JobId job, int priority, double host_cost,
+                              DeviceCall dev, std::string name, std::string key,
+                              std::function<void()> body) {
+  const std::uint32_t node =
+      tracer_ != nullptr
+          ? tracer_->task_created(std::move(name), std::move(key), rank_, priority)
+          : Tracer::kNoNode;
+  submit_device_node(job, priority, host_cost, std::move(dev), node, std::move(body));
+}
+
+void Scheduler::submit_device_node(JobId job, int priority, double host_cost,
+                                   DeviceCall dev, std::uint32_t trace_node,
+                                   std::function<void()> body) {
+  if (!device_.enabled) {
+    // Off state: exactly the host submit path (bit-identical baselines).
+    submit_node(job, priority, host_cost, trace_node, std::move(body));
+    return;
+  }
+  TTG_CHECK(host_cost >= 0.0 && dev.cost >= 0.0, "negative task cost");
+  // Greedy placement: for each GPU estimate queue wait + staging of
+  // non-resident inputs + launch + kernel, take the best, and compare it to
+  // the host-side cost. The estimate deliberately ignores eviction
+  // writebacks (committed only on the chosen GPU by stage_datums) — an
+  // optimistic, deterministic tie-break.
+  const double now = engine_.now();
+  int best = 0;
+  double best_finish = std::numeric_limits<double>::infinity();
+  for (int g = 0; g < device_.gpus; ++g) {
+    const auto& res = gpu_resident_[static_cast<std::size_t>(g)];
+    double staging = 0.0;
+    for (const auto& d : dev.datums) {
+      if (res.find({job, d.tag}) == res.end()) {
+        staging +=
+            device_.stage_latency + static_cast<double>(d.bytes) / device_.stage_bw;
+      }
+    }
+    const double wait =
+        std::max(0.0, gpu_lanes_[static_cast<std::size_t>(g)]->free_at() - now);
+    const double finish = wait + staging + device_.launch_overhead + dev.cost;
+    if (finish < best_finish) {
+      best_finish = finish;
+      best = g;
+    }
+  }
+  if (!device_.always && host_cost * compute_factor_ <= best_finish) {
+    device_stats_.host_tasks += 1;
+    submit_node(job, priority, host_cost, trace_node, std::move(body));
+    return;
+  }
+  const double staging = stage_datums(job, best, dev);
+  const double service = staging + device_.launch_overhead + dev.cost;
+  device_stats_.device_tasks += 1;
+  if (tracer_ != nullptr) tracer_->record_device_task(rank_);
+  queues_[job].counters.submitted += 1;
+  Ready task{job, priority, next_seq_++, service, std::move(body), trace_node};
+  start_device(std::move(task), best, service);
+}
+
+double Scheduler::stage_datums(JobId job, int gpu, const DeviceCall& dev) {
+  auto& res = gpu_resident_[static_cast<std::size_t>(gpu)];
+  auto& used = gpu_resident_bytes_[static_cast<std::size_t>(gpu)];
+  double staging = 0.0;
+  ++device_clock_;  // all datums of one dispatch share the LRU stamp
+  for (const auto& d : dev.datums) {
+    const std::pair<JobId, std::uint64_t> key{job, d.tag};
+    auto it = res.find(key);
+    if (it != res.end()) {
+      // Already resident: the owner-computes reuse the cost model exists
+      // to exploit — no transfer, just an LRU touch.
+      device_stats_.residency_hits += 1;
+      it->second.last_use = device_clock_;
+      it->second.dirty = it->second.dirty || d.write;
+      if (data_tracker_ != nullptr) data_tracker_->on_device_hit(rank_);
+      if (tracer_ != nullptr) tracer_->record_residency(rank_, true);
+      continue;
+    }
+    device_stats_.residency_misses += 1;
+    if (tracer_ != nullptr) tracer_->record_residency(rank_, false);
+    // HBM pressure: evict least-recently-used residents not touched by this
+    // dispatch; dirty victims pay the D2H writeback before the slot frees.
+    if (device_.hbm_bytes > 0) {
+      while (used + d.bytes > device_.hbm_bytes && !res.empty()) {
+        auto victim = res.end();
+        for (auto jt = res.begin(); jt != res.end(); ++jt) {
+          if (jt->second.last_use == device_clock_) continue;  // pinned now
+          if (victim == res.end() ||
+              jt->second.last_use < victim->second.last_use) {
+            victim = jt;
+          }
+        }
+        if (victim == res.end()) break;  // everything pinned by this dispatch
+        device_stats_.evictions += 1;
+        if (victim->second.dirty) {
+          device_stats_.d2h_transfers += 1;
+          device_stats_.d2h_bytes += victim->second.bytes;
+          staging += device_.stage_latency +
+                     static_cast<double>(victim->second.bytes) / device_.stage_bw;
+          if (tracer_ != nullptr) tracer_->record_d2h(rank_, victim->second.bytes);
+        }
+        if (tracer_ != nullptr) tracer_->record_eviction(rank_);
+        if (data_tracker_ != nullptr) {
+          data_tracker_->on_device_evict(rank_, victim->second.bytes,
+                                         victim->second.dirty);
+        }
+        used -= victim->second.bytes;
+        res.erase(victim);
+      }
+    }
+    device_stats_.h2d_transfers += 1;
+    device_stats_.h2d_bytes += d.bytes;
+    staging +=
+        device_.stage_latency + static_cast<double>(d.bytes) / device_.stage_bw;
+    if (tracer_ != nullptr) tracer_->record_h2d(rank_, d.bytes);
+    if (data_tracker_ != nullptr) data_tracker_->on_stage_h2d(rank_, d.bytes);
+    res.emplace(key, Resident{d.bytes, device_clock_, d.write});
+    used += d.bytes;
+  }
+  return staging;
+}
+
+void Scheduler::start_device(Ready task, int gpu, double service) {
+  const double t_start = engine_.now();
+  {
+    JobCounters& jc = queues_[task.job].counters;
+    jc.inflight += 1;
+    jc.max_inflight = std::max(jc.max_inflight, jc.inflight);
+  }
+  // The lane is a FIFO resource: the kernel queues behind earlier dispatches
+  // to the same GPU, and — like the host path — the body runs at the task's
+  // virtual completion instant.
+  gpu_lanes_[static_cast<std::size_t>(gpu)]->submit(
+      service, [this, t_start, gpu, task = std::move(task)]() mutable {
+        double extra = 0.0;
+        in_task_ = true;
+        current_worker_ = -1;  // no host core is occupied by a device body
+        charge_accum_ = &extra;
+        const bool traced = tracer_ != nullptr && task.trace_node != Tracer::kNoNode;
+        if (traced) tracer_->set_context(task.trace_node);
+        task.body();
+        if (traced) tracer_->clear_context();
+        in_task_ = false;
+        charge_accum_ = nullptr;
+        ++tasks_run_;
+        JobCounters& jc = queues_[task.job].counters;
+        jc.tasks_run += 1;
+        jc.inflight -= 1;
+        if (traced) {
+          // Device spans render on per-GPU tracks placed after the host
+          // cores; `extra` is the host-side send CPU charged by the body.
+          tracer_->task_executed(task.trace_node, workers_ + gpu, t_start,
+                                 engine_.now() + extra);
+        }
+        // Freed in-flight credit can make a capped job's queued host tasks
+        // eligible for idle workers.
+        dispatch_idle();
+      });
 }
 
 double Scheduler::charge(double dt) {

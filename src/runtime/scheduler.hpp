@@ -60,14 +60,18 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "runtime/job.hpp"
 #include "runtime/trace.hpp"
 #include "sim/engine.hpp"
+#include "sim/resource.hpp"
 
 namespace ttg::rt {
+
+class DataTracker;  // runtime/datacopy.hpp
 
 /// Work-stealing knobs for one rank's scheduler (wired by the World from
 /// MachineModel + WorldConfig; see the header comment).
@@ -86,6 +90,52 @@ struct StealStats {
   std::uint64_t steals_remote = 0;  ///< successful cross-socket steals
   std::uint64_t steal_fail = 0;     ///< scans that found every deque empty
   std::uint64_t tasks_stolen = 0;   ///< tasks moved by all steals
+};
+
+/// Device-plane knobs for one rank's scheduler (wired by the World from
+/// MachineModel + WorldConfig::device; see DESIGN.md "Device placement &
+/// residency"). Disabled = the historical host-only scheduler, bit-identical
+/// to every checked-in baseline.
+struct DeviceConfig {
+  bool enabled = false;
+  bool always = false;  ///< force every device-capable task onto a GPU
+  int gpus = 0;         ///< accelerator lanes on this rank's node share
+  double launch_overhead = 0.0;  ///< per-dispatched-kernel cost [s]
+  double stage_latency = 0.0;    ///< per-H2D/D2H-transfer latency [s]
+  double stage_bw = 1.0;         ///< host<->device bandwidth [B/s]
+  std::uint64_t hbm_bytes = 0;   ///< device-memory capacity per GPU [B]
+};
+
+/// One datum a device task touches: a stable app-chosen tile tag, its
+/// size, and whether the kernel writes it (a written resident is dirty and
+/// pays a D2H transfer if evicted). Mirrors the ttg::device::Input/Output
+/// declarations of real TTG device tasks.
+struct DeviceDatum {
+  std::uint64_t tag = 0;
+  std::uint64_t bytes = 0;
+  bool write = false;
+};
+
+/// A task's device variant (the op_cuda alternative to the host op):
+/// device-kernel seconds plus the datums the kernel touches. Staging and
+/// launch overhead are *not* included in `cost`; the scheduler derives them
+/// from residency state and the DeviceConfig.
+struct DeviceCall {
+  double cost = 0.0;
+  std::vector<DeviceDatum> datums;
+};
+
+/// Per-rank device-plane counters (all zero when the plane is disabled).
+struct DeviceStats {
+  std::uint64_t device_tasks = 0;   ///< device-capable tasks placed on a GPU
+  std::uint64_t host_tasks = 0;     ///< device-capable tasks kept on the host
+  std::uint64_t h2d_transfers = 0;  ///< cold-input staging transfers
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_transfers = 0;  ///< dirty-eviction writebacks
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t residency_hits = 0;    ///< inputs already resident on the GPU
+  std::uint64_t residency_misses = 0;  ///< inputs that had to be staged
+  std::uint64_t evictions = 0;         ///< residents pushed out under pressure
 };
 
 /// Priority scheduler over `workers` virtual cores of one rank.
@@ -133,6 +183,33 @@ class Scheduler {
   void configure_steal(const StealConfig& cfg);
   [[nodiscard]] const StealConfig& steal_config() const { return steal_; }
   [[nodiscard]] const StealStats& steal_stats() const { return steal_stats_; }
+
+  /// Arm the device plane: per-GPU FIFO resource lanes plus the residency
+  /// table. Call before any task is submitted; disabled (the default) makes
+  /// submit_device() forward to the host path bit-identically.
+  void configure_device(const DeviceConfig& cfg);
+  [[nodiscard]] const DeviceConfig& device_config() const { return device_; }
+  [[nodiscard]] const DeviceStats& device_stats() const { return device_stats_; }
+  /// Busy seconds summed over this rank's GPU lanes.
+  [[nodiscard]] double device_busy() const;
+  /// Payload bytes currently resident across this rank's GPUs (the
+  /// scheduler-side view World::fence() reconciles against the DataTracker).
+  [[nodiscard]] std::uint64_t device_resident_bytes() const;
+
+  /// Device-lifecycle accounting sink (the World's DataTracker); staging
+  /// transfers, hits, and evictions are reported into it when set.
+  void set_data_tracker(DataTracker* tracker) { data_tracker_ = tracker; }
+
+  /// Enqueue a ready task that carries a device variant. With the device
+  /// plane enabled, placement is the greedy cost-model decision
+  ///   min(host_cost, device cost + launch + staging for non-resident
+  ///       inputs + lane queue wait)
+  /// (or forced onto a GPU under DeviceConfig::always); otherwise this is
+  /// exactly submit(). `name`/`key` feed the tracer like the host overloads.
+  void submit_device(JobId job, int priority, double host_cost, DeviceCall dev,
+                     std::function<void()> body);
+  void submit_device(JobId job, int priority, double host_cost, DeviceCall dev,
+                     std::string name, std::string key, std::function<void()> body);
 
   /// Per-job counters (a zero record for jobs never seen on this rank).
   [[nodiscard]] const JobCounters& job_counters(JobId job) const;
@@ -195,8 +272,23 @@ class Scheduler {
     JobCounters counters;
   };
 
+  /// One device-resident tile on one GPU.
+  struct Resident {
+    std::uint64_t bytes = 0;
+    std::uint64_t last_use = 0;  ///< LRU ordinal (monotone dispatch clock)
+    bool dirty = false;          ///< written on device; eviction pays a D2H
+  };
+
   void submit_node(JobId job, int priority, double cost, std::uint32_t trace_node,
                    std::function<void()> body);
+  void submit_device_node(JobId job, int priority, double host_cost, DeviceCall dev,
+                          std::uint32_t trace_node, std::function<void()> body);
+  /// Commit `dev`'s datums to GPU `gpu`'s residency table (hits, stagings,
+  /// evictions, tracker + tracer reporting); returns the staging seconds the
+  /// dispatch pays before the kernel can launch.
+  double stage_datums(JobId job, int gpu, const DeviceCall& dev);
+  /// Queue one placed device task on its GPU lane.
+  void start_device(Ready task, int gpu, double service);
   void start(Ready task, int worker);
   /// A core finished its task (post-body charges drained): find it more
   /// work or park it on the idle list.
@@ -242,6 +334,17 @@ class Scheduler {
   std::vector<std::deque<Ready>> deques_;  ///< per-core deques (steal mode)
   std::uint64_t steal_attempts_ = 0;       ///< victim-draw ordinal
   int rr_cursor_ = 0;  ///< round-robin core for outside-body submissions
+  // --- device plane (empty/zero when device_.enabled is false) ---
+  DeviceConfig device_;
+  DeviceStats device_stats_;
+  DataTracker* data_tracker_ = nullptr;
+  std::vector<std::unique_ptr<sim::FifoResource>> gpu_lanes_;
+  /// Per-GPU residency: (job, tile tag) -> resident entry. Keyed by job so
+  /// concurrent serving-mode jobs never alias each other's tiles; ordered,
+  /// so LRU scans are deterministic.
+  std::vector<std::map<std::pair<JobId, std::uint64_t>, Resident>> gpu_resident_;
+  std::vector<std::uint64_t> gpu_resident_bytes_;
+  std::uint64_t device_clock_ = 0;  ///< LRU ordinal source
 };
 
 }  // namespace ttg::rt

@@ -53,6 +53,14 @@ CommCounters Tracer::totals() const {
     t.steals_local += c.steals_local;
     t.steals_remote += c.steals_remote;
     t.steal_fail += c.steal_fail;
+    t.device_tasks += c.device_tasks;
+    t.h2d_transfers += c.h2d_transfers;
+    t.h2d_bytes += c.h2d_bytes;
+    t.d2h_transfers += c.d2h_transfers;
+    t.d2h_bytes += c.d2h_bytes;
+    t.residency_hits += c.residency_hits;
+    t.residency_misses += c.residency_misses;
+    t.device_evictions += c.device_evictions;
     t.charged_cpu += c.charged_cpu;
     t.server_wait += c.server_wait;
     t.server_busy += c.server_busy;
@@ -339,6 +347,25 @@ support::Table Tracer::steal_table() const {
     if (c.steals_local == 0 && c.steals_remote == 0 && c.steal_fail == 0) continue;
     t.add_row({std::to_string(r), std::to_string(c.steals_local),
                std::to_string(c.steals_remote), std::to_string(c.steal_fail)});
+  }
+  return t;
+}
+
+support::Table Tracer::device_table() const {
+  support::Table t("device plane (simulated GPUs, cost-model placement)",
+                   {"rank", "device tasks", "h2d", "h2d B", "d2h", "d2h B",
+                    "res hits", "res misses", "evictions"});
+  for (int r = 0; r < static_cast<int>(counters_.size()); ++r) {
+    const auto& c = counters_[static_cast<std::size_t>(r)];
+    if (c.device_tasks == 0 && c.h2d_transfers == 0 && c.residency_hits == 0 &&
+        c.residency_misses == 0) {
+      continue;
+    }
+    t.add_row({std::to_string(r), std::to_string(c.device_tasks),
+               std::to_string(c.h2d_transfers), std::to_string(c.h2d_bytes),
+               std::to_string(c.d2h_transfers), std::to_string(c.d2h_bytes),
+               std::to_string(c.residency_hits), std::to_string(c.residency_misses),
+               std::to_string(c.device_evictions)});
   }
   return t;
 }

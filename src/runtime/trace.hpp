@@ -147,6 +147,15 @@ struct CommCounters {
   std::uint64_t steals_local = 0;   ///< same-socket deque steals on this rank
   std::uint64_t steals_remote = 0;  ///< cross-socket deque steals
   std::uint64_t steal_fail = 0;     ///< steal scans that found no victim
+  // --- device plane (zero when WorldConfig::device is Off) ---
+  std::uint64_t device_tasks = 0;      ///< task bodies run on a simulated GPU
+  std::uint64_t h2d_transfers = 0;     ///< host -> device stagings paid
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_transfers = 0;     ///< dirty-eviction writebacks paid
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t residency_hits = 0;    ///< device inputs found already resident
+  std::uint64_t residency_misses = 0;  ///< device inputs that needed staging
+  std::uint64_t device_evictions = 0;  ///< residents dropped under HBM pressure
   double charged_cpu = 0.0;   ///< CPU charged inside task bodies (send copies)
   double server_wait = 0.0;   ///< queueing on the comm/AM server thread
   double server_busy = 0.0;   ///< service time on the comm/AM server thread
@@ -282,6 +291,34 @@ class Tracer {
   /// Per-rank work-stealing table (local/remote steals + failed scans) for
   /// --trace-summary; rows only for ranks with non-zero activity.
   [[nodiscard]] support::Table steal_table() const;
+
+  // --- recording: device plane (simulated accelerators) ---
+
+  /// A task body was placed on (and ran on) one of `rank`'s simulated GPUs.
+  void record_device_task(int rank) { counters(rank).device_tasks += 1; }
+  /// One device input datum was looked up in the residency map.
+  void record_residency(int rank, bool hit) {
+    auto& c = counters(rank);
+    (hit ? c.residency_hits : c.residency_misses) += 1;
+  }
+  /// A host -> device staging transfer was paid for a cold input.
+  void record_h2d(int rank, std::uint64_t bytes) {
+    auto& c = counters(rank);
+    c.h2d_transfers += 1;
+    c.h2d_bytes += bytes;
+  }
+  /// A dirty resident was written back host-side on eviction.
+  void record_d2h(int rank, std::uint64_t bytes) {
+    auto& c = counters(rank);
+    c.d2h_transfers += 1;
+    c.d2h_bytes += bytes;
+  }
+  /// A resident datum was dropped to make room under HBM pressure.
+  void record_eviction(int rank) { counters(rank).device_evictions += 1; }
+
+  /// Per-rank device-plane table (device tasks, staging traffic, residency
+  /// hit rate) for --trace-summary; rows only for ranks with activity.
+  [[nodiscard]] support::Table device_table() const;
 
   // --- recording: backend comm engines ---
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "support/error.hpp"
 #include "support/table.hpp"
 
 namespace ttg::rt {
@@ -15,20 +16,43 @@ void TraceSession::add_options(support::Cli& cli) {
   cli.option("fault-spec", "",
              "fault plan, e.g. \"drop=0.01,straggler=0:2,latency=*:1.5\" "
              "(empty = no faults)");
+  cli.option("device", "",
+             "device placement: off, greedy, or always "
+             "(empty = the binary's default)");
+  cli.option("gpus", "-1",
+             "simulated GPUs per node (-1 = the machine preset's count)");
 }
+
+namespace {
+
+DevicePlacement parse_placement(const std::string& s) {
+  if (s == "off") return DevicePlacement::Off;
+  if (s == "greedy") return DevicePlacement::Greedy;
+  if (s == "always") return DevicePlacement::Always;
+  throw support::ApiError("--device must be off, greedy, or always (got \"" +
+                          s + "\")");
+}
+
+}  // namespace
 
 TraceSession::TraceSession(const support::Cli& cli)
     : path_(cli.get("trace")),
       summary_(cli.get_flag("trace-summary")),
       faults_(sim::FaultPlan::parse(
           cli.get("fault-spec"),
-          static_cast<std::uint64_t>(cli.get_int("fault-seed")))) {}
+          static_cast<std::uint64_t>(cli.get_int("fault-seed")))),
+      device_set_(!cli.get("device").empty()),
+      device_(device_set_ ? parse_placement(cli.get("device"))
+                          : DevicePlacement::Off),
+      gpus_(static_cast<int>(cli.get_int("gpus"))) {}
 
 TraceSession::TraceSession(std::string path, bool summary)
     : path_(std::move(path)), summary_(summary) {}
 
-void TraceSession::apply_faults(WorldConfig& cfg) const {
+void TraceSession::apply(WorldConfig& cfg) const {
   if (faults_.enabled()) cfg.faults = faults_;
+  if (device_set_) cfg.device = device_;
+  if (gpus_ >= 0) cfg.machine.gpus_per_node = gpus_;
 }
 
 void TraceSession::attach(World& world) const {
@@ -67,6 +91,9 @@ void TraceSession::finish(World& world, const std::string& label,
       std::printf("%s\n", tracer.forwarding_table().str().c_str());
     if (totals.steals_local > 0 || totals.steals_remote > 0 || totals.steal_fail > 0)
       std::printf("%s\n", tracer.steal_table().str().c_str());
+    if (totals.device_tasks > 0 || totals.residency_hits > 0 ||
+        totals.residency_misses > 0)
+      std::printf("%s\n", tracer.device_table().str().c_str());
     std::printf("%s\n", tracer.critical_path_report().c_str());
     if (world.engine().sharded()) {
       const auto es = world.engine().stats();

@@ -1,17 +1,18 @@
-// CLI wiring for runtime tracing and fault injection:
-// `--trace <path>` / `--trace-summary` / `--fault-seed` / `--fault-spec`.
+// CLI wiring for runtime tracing, fault injection, and device placement:
+// `--trace <path>` / `--trace-summary` / `--fault-seed` / `--fault-spec` /
+// `--device {off,greedy,always}` / `--gpus <n>`.
 //
 // Every bench and example binary declares the options through
 // add_options(), constructs a TraceSession from the parsed Cli, applies
-// the fault plan to each WorldConfig, attaches the session to each World
-// it creates, and calls finish() after the run:
+// the fault plan and device overrides to each WorldConfig, attaches the
+// session to each World it creates, and calls finish() after the run:
 //
 //   support::Cli cli(...);
 //   rt::TraceSession::add_options(cli);
 //   ...
 //   rt::TraceSession trace(cli);
 //   rt::WorldConfig cfg;
-//   trace.apply_faults(cfg);
+//   trace.apply(cfg);
 //   rt::World world(cfg);
 //   trace.attach(world);
 //   ... run, fence ...
@@ -34,12 +35,12 @@ namespace ttg::rt {
 
 class TraceSession {
  public:
-  /// Declare --trace, --trace-summary, --fault-seed, and --fault-spec on a
-  /// Cli (call before parse()).
+  /// Declare --trace, --trace-summary, --fault-seed, --fault-spec,
+  /// --device, and --gpus on a Cli (call before parse()).
   static void add_options(support::Cli& cli);
 
-  /// Read the trace/fault options back from a parsed Cli. Throws
-  /// support::ApiError on a malformed --fault-spec.
+  /// Read the trace/fault/device options back from a parsed Cli. Throws
+  /// support::ApiError on a malformed --fault-spec or --device value.
   explicit TraceSession(const support::Cli& cli);
   TraceSession(std::string path, bool summary);
 
@@ -49,9 +50,10 @@ class TraceSession {
   /// --fault-spec was empty or absent).
   [[nodiscard]] const sim::FaultPlan& faults() const { return faults_; }
 
-  /// Install the parsed fault plan into a WorldConfig (no-op when no
-  /// --fault-spec was given, so fault-free runs are bit-identical).
-  void apply_faults(WorldConfig& cfg) const;
+  /// Install the parsed fault plan and any --device/--gpus overrides into
+  /// a WorldConfig. Every override defaults to "leave the config alone",
+  /// so flag-free runs are bit-identical to a build without the wiring.
+  void apply(WorldConfig& cfg) const;
 
   /// Enable tracing on `world` (no-op when not enabled).
   void attach(World& world) const;
@@ -68,6 +70,9 @@ class TraceSession {
   std::string path_;      ///< Chrome-trace output file ("" = no export)
   bool summary_ = false;  ///< print summary/breakdown/critical-path tables
   sim::FaultPlan faults_; ///< parsed fault plan (inactive unless --fault-spec)
+  bool device_set_ = false;  ///< a --device value was given
+  DevicePlacement device_ = DevicePlacement::Off;  ///< parsed --device
+  int gpus_ = -1;  ///< --gpus override of machine.gpus_per_node (-1 = keep)
 };
 
 }  // namespace ttg::rt

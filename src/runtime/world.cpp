@@ -17,6 +17,18 @@ const char* to_string(BackendKind k) {
   return "?";
 }
 
+const char* to_string(DevicePlacement p) {
+  switch (p) {
+    case DevicePlacement::Off:
+      return "off";
+    case DevicePlacement::Greedy:
+      return "greedy";
+    case DevicePlacement::Always:
+      return "always";
+  }
+  return "?";
+}
+
 namespace {
 
 // Lookahead rule: no cross-rank delivery can undercut the propagation
@@ -66,6 +78,22 @@ World::World(WorldConfig cfg) : cfg_(cfg), engine_(derive_engine_config(cfg_)) {
   for (int r = 0; r < cfg_.nranks; ++r) {
     sched_.push_back(std::make_unique<Scheduler>(engine_, r, workers_));
   }
+  if (cfg_.device != DevicePlacement::Off) {
+    TTG_REQUIRE(cfg_.machine.gpus_per_node > 0,
+                "device placement enabled but machine model has no GPUs");
+    DeviceConfig dc;
+    dc.enabled = true;
+    dc.always = cfg_.device == DevicePlacement::Always;
+    dc.gpus = cfg_.machine.gpus_per_node;
+    dc.launch_overhead = cfg_.machine.gpu_launch_overhead;
+    dc.stage_latency = cfg_.machine.pcie_latency;
+    dc.stage_bw = cfg_.machine.pcie_bw;
+    dc.hbm_bytes = static_cast<std::uint64_t>(cfg_.machine.hbm_bytes);
+    for (auto& s : sched_) {
+      s->set_data_tracker(&data_);
+      s->configure_device(dc);
+    }
+  }
   if (cfg_.work_stealing) {
     StealConfig sc;
     sc.enabled = true;
@@ -99,6 +127,15 @@ sim::Time World::fence() {
   // The queue is drained, so every send/broadcast closure has been run (or
   // cancelled and freed): any DataCopy still alive is a genuine leak.
   data_.check_no_leaks();
+  // With the device plane on, reconcile the tracker's resident-byte view
+  // against the schedulers' residency maps (a disagreement means staging or
+  // eviction accounting went unbalanced somewhere).
+  if (cfg_.device != DevicePlacement::Off) {
+    std::vector<std::uint64_t> view;
+    view.reserve(sched_.size());
+    for (const auto& s : sched_) view.push_back(s->device_resident_bytes());
+    data_.check_device_residency(view);
+  }
   return t;
 }
 

@@ -31,6 +31,18 @@ enum class BackendKind { Parsec, Madness };
 
 [[nodiscard]] const char* to_string(BackendKind k);
 
+/// Device-plane task placement (DESIGN.md "Device placement & residency").
+/// Off   — host-only; every checked-in baseline, bit-identical to the
+///         pre-device runtime even for TTs that registered a device op.
+/// Greedy — per-task cost model: run on the GPU whose queue-wait + staging
+///         of non-resident inputs + launch + kernel beats the host, else
+///         stay on the host.
+/// Always — force every task with a device variant onto a GPU (ablation
+///         arm; shows why the cost model matters).
+enum class DevicePlacement { Off, Greedy, Always };
+
+[[nodiscard]] const char* to_string(DevicePlacement p);
+
 /// Construction parameters for a World. The ablation knobs correspond to
 /// the features the paper introduced (optimized broadcast, splitmd) so the
 /// benches can turn them off individually.
@@ -83,6 +95,11 @@ struct WorldConfig {
   /// Cap on adaptive windows, in lookahead units past the epoch start
   /// (bounds per-epoch deferred-buffer growth). Ignored unless adaptive.
   double engine_window_cap = 64.0;
+  // Heterogeneous device plane (DESIGN.md "Device placement & residency").
+  // Off = host-only, bit-identical to the pre-device runtime; Greedy/Always
+  // enable machine.gpus_per_node simulated GPUs per rank with cost-model /
+  // forced placement of TT device variants.
+  DevicePlacement device = DevicePlacement::Off;
 };
 
 /// Type-erased base of every template task, for registration and

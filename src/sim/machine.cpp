@@ -21,6 +21,15 @@ MachineModel hawk() {
   m.bisection_factor = 0.75;  // 9D enhanced hypercube, near-full bisection
   m.eager_threshold = 8192;
   m.am_cpu = 4.0e-7;
+  // Accelerator partition: 4 GPUs per node of roughly V100-class effective
+  // DGEMM (~7 TF/s on large tiles), PCIe gen3 x16 staging (~12 GB/s
+  // effective), 16 GB HBM each, ~5 us kernel launch.
+  m.gpus_per_node = 4;
+  m.gpu_gflops = 7000.0;
+  m.gpu_launch_overhead = 5.0e-6;
+  m.pcie_bw = 12.0e9;
+  m.pcie_latency = 5.0e-6;
+  m.hbm_bytes = 16.0e9;
   return m;
 }
 
@@ -42,6 +51,14 @@ MachineModel seawulf() {
   m.bisection_factor = 0.5;  // older 2:1 oversubscribed fat tree
   m.eager_threshold = 8192;
   m.am_cpu = 5.0e-7;
+  // Older accelerator partition: 2 P100-class GPUs per node (~4.5 TF/s
+  // effective DGEMM), slightly slower PCIe staging, 12 GB HBM each.
+  m.gpus_per_node = 2;
+  m.gpu_gflops = 4500.0;
+  m.gpu_launch_overhead = 6.0e-6;
+  m.pcie_bw = 10.0e9;
+  m.pcie_latency = 6.0e-6;
+  m.hbm_bytes = 12.0e9;
   return m;
 }
 

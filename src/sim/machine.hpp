@@ -45,6 +45,20 @@ struct MachineModel {
   std::size_t eager_threshold = 8192;  ///< bytes; above this use rendezvous
   double am_cpu = 4.0e-7;        ///< CPU time to handle one active message [s]
 
+  // --- accelerators (device compute plane) ---
+  // Simulated GPUs per node, mirroring TTG's op_cuda device variants: a task
+  // with a registered device op may execute on one of these instead of a
+  // core, paying kernel launch overhead plus host<->device staging for any
+  // operand not already resident in that GPU's memory. gpus_per_node = 0
+  // (the historical models' value) means no device plane exists and every
+  // code path is byte-identical to the pre-device runtime.
+  int gpus_per_node = 0;            ///< simulated accelerators per node
+  double gpu_gflops = 0.0;          ///< effective per-GPU DGEMM rate [GFLOP/s]
+  double gpu_launch_overhead = 0.0; ///< per-kernel-launch cost [s]
+  double pcie_bw = 1.0;             ///< host<->device staging bandwidth [B/s]
+  double pcie_latency = 0.0;        ///< per-staging-transfer latency [s]
+  double hbm_bytes = 0.0;           ///< device memory capacity per GPU [B]
+
   /// Time to execute `flops` floating-point ops on one core at the given
   /// efficiency relative to the effective DGEMM rate.
   [[nodiscard]] double flops_time(double flops, double efficiency = 1.0) const {
@@ -63,6 +77,19 @@ struct MachineModel {
 
   /// Aggregate node DGEMM rate [GFLOP/s].
   [[nodiscard]] double node_gflops() const { return cores_per_node * core_gflops; }
+
+  /// Time to execute `flops` on one GPU at the given efficiency relative to
+  /// the device's effective DGEMM rate (kernel launch overhead not included;
+  /// the scheduler charges that per dispatched device task).
+  [[nodiscard]] double gpu_flops_time(double flops, double efficiency = 1.0) const {
+    return flops / (efficiency * gpu_gflops * 1e9);
+  }
+
+  /// Time to stage `bytes` across the host<->device interconnect (one DMA
+  /// transfer: fixed latency plus bandwidth term).
+  [[nodiscard]] double stage_time(std::size_t bytes) const {
+    return pcie_latency + static_cast<double>(bytes) / pcie_bw;
+  }
 };
 
 /// HLRS Hawk (AMD EPYC 7742, IB HDR200). 60 worker threads per node as in

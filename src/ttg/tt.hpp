@@ -89,6 +89,19 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
     note_mutation();
   }
 
+  /// Device variant (mirrors TTG's op_cuda registration): declare that this
+  /// TT's tasks can also run on a simulated GPU. The function maps a task to
+  /// its DeviceCall — device-kernel seconds plus the datums (tag, bytes,
+  /// read/write) the kernel touches, which drive staging and residency. The
+  /// scheduler picks host vs device per task under the world's
+  /// DevicePlacement policy; with placement Off the registration is inert
+  /// and scheduling stays bit-identical to a TT without a device op.
+  void set_device_op(std::function<rt::DeviceCall(const Key&, const InV&...)> f) {
+    device_op_ = std::move(f);
+    note_mutation();
+  }
+  [[nodiscard]] bool have_device_op() const { return device_op_ != nullptr; }
+
   /// Turn input terminal I into a streaming terminal: incoming messages are
   /// folded into the accumulated value with `reducer`; the task fires after
   /// `size` messages (size < 0: unbounded until set_size/finalize).
@@ -853,6 +866,16 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
           [&](const auto&... v) { return costmap_(key, v...); }, vals);
     }
     cost += world_.comm().task_overhead();
+    // Resolve the device variant (if any) before the inputs move into the
+    // body closure. With placement Off the device op is never consulted, so
+    // the Off path is bit-identical to a TT without a device op.
+    const bool device_eligible =
+        device_op_ && world_.config().device != rt::DevicePlacement::Off;
+    rt::DeviceCall dev;
+    if (device_eligible) {
+      dev = std::apply([&](const auto&... v) { return device_op_(key, v...); },
+                       vals);
+    }
     // Capture the ambient job at record-completion time: every path that can
     // complete a record (injection, local put, remote delivery) runs under
     // run_as_job, so the task body re-enters the same job when it fires.
@@ -865,6 +888,17 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
         });
       });
     };
+    if (device_eligible) {
+      if (world_.tracing()) {
+        world_.scheduler(rank).submit_device(job, prio, cost, std::move(dev),
+                                             name_, key_to_string(key),
+                                             std::move(body));
+      } else {
+        world_.scheduler(rank).submit_device(job, prio, cost, std::move(dev),
+                                             std::move(body));
+      }
+      return;
+    }
     if (world_.tracing()) {
       world_.scheduler(rank).submit(job, prio, cost, name_, key_to_string(key),
                                     std::move(body));
@@ -895,6 +929,7 @@ class TT<Key, Fn, std::tuple<InV...>, std::tuple<OutTerm...>> final : public rt:
   std::function<int(const Key&)> keymap_;
   std::function<int(const Key&)> priomap_;
   std::function<double(const Key&, const InV&...)> costmap_;
+  std::function<rt::DeviceCall(const Key&, const InV&...)> device_op_;
   std::vector<std::unordered_map<Key, Record, KeyHash<Key>>> records_;
   std::tuple<std::function<void(InV&, InV&&)>...> reducers_;
   // Tree-reduction state: per slot, per rank, per key. Tombstoned (done)
